@@ -1,0 +1,59 @@
+// Shared helper for the ablation harnesses (DESIGN.md S5): run one
+// SPCD-instrumented execution of a benchmark with a given SPCD
+// configuration and report detection accuracy (Pearson correlation of the
+// detected matrix against the full-trace oracle), overhead, migrations and
+// execution time.
+#pragma once
+
+#include <string>
+
+#include "core/runner.hpp"
+#include "util/env.hpp"
+#include "workloads/npb.hpp"
+
+namespace spcd::bench {
+
+struct AblationPoint {
+  double exec_seconds = 0.0;
+  double accuracy = 0.0;  ///< Pearson vs oracle matrix
+  double detection_overhead = 0.0;
+  double mapping_overhead = 0.0;
+  std::uint32_t migration_events = 0;
+  double injected_ratio = 0.0;
+  std::uint64_t detected_events = 0;
+};
+
+inline double ablation_scale() {
+  return util::env_double("SPCD_ABLATION_SCALE", 0.4);
+}
+
+inline AblationPoint run_ablation_point(const std::string& bench_name,
+                                        const core::SpcdConfig& spcd,
+                                        std::uint32_t repetition = 0) {
+  core::RunnerConfig config;
+  config.repetitions = 1;
+  config.spcd = spcd;
+  core::Runner runner(config);
+  const auto factory = workloads::nas_factory(bench_name, ablation_scale());
+
+  const auto metrics = runner.run_once(bench_name, factory,
+                                       core::MappingPolicy::kSpcd,
+                                       repetition);
+  (void)runner.oracle_placement(bench_name, factory);
+
+  AblationPoint p;
+  p.exec_seconds = metrics.exec_seconds;
+  p.detection_overhead = metrics.detection_overhead;
+  p.mapping_overhead = metrics.mapping_overhead;
+  p.migration_events = metrics.migration_events;
+  p.injected_ratio = metrics.injected_fault_ratio();
+  if (const core::CommMatrix* detected = runner.last_spcd_matrix()) {
+    p.detected_events = detected->total();
+    if (const core::CommMatrix* oracle = runner.oracle_matrix(bench_name)) {
+      p.accuracy = detected->correlation(*oracle);
+    }
+  }
+  return p;
+}
+
+}  // namespace spcd::bench

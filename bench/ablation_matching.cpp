@@ -1,0 +1,49 @@
+// Ablation (paper SIV-B, DESIGN.md S5.6): Edmonds matching vs greedy
+// pairing in the hierarchical mapper. For every NAS benchmark, both
+// mappers run on the oracle's exact communication matrix; quality is the
+// placement communication cost (lower = more communication kept local).
+#include <cstdio>
+
+#include "bench/ablation_common.hpp"
+#include "core/mapper.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spcd;
+
+  std::printf("Ablation: Edmonds matching vs greedy pairing in the mapper\n"
+              "(placement communication cost on the oracle matrix; lower "
+              "is better)\n\n");
+
+  core::RunnerConfig config;
+  config.repetitions = 1;
+  core::Runner runner(config);
+  arch::Topology topo(config.machine.topology);
+
+  util::TextTable table;
+  table.header({"bench", "os spread", "greedy", "edmonds",
+                "edmonds vs greedy"});
+  for (const auto& info : workloads::nas_benchmarks()) {
+    const auto factory =
+        workloads::nas_factory(info.name, bench::ablation_scale());
+    (void)runner.oracle_placement(info.name, factory);
+    const core::CommMatrix* matrix = runner.oracle_matrix(info.name);
+    if (matrix == nullptr || matrix->total() == 0) continue;
+
+    const double spread = core::placement_comm_cost(
+        *matrix, topo, core::os_spread_placement(topo, matrix->size()));
+    const double greedy = core::placement_comm_cost(
+        *matrix, topo, core::compute_mapping_greedy(*matrix, topo).placement);
+    const double edmonds = core::placement_comm_cost(
+        *matrix, topo, core::compute_mapping(*matrix, topo).placement);
+    table.row({info.name, util::fmt_double(spread / edmonds, 2) + "x",
+               util::fmt_double(greedy / edmonds, 3) + "x", "1.000x",
+               util::fmt_percent_delta(edmonds / greedy)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nEdmonds should match or beat greedy on every benchmark "
+              "(it solves each pairing level exactly); both should beat "
+              "the communication-oblivious spread by a wide margin on the "
+              "heterogeneous benchmarks.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation (paper SIII-C2, DESIGN.md S5.4): the temporal false
+// communication window, evaluated on the phase-switching producer/consumer
+// benchmark. Without a window, stale sharer entries from the previous
+// phase pollute the matrix after a phase change; a finite window keeps the
+// detected pattern aligned with the *current* phase.
+#include <cstdio>
+
+#include "core/os_scheduler.hpp"
+#include "core/policy.hpp"
+#include "core/spcd_kernel.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+#include "workloads/prodcons.hpp"
+
+namespace {
+
+using namespace spcd;
+
+struct WindowResult {
+  std::uint64_t events = 0;
+  double phase2_purity = 0.0;  ///< share of phase-2-window comm that matches
+                               ///< the phase-2 pairing
+};
+
+WindowResult run_with_window(util::Cycles window) {
+  workloads::ProdConsParams params;
+  params.phases = 2;
+  params.iterations_per_phase = 25;
+  workloads::ProducerConsumer workload(params, 0xFACE);
+  const std::uint32_t n = workload.num_threads();
+
+  sim::Machine machine(arch::dual_xeon_e5_2650());
+  auto as = machine.make_address_space();
+  sim::Engine engine(machine, as, workload,
+                     core::os_spread_placement(machine.topology(), n));
+
+  core::SpcdConfig config;
+  config.enable_migration = false;
+  config.table.time_window = window;
+  core::SpcdKernel kernel(config, n, 1);
+  kernel.install(engine);
+
+  // Snapshot the matrix shortly after the phase switch; measure how much
+  // of the *new* communication still points at phase-1 partners.
+  std::optional<core::CommMatrix> at_switch;
+  std::optional<core::CommMatrix> late;
+  std::function<void(sim::Engine&)> probe = [&](sim::Engine& e) {
+    if (!at_switch) {
+      at_switch = kernel.matrix();
+      e.schedule(e.now() + 4'000'000, probe);
+    } else if (!late) {
+      late = kernel.matrix();
+    }
+  };
+  // The first phase ends roughly halfway; probe at ~55% and ~90%.
+  engine.schedule(14'000'000, probe);
+  engine.run();
+  if (!late) late = kernel.matrix();
+  if (!at_switch) at_switch = core::CommMatrix(n);
+
+  const core::CommMatrix phase2 = late->diff(*at_switch);
+  std::uint64_t matching = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    for (std::uint32_t u = t + 1; u < n; ++u) {
+      const std::uint64_t amount = phase2.at(t, u);
+      total += amount;
+      if (workload.partner_in_phase(t, 1) == u) matching += amount;
+    }
+  }
+  WindowResult r;
+  r.events = kernel.matrix().total();
+  r.phase2_purity = total == 0 ? 0.0
+                               : static_cast<double>(matching) /
+                                     static_cast<double>(total);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: temporal false-communication window "
+              "(producer/consumer, phase switch)\n\n");
+
+  util::TextTable table;
+  table.header({"window [ms]", "events", "phase-2 purity"});
+  const util::Cycles windows[] = {0, 400'000, 2'000'000, 10'000'000,
+                                  50'000'000};
+  for (const auto w : windows) {
+    const auto r = run_with_window(w);
+    table.row({w == 0 ? "off" : util::fmt_double(
+                                    static_cast<double>(w) / 2e6, 1),
+               std::to_string(r.events),
+               util::fmt_double(r.phase2_purity, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nA finite window keeps post-switch communication aligned "
+              "with the current phase (higher purity); an over-tight window "
+              "discards genuine communication (fewer events).\n");
+  return 0;
+}

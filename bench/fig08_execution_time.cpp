@@ -1,0 +1,10 @@
+// Figure 8: execution time of the NAS benchmarks under the four mappings,
+// normalized to the OS scheduler.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 8: Execution time (normalized to the OS)", "execution time",
+      [](const spcd::core::RunMetrics& m) { return m.exec_seconds; });
+  return 0;
+}

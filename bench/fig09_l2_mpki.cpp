@@ -1,0 +1,9 @@
+// Figure 9: L2 cache misses per kilo-instruction, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 9: L2 cache MPKI (normalized to the OS)", "L2 MPKI",
+      [](const spcd::core::RunMetrics& m) { return m.l2_mpki; });
+  return 0;
+}

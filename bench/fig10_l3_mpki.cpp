@@ -1,0 +1,9 @@
+// Figure 10: L3 cache misses per kilo-instruction, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 10: L3 cache MPKI (normalized to the OS)", "L3 MPKI",
+      [](const spcd::core::RunMetrics& m) { return m.l3_mpki; });
+  return 0;
+}

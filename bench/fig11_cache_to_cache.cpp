@@ -1,0 +1,12 @@
+// Figure 11: cache-to-cache transactions, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 11: Cache-to-cache transactions (normalized to the OS)",
+      "cache-to-cache transactions",
+      [](const spcd::core::RunMetrics& m) {
+        return static_cast<double>(m.c2c_transactions);
+      });
+  return 0;
+}

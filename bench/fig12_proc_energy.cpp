@@ -1,0 +1,10 @@
+// Figure 12: total processor (package) energy, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 12: Total processor energy (normalized to the OS)",
+      "package energy",
+      [](const spcd::core::RunMetrics& m) { return m.package_joules; });
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 13: total DRAM energy, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 13: Total DRAM energy (normalized to the OS)", "DRAM energy",
+      [](const spcd::core::RunMetrics& m) { return m.dram_joules; });
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 14: processor energy per instruction, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 14: Processor energy per instruction (normalized to the OS)",
+      "package energy / instruction",
+      [](const spcd::core::RunMetrics& m) { return m.package_epi_nj; });
+  return 0;
+}

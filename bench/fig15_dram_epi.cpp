@@ -1,0 +1,10 @@
+// Figure 15: DRAM energy per instruction, normalized to the OS.
+#include "bench/pipeline.hpp"
+
+int main() {
+  spcd::bench::print_normalized_figure(
+      "Figure 15: DRAM energy per instruction (normalized to the OS)",
+      "DRAM energy / instruction",
+      [](const spcd::core::RunMetrics& m) { return m.dram_epi_nj; });
+  return 0;
+}

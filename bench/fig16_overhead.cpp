@@ -1,0 +1,41 @@
+// Figure 16: overhead of SPCD (communication detection) and of the mapping
+// mechanism (filter + matching + migration), as a percentage of total
+// execution time — measured on the SPCD runs of the pipeline.
+#include <cstdio>
+
+#include "bench/pipeline.hpp"
+#include "util/table.hpp"
+#include "workloads/npb.hpp"
+
+int main() {
+  using namespace spcd;
+  const auto& pr = bench::pipeline_results();
+
+  std::printf("Figure 16: Overhead of SPCD and the mapping mechanism\n");
+  std::printf("(percentage of total execution time, mean of %u runs; the\n"
+              " paper reports <1.5%% detection and <0.5%% mapping overhead)\n\n",
+              pr.repetitions);
+
+  util::TextTable table;
+  table.header({"bench", "detection", "", "mapping", "", "total"});
+  bool all_below_two_percent = true;
+  for (const auto& info : workloads::nas_benchmarks()) {
+    const auto& runs = pr.runs(info.name, core::MappingPolicy::kSpcd);
+    const auto det = core::aggregate(runs, [](const core::RunMetrics& m) {
+      return m.detection_overhead * 100.0;
+    });
+    const auto map = core::aggregate(runs, [](const core::RunMetrics& m) {
+      return m.mapping_overhead * 100.0;
+    });
+    if (det.mean + map.mean > 2.0) all_below_two_percent = false;
+    table.row({info.name, util::fmt_double(det.mean, 2) + "%",
+               "±" + util::fmt_double(det.ci95, 2),
+               util::fmt_double(map.mean, 3) + "%",
+               "±" + util::fmt_double(map.ci95, 3),
+               util::fmt_double(det.mean + map.mean, 2) + "%"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nTotal overhead below 2%% for all benchmarks: %s\n",
+              all_below_two_percent ? "yes (matches the paper)" : "NO");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Micro-benchmark: the SPCD sharing hash table (the per-fault work of the
+// detection mechanism), including the overwrite-vs-chaining ablation of
+// DESIGN.md S5.1. The paper argues overwrite-on-collision keeps the fault
+// handler O(1); this quantifies the cost of either policy.
+#include <benchmark/benchmark.h>
+
+#include "mem/sharing_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using spcd::mem::CollisionPolicy;
+using spcd::mem::SharingTable;
+using spcd::mem::SharingTableConfig;
+
+void BM_RecordAccess(benchmark::State& state, CollisionPolicy policy,
+                     std::uint64_t regions) {
+  SharingTableConfig config;
+  config.collision_policy = policy;
+  SharingTable table(config);
+  spcd::util::Xoshiro256 rng(42);
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    const std::uint64_t vaddr = rng.below(regions) << 12;
+    const auto tid = static_cast<std::uint32_t>(rng.below(32));
+    benchmark::DoNotOptimize(table.record_access(vaddr, tid, ++now));
+  }
+  state.counters["collisions"] =
+      static_cast<double>(table.collisions()) /
+      static_cast<double>(table.accesses());
+  state.counters["mem_MiB"] =
+      static_cast<double>(table.memory_bytes()) / (1024.0 * 1024.0);
+}
+
+void BM_Overwrite_Sparse(benchmark::State& state) {
+  BM_RecordAccess(state, CollisionPolicy::kOverwrite, 10'000);
+}
+void BM_Overwrite_Dense(benchmark::State& state) {
+  BM_RecordAccess(state, CollisionPolicy::kOverwrite, 1'000'000);
+}
+void BM_Chain_Sparse(benchmark::State& state) {
+  BM_RecordAccess(state, CollisionPolicy::kChain, 10'000);
+}
+void BM_Chain_Dense(benchmark::State& state) {
+  BM_RecordAccess(state, CollisionPolicy::kChain, 1'000'000);
+}
+
+BENCHMARK(BM_Overwrite_Sparse);
+BENCHMARK(BM_Overwrite_Dense);
+BENCHMARK(BM_Chain_Sparse);
+BENCHMARK(BM_Chain_Dense);
+
+void BM_SharedPageCommunication(benchmark::State& state) {
+  // Worst case for partner extraction: every access finds 7 sharers.
+  SharingTable table(SharingTableConfig{});
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    table.record_access(0x1000, t, t);
+  }
+  std::uint64_t now = 100;
+  std::uint32_t tid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.record_access(0x1000, tid = (tid + 1) % 8, ++now));
+  }
+}
+BENCHMARK(BM_SharedPageCommunication);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Micro-benchmark: simulator substrate throughput — cache-hierarchy
+// accesses, TLB+page-table translation, and full engine op dispatch. These
+// bound how much simulated work the figure harnesses can afford.
+#include <benchmark/benchmark.h>
+
+#include "mem/address_space.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spcd;
+
+void BM_HierarchyAccessHit(benchmark::State& state) {
+  sim::Machine machine(arch::dual_xeon_e5_2650());
+  auto& mh = machine.hierarchy();
+  mh.access(0, 1, false, 0, 0);
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mh.access(0, 1, false, 0, now += 10));
+  }
+}
+BENCHMARK(BM_HierarchyAccessHit);
+
+void BM_HierarchyAccessMix(benchmark::State& state) {
+  sim::Machine machine(arch::dual_xeon_e5_2650());
+  auto& mh = machine.hierarchy();
+  util::Xoshiro256 rng(5);
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    const auto ctx = static_cast<arch::ContextId>(rng.below(32));
+    benchmark::DoNotOptimize(mh.access(ctx, rng.below(1 << 16),
+                                       rng.chance(0.3),
+                                       static_cast<std::uint32_t>(
+                                           rng.below(2)),
+                                       now += 10));
+  }
+}
+BENCHMARK(BM_HierarchyAccessMix);
+
+void BM_Translation(benchmark::State& state) {
+  mem::FrameAllocator frames(2);
+  mem::AddressSpace as(frames, 12);
+  util::Xoshiro256 rng(5);
+  for (std::uint64_t p = 0; p < 4096; ++p) {
+    (void)as.translate(p << 12, 0, 0, 0, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        as.translate(rng.below(4096) << 12, 0, 0, 0, 0));
+  }
+}
+BENCHMARK(BM_Translation);
+
+void BM_EngineThroughput(benchmark::State& state) {
+  // Ops per second through the full engine path (TLB + PT + caches).
+  class Loop final : public sim::Workload {
+   public:
+    explicit Loop(std::uint64_t ops) : ops_(ops) {}
+    std::string name() const override { return "loop"; }
+    std::uint32_t num_threads() const override { return 8; }
+    std::unique_ptr<sim::ThreadProgram> make_thread(
+        std::uint32_t tid, std::uint64_t) override {
+      class P final : public sim::ThreadProgram {
+       public:
+        P(std::uint32_t tid, std::uint64_t ops)
+            : rng_(tid * 77 + 1), ops_(ops) {}
+        sim::Op next() override {
+          if (n_++ >= ops_) return sim::Op::finish();
+          return sim::Op::access(0x100000 + rng_.below(1 << 20),
+                                 rng_.chance(0.3), 4, 50);
+        }
+
+       private:
+        util::Xoshiro256 rng_;
+        std::uint64_t ops_, n_ = 0;
+      };
+      return std::make_unique<P>(tid, ops_);
+    }
+
+   private:
+    std::uint64_t ops_;
+  };
+
+  const std::uint64_t ops_per_thread = 20000;
+  for (auto _ : state) {
+    sim::Machine machine(arch::dual_xeon_e5_2650());
+    auto as = machine.make_address_space();
+    Loop wl(ops_per_thread);
+    sim::Engine engine(machine, as, wl, {0, 1, 2, 3, 4, 5, 6, 7});
+    engine.run();
+    benchmark::DoNotOptimize(engine.finish_time());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops_per_thread) * 8);
+}
+BENCHMARK(BM_EngineThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+#include "bench/pipeline.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "workloads/npb.hpp"
+
+namespace spcd::bench {
+
+namespace {
+
+// Bump when the metric layout or the experiment definition changes, so
+// stale caches are discarded.
+constexpr int kCacheVersion = 3;
+
+const core::MappingPolicy kPolicies[] = {
+    core::MappingPolicy::kOs, core::MappingPolicy::kRandom,
+    core::MappingPolicy::kOracle, core::MappingPolicy::kSpcd};
+
+core::MappingPolicy policy_from(const std::string& s) {
+  if (s == "os") return core::MappingPolicy::kOs;
+  if (s == "random") return core::MappingPolicy::kRandom;
+  if (s == "oracle") return core::MappingPolicy::kOracle;
+  return core::MappingPolicy::kSpcd;
+}
+
+std::string cache_path() {
+  return util::env_string("SPCD_CACHE", "spcd_results.cache");
+}
+
+bool load_cache(PipelineResults& out) {
+  std::ifstream in(cache_path());
+  if (!in) return false;
+  int version = 0;
+  std::uint32_t reps = 0;
+  double scale = 0.0;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  if (std::sscanf(header.c_str(), "spcd-cache v%d reps=%u scale=%lf",
+                  &version, &reps, &scale) != 3 ||
+      version != kCacheVersion || reps != out.repetitions ||
+      scale != out.scale) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string bench, policy;
+    core::RunMetrics m;
+    std::uint32_t rep;
+    if (!(ls >> bench >> policy >> rep >> m.exec_seconds >> m.instructions >>
+          m.l2_mpki >> m.l3_mpki >> m.c2c_transactions >> m.invalidations >>
+          m.dram_accesses >> m.package_joules >> m.dram_joules >>
+          m.package_epi_nj >> m.dram_epi_nj >> m.detection_overhead >>
+          m.mapping_overhead >> m.migration_events >> m.minor_faults >>
+          m.injected_faults)) {
+      return false;
+    }
+    out.results[bench][policy_from(policy)].push_back(m);
+  }
+  // Sanity: every benchmark must have every policy with `reps` runs.
+  if (out.results.size() != workloads::nas_benchmarks().size()) return false;
+  for (const auto& [bench, by_policy] : out.results) {
+    if (by_policy.size() != 4) return false;
+    for (const auto& [policy, runs] : by_policy) {
+      if (runs.size() != out.repetitions) return false;
+    }
+  }
+  return true;
+}
+
+void save_cache(const PipelineResults& results) {
+  std::ofstream out(cache_path());
+  out << "spcd-cache v" << kCacheVersion << " reps=" << results.repetitions
+      << " scale=" << results.scale << "\n";
+  char buf[512];
+  for (const auto& [bench, by_policy] : results.results) {
+    for (const auto& [policy, runs] : by_policy) {
+      std::uint32_t rep = 0;
+      for (const auto& m : runs) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s %s %u %.9e %" PRIu64 " %.9e %.9e %" PRIu64
+                      " %" PRIu64 " %" PRIu64 " %.9e %.9e %.9e %.9e %.9e "
+                      "%.9e %u %" PRIu64 " %" PRIu64 "\n",
+                      bench.c_str(), core::to_string(policy), rep++,
+                      m.exec_seconds, m.instructions, m.l2_mpki, m.l3_mpki,
+                      m.c2c_transactions, m.invalidations, m.dram_accesses,
+                      m.package_joules, m.dram_joules, m.package_epi_nj,
+                      m.dram_epi_nj, m.detection_overhead,
+                      m.mapping_overhead, m.migration_events,
+                      m.minor_faults, m.injected_faults);
+        out << buf;
+      }
+    }
+  }
+}
+
+PipelineResults compute() {
+  PipelineResults out;
+  out.repetitions = configured_reps();
+  out.scale = configured_scale();
+
+  core::RunnerConfig config;
+  config.repetitions = out.repetitions;
+  core::Runner runner(config);
+
+  for (const auto& info : workloads::nas_benchmarks()) {
+    const auto factory = workloads::nas_factory(info.name, out.scale);
+    for (const auto policy : kPolicies) {
+      std::fprintf(stderr, "[pipeline] %s / %-6s (%u reps)...\n",
+                   info.name.c_str(), core::to_string(policy),
+                   out.repetitions);
+      out.results[info.name][policy] =
+          runner.run_policy(info.name, factory, policy);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<core::RunMetrics>& PipelineResults::runs(
+    const std::string& bench, core::MappingPolicy policy) const {
+  return results.at(bench).at(policy);
+}
+
+std::uint32_t configured_reps() {
+  return static_cast<std::uint32_t>(util::env_u64("SPCD_REPS", 10));
+}
+
+double configured_scale() { return util::env_double("SPCD_SCALE", 1.0); }
+
+const PipelineResults& pipeline_results() {
+  static const PipelineResults results = [] {
+    PipelineResults r;
+    r.repetitions = configured_reps();
+    r.scale = configured_scale();
+    if (load_cache(r)) {
+      std::fprintf(stderr, "[pipeline] loaded cached results from %s\n",
+                   cache_path().c_str());
+      return r;
+    }
+    r = compute();
+    save_cache(r);
+    std::fprintf(stderr, "[pipeline] results cached to %s\n",
+                 cache_path().c_str());
+    return r;
+  }();
+  return results;
+}
+
+void print_normalized_figure(const std::string& title,
+                             const std::string& metric_name,
+                             double (*metric)(const core::RunMetrics&)) {
+  const PipelineResults& pr = pipeline_results();
+
+  std::printf("%s\n", title.c_str());
+  std::printf("(%s, mean of %u runs, normalized to the OS mapping; "
+              "± is the 95%% confidence half-width)\n\n",
+              metric_name.c_str(), pr.repetitions);
+
+  util::TextTable table;
+  table.header({"bench", "os", "random", "", "oracle", "", "spcd", "",
+                "spcd vs os"});
+  for (const auto& info : workloads::nas_benchmarks()) {
+    const double os_mean = core::aggregate(
+        pr.runs(info.name, core::MappingPolicy::kOs), metric).mean;
+    std::vector<std::string> row{info.name, "1.000"};
+    double spcd_ratio = 1.0;
+    for (const auto policy :
+         {core::MappingPolicy::kRandom, core::MappingPolicy::kOracle,
+          core::MappingPolicy::kSpcd}) {
+      const auto ci = core::aggregate(pr.runs(info.name, policy), metric);
+      const double ratio = os_mean > 0.0 ? ci.mean / os_mean : 0.0;
+      const double ci_ratio = os_mean > 0.0 ? ci.ci95 / os_mean : 0.0;
+      row.push_back(util::fmt_double(ratio, 3));
+      row.push_back("±" + util::fmt_double(ci_ratio, 3));
+      if (policy == core::MappingPolicy::kSpcd) spcd_ratio = ratio;
+    }
+    row.push_back(util::fmt_percent_delta(spcd_ratio));
+    table.row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Also export machine-readable data next to the cache (figNN.csv).
+  std::string csv_name = "fig.csv";
+  if (title.size() >= 9 && title.rfind("Figure ", 0) == 0) {
+    csv_name = "fig" + title.substr(7, title.find(':') - 7) + ".csv";
+  }
+  std::ofstream csv(csv_name);
+  if (csv) {
+    csv << table.to_csv();
+    std::printf("\n(csv written to %s)\n", csv_name.c_str());
+  }
+}
+
+}  // namespace spcd::bench

@@ -1,0 +1,49 @@
+// Shared experiment pipeline for the figure/table harnesses. Figures 8-15
+// and Table II all report slices of the same experiment (10 NAS benchmarks
+// x 4 mappings x N repetitions), so the pipeline runs it once and caches
+// the per-run metrics in a text file next to the binaries; every bench
+// binary then renders its own figure from the cache.
+//
+// Environment knobs:
+//   SPCD_REPS   repetitions per configuration (default 10, like the paper)
+//   SPCD_SCALE  workload length multiplier    (default 1.0)
+//   SPCD_CACHE  cache file path (default ./spcd_results.cache)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace spcd::bench {
+
+struct PipelineResults {
+  /// results[benchmark][policy] = per-repetition metrics.
+  std::map<std::string, std::map<core::MappingPolicy,
+                                 std::vector<core::RunMetrics>>>
+      results;
+  std::uint32_t repetitions = 0;
+  double scale = 1.0;
+
+  const std::vector<core::RunMetrics>& runs(const std::string& bench,
+                                            core::MappingPolicy policy) const;
+};
+
+/// Number of repetitions from SPCD_REPS (default 10).
+std::uint32_t configured_reps();
+/// Workload scale from SPCD_SCALE (default 1.0).
+double configured_scale();
+
+/// Load the pipeline results from cache, or compute and cache them.
+/// Prints progress to stderr while computing.
+const PipelineResults& pipeline_results();
+
+/// Render one normalized figure (paper Figures 8-15): for each benchmark a
+/// row with OS (=1.00), random, oracle and SPCD values of `metric`,
+/// mean ± 95% CI over the repetitions, normalized to the OS mean.
+void print_normalized_figure(
+    const std::string& title, const std::string& metric_name,
+    double (*metric)(const core::RunMetrics&));
+
+}  // namespace spcd::bench

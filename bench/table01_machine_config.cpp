@@ -1,0 +1,59 @@
+// Table I: configuration of the (simulated) machine and of the SPCD
+// mechanism, in the paper's layout.
+#include <cstdio>
+
+#include "arch/machine_spec.hpp"
+#include "core/spcd_config.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace spcd;
+  const auto m = arch::dual_xeon_e5_2650();
+  const core::SpcdConfig spcd;
+
+  std::printf("Table I: Configuration of the simulated machine and SPCD\n\n");
+
+  util::TextTable t;
+  t.header({"", "Parameter", "Value"});
+  t.row({"Processors", "Processor model", m.name + ", " +
+             util::fmt_double(m.freq_hz / 1e9, 1) + " GHz"});
+  t.row({"", "Number of cores per processor",
+         std::to_string(m.topology.cores_per_socket) + ", " +
+             std::to_string(m.topology.smt_per_core) + "-way SMT"});
+  t.row({"", "Total number of threads",
+         std::to_string(m.topology.sockets * m.topology.cores_per_socket *
+                        m.topology.smt_per_core)});
+  t.row({"", "L1 cache size per core",
+         std::to_string(m.l1.size_bytes / util::kKiB) + " KByte data"});
+  t.row({"", "L2 cache size per core",
+         std::to_string(m.l2.size_bytes / util::kKiB) + " KByte"});
+  t.row({"", "L3 cache size per processor",
+         std::to_string(m.l3.size_bytes / util::kMiB) + " MByte"});
+  t.separator();
+  t.row({"Memory", "NUMA nodes", std::to_string(m.topology.sockets)});
+  t.row({"", "Page size", std::to_string(m.page_bytes / util::kKiB) +
+             " KByte"});
+  t.row({"", "Local / remote DRAM latency",
+         std::to_string(m.latency.dram_local) + " / " +
+             std::to_string(m.latency.dram_remote) + " cycles"});
+  t.separator();
+  t.row({"SPCD", "Granularity",
+         std::to_string((1ULL << spcd.table.granularity_shift) / util::kKiB) +
+             " KByte"});
+  t.row({"", "Additional page faults (target ratio)",
+         util::fmt_double(spcd.extra_fault_ratio * 100.0, 0) + "%"});
+  t.row({"", "Hash table size",
+         util::fmt_thousands(spcd.table.num_entries) + " elements"});
+  t.row({"", "Hash table memory",
+         util::fmt_double(
+             static_cast<double>(mem::SharingTable(spcd.table).memory_bytes()) /
+                 static_cast<double>(util::kMiB),
+             1) + " MByte"});
+  t.row({"", "Injector period",
+         util::fmt_double(static_cast<double>(spcd.injector_period) /
+                              m.freq_hz * 1e3, 2) + " ms (time-scaled)"});
+  t.row({"", "Filter threshold", std::to_string(spcd.filter_threshold)});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

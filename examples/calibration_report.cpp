@@ -1,0 +1,83 @@
+// Calibration report: run every NAS-like benchmark once under the OS
+// mapping and once under SPCD, and print the metrics next to the paper's
+// Table II values. Used to sanity-check that the synthetic kernels land in
+// the right regime (MPKI magnitudes, overhead percentages, injected-fault
+// ratio) before running the full figure harnesses.
+//
+// Usage: calibration_report [benchmark ...]   (default: all ten)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "util/table.hpp"
+#include "workloads/npb.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double l2_mpki;  // Table II (SPCD column)
+  double l3_mpki;
+  double time_delta_pct;  // SPCD vs OS
+};
+
+constexpr PaperRow kPaper[] = {
+    {"bt", 2.44, 0.20, -8.8}, {"cg", 16.27, 0.24, -7.8},
+    {"dc", 17.39, 9.46, -3.6}, {"ep", 0.16, 0.02, +4.6},
+    {"ft", 16.82, 0.93, +2.4}, {"is", 4.86, 2.36, +2.6},
+    {"lu", 3.60, 0.52, -8.1},  {"mg", 9.48, 2.13, +0.3},
+    {"sp", 9.42, 0.58, -16.7}, {"ua", 4.03, 0.28, -8.2},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spcd;
+
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) {
+    for (const auto& row : kPaper) names.emplace_back(row.name);
+  }
+
+  core::RunnerConfig config;
+  config.repetitions = 1;
+  core::Runner runner(config);
+
+  util::TextTable table;
+  table.header({"bench", "os[ms]", "oracle", "spcd", "d-spcd", "(paper)",
+                "d-orac", "L2 MPKI", "(paper)", "L3 MPKI", "(paper)",
+                "inj%", "det%", "map%", "mig"});
+
+  for (const auto& name : names) {
+    const auto factory = workloads::nas_factory(name);
+    const auto os = runner.run_once(name, factory, core::MappingPolicy::kOs, 0);
+    const auto orc =
+        runner.run_once(name, factory, core::MappingPolicy::kOracle, 0);
+    const auto sp =
+        runner.run_once(name, factory, core::MappingPolicy::kSpcd, 0);
+
+    const PaperRow* paper = nullptr;
+    for (const auto& row : kPaper) {
+      if (name == row.name) paper = &row;
+    }
+
+    table.row({name, util::fmt_double(os.exec_seconds * 1e3, 2),
+               util::fmt_double(orc.exec_seconds * 1e3, 2),
+               util::fmt_double(sp.exec_seconds * 1e3, 2),
+               util::fmt_percent_delta(sp.exec_seconds / os.exec_seconds),
+               paper ? util::fmt_double(paper->time_delta_pct, 1) + "%" : "?",
+               util::fmt_percent_delta(orc.exec_seconds / os.exec_seconds),
+               util::fmt_double(sp.l2_mpki, 2),
+               paper ? util::fmt_double(paper->l2_mpki, 2) : "?",
+               util::fmt_double(sp.l3_mpki, 2),
+               paper ? util::fmt_double(paper->l3_mpki, 2) : "?",
+               util::fmt_double(sp.injected_fault_ratio() * 100.0, 1),
+               util::fmt_double(sp.detection_overhead * 100.0, 2),
+               util::fmt_double(sp.mapping_overhead * 100.0, 2),
+               std::to_string(sp.migration_events)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

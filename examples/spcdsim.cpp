@@ -1,0 +1,190 @@
+// spcdsim — command-line driver for the simulator: run any benchmark under
+// any mapping with tweakable SPCD parameters, and print the full metric
+// set. The "do one thing from the shell" entry point for exploring the
+// system without writing code.
+//
+// Usage:
+//   spcdsim [options]
+//     --bench <bt|cg|dc|ep|ft|is|lu|mg|sp|ua|prodcons>   (default sp)
+//     --policy <os|random|oracle|spcd>                   (default spcd)
+//     --reps <n>            repetitions                  (default 3)
+//     --scale <f>           workload length multiplier   (default 1.0)
+//     --granularity <log2>  detection granularity shift  (default 12)
+//     --fault-ratio <f>     extra-fault target ratio     (default 0.10)
+//     --window <cycles>     temporal window, 0 = off     (default 0)
+//     --no-migration        detect only, never migrate
+//     --data-mapping        enable SPCD page migration
+//     --matrix              print the detected matrix (spcd only)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/runner.hpp"
+#include "util/heatmap.hpp"
+#include "util/table.hpp"
+#include "workloads/npb.hpp"
+
+namespace {
+
+const char* kUsage =
+    "usage: spcdsim [--bench NAME] [--policy os|random|oracle|spcd]\n"
+    "               [--reps N] [--scale F] [--granularity SHIFT]\n"
+    "               [--fault-ratio F] [--window CYCLES]\n"
+    "               [--no-migration] [--data-mapping] [--matrix]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spcd;
+
+  std::string bench = "sp";
+  std::string policy_name = "spcd";
+  std::uint32_t reps = 3;
+  double scale = 1.0;
+  bool show_matrix = false;
+  core::RunnerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", arg.c_str(),
+                     kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bench") {
+      bench = value();
+    } else if (arg == "--policy") {
+      policy_name = value();
+    } else if (arg == "--reps") {
+      reps = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--scale") {
+      scale = std::atof(value());
+    } else if (arg == "--granularity") {
+      config.spcd.table.granularity_shift =
+          static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--fault-ratio") {
+      config.spcd.extra_fault_ratio = std::atof(value());
+    } else if (arg == "--window") {
+      config.spcd.table.time_window =
+          static_cast<util::Cycles>(std::atoll(value()));
+    } else if (arg == "--no-migration") {
+      config.spcd.enable_migration = false;
+    } else if (arg == "--data-mapping") {
+      config.spcd.enable_data_mapping = true;
+    } else if (arg == "--matrix") {
+      show_matrix = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+
+  core::MappingPolicy policy;
+  if (policy_name == "os") {
+    policy = core::MappingPolicy::kOs;
+  } else if (policy_name == "random") {
+    policy = core::MappingPolicy::kRandom;
+  } else if (policy_name == "oracle") {
+    policy = core::MappingPolicy::kOracle;
+  } else if (policy_name == "spcd") {
+    policy = core::MappingPolicy::kSpcd;
+  } else {
+    std::fprintf(stderr, "unknown policy %s\n%s", policy_name.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  core::WorkloadFactory factory;
+  if (bench == "prodcons") {
+    factory = [scale](std::uint64_t seed) {
+      return workloads::make_prodcons(seed, scale);
+    };
+  } else {
+    try {
+      (void)workloads::make_nas(bench, 0, scale);  // validate the name
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
+      return 2;
+    }
+    factory = workloads::nas_factory(bench, scale);
+  }
+
+  config.repetitions = reps;
+  core::Runner runner(config);
+
+  std::printf("spcdsim: %s under %s, %u repetition(s), scale %.2f\n\n",
+              bench.c_str(), policy_name.c_str(), reps, scale);
+  const auto runs = runner.run_policy(bench, factory, policy);
+
+  util::TextTable t;
+  t.header({"metric", "mean", "±95% CI"});
+  struct Row {
+    const char* label;
+    double (*metric)(const core::RunMetrics&);
+    int precision;
+  };
+  const Row rows[] = {
+      {"execution time [ms]",
+       [](const core::RunMetrics& m) { return m.exec_seconds * 1e3; }, 3},
+      {"instructions [M]",
+       [](const core::RunMetrics& m) {
+         return static_cast<double>(m.instructions) / 1e6;
+       },
+       1},
+      {"L2 MPKI", [](const core::RunMetrics& m) { return m.l2_mpki; }, 2},
+      {"L3 MPKI", [](const core::RunMetrics& m) { return m.l3_mpki; }, 2},
+      {"cache-to-cache [k]",
+       [](const core::RunMetrics& m) {
+         return static_cast<double>(m.c2c_transactions) / 1e3;
+       },
+       1},
+      {"DRAM accesses [k]",
+       [](const core::RunMetrics& m) {
+         return static_cast<double>(m.dram_accesses) / 1e3;
+       },
+       1},
+      {"package energy [mJ]",
+       [](const core::RunMetrics& m) { return m.package_joules * 1e3; }, 2},
+      {"DRAM energy [mJ]",
+       [](const core::RunMetrics& m) { return m.dram_joules * 1e3; }, 3},
+      {"package EPI [nJ]",
+       [](const core::RunMetrics& m) { return m.package_epi_nj; }, 2},
+      {"DRAM EPI [nJ]",
+       [](const core::RunMetrics& m) { return m.dram_epi_nj; }, 3},
+      {"detection overhead [%]",
+       [](const core::RunMetrics& m) { return m.detection_overhead * 100; },
+       3},
+      {"mapping overhead [%]",
+       [](const core::RunMetrics& m) { return m.mapping_overhead * 100; }, 3},
+      {"migration events",
+       [](const core::RunMetrics& m) {
+         return static_cast<double>(m.migration_events);
+       },
+       1},
+      {"injected faults [%]",
+       [](const core::RunMetrics& m) {
+         return m.injected_fault_ratio() * 100;
+       },
+       1},
+  };
+  for (const auto& r : rows) {
+    const auto ci = core::aggregate(runs, r.metric);
+    t.row({r.label, util::fmt_double(ci.mean, r.precision),
+           util::fmt_double(ci.ci95, r.precision)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  if (show_matrix && policy == core::MappingPolicy::kSpcd) {
+    if (const core::CommMatrix* m = runner.last_spcd_matrix()) {
+      std::printf("\nDetected communication matrix (last run):\n%s",
+                  util::render_heatmap(m->as_double(), m->size()).c_str());
+    }
+  }
+  return 0;
+}

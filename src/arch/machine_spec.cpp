@@ -1,0 +1,46 @@
+#include "arch/machine_spec.hpp"
+
+namespace spcd::arch {
+
+MachineSpec dual_xeon_e5_2650() {
+  MachineSpec m;
+  m.name = "2x Intel Xeon E5-2650";
+  m.topology = TopologySpec{.sockets = 2, .cores_per_socket = 8,
+                            .smt_per_core = 2};
+  m.freq_hz = 2.0e9;
+  m.l1 = CacheGeometry{.size_bytes = 32 * util::kKiB, .associativity = 8,
+                       .line_bytes = 64};
+  m.l2 = CacheGeometry{.size_bytes = 256 * util::kKiB, .associativity = 8,
+                       .line_bytes = 64};
+  m.l3 = CacheGeometry{.size_bytes = 20 * util::kMiB, .associativity = 20,
+                       .line_bytes = 64};
+  m.page_bytes = 4 * util::kKiB;
+  return m;
+}
+
+MachineSpec tiny_test_machine() {
+  MachineSpec m;
+  m.name = "tiny-test";
+  m.topology = TopologySpec{.sockets = 2, .cores_per_socket = 2,
+                            .smt_per_core = 2};
+  m.freq_hz = 1.0e9;
+  m.l1 = CacheGeometry{.size_bytes = 1 * util::kKiB, .associativity = 2,
+                       .line_bytes = 64};
+  m.l2 = CacheGeometry{.size_bytes = 4 * util::kKiB, .associativity = 4,
+                       .line_bytes = 64};
+  m.l3 = CacheGeometry{.size_bytes = 16 * util::kKiB, .associativity = 4,
+                       .line_bytes = 64};
+  m.tlb = TlbSpec{.entries = 8, .associativity = 2};
+  m.page_bytes = 4 * util::kKiB;
+  return m;
+}
+
+MachineSpec single_socket_machine() {
+  MachineSpec m = tiny_test_machine();
+  m.name = "single-socket";
+  m.topology = TopologySpec{.sockets = 1, .cores_per_socket = 4,
+                            .smt_per_core = 1};
+  return m;
+}
+
+}  // namespace spcd::arch

@@ -1,0 +1,120 @@
+// Complete parameter set of a simulated machine: topology, cache geometry,
+// access latencies, TLB, paging, and energy constants. The default factory
+// models the paper's evaluation platform (2x Intel Xeon E5-2650, Table I);
+// smaller factories exist for unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/topology.hpp"
+#include "util/units.hpp"
+
+namespace spcd::arch {
+
+/// Geometry of one cache level. All sizes in bytes; power-of-two assumed.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * util::kKiB;
+  std::uint32_t associativity = 8;
+  std::uint32_t line_bytes = 64;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / associativity; }
+};
+
+/// Access latencies in core cycles. Values are representative of a 2 GHz
+/// SandyBridge-EP part; the evaluation only relies on their ordering
+/// (L1 < L2 < L3 < c2c-local < dram-local < c2c-remote ~ dram-remote).
+struct LatencySpec {
+  std::uint32_t l1_hit = 4;
+  std::uint32_t l2_hit = 12;
+  std::uint32_t l3_hit = 35;
+  /// Cache-to-cache transfer from another core on the same socket.
+  std::uint32_t c2c_same_socket = 45;
+  /// Cache-to-cache transfer across the off-chip interconnect.
+  std::uint32_t c2c_cross_socket = 230;
+  std::uint32_t dram_local = 200;
+  std::uint32_t dram_remote = 320;
+  /// Page-table walk on a TLB miss (page-walk caches assumed warm).
+  std::uint32_t tlb_walk = 30;
+  /// Kernel entry/exit plus fault handling for a regular minor fault.
+  std::uint32_t minor_fault = 2600;
+  /// An SPCD-injected fault resolves by restoring the present bit and
+  /// returning straight to the application (paper SIII-A), so it is cheaper.
+  std::uint32_t injected_fault = 1000;
+  /// Direct cost charged to a thread when it is migrated to a different
+  /// context (scheduler bookkeeping + context switch; the dominant cost of
+  /// migration — refilling the caches — emerges from the cache model).
+  std::uint32_t migration = 15000;
+
+  // --- bandwidth / contention model ---
+  // Each off-chip resource is a serial server: a transfer occupies the
+  // inter-socket link (or the home node's memory channels) for `occupancy`
+  // cycles, and requests queue behind each other. This is what makes a
+  // communication-oblivious mapping *expensive*: cross-socket traffic
+  // saturates the link and every transfer pays the queueing delay — the
+  // effect the paper exploits ("reduce inter-chip traffic and use
+  // intra-chip interconnects instead, which have a higher bandwidth").
+  /// Inter-socket link occupancy per 64-byte transfer, in cycles.
+  std::uint32_t qpi_occupancy = 32;
+  /// Memory-channel occupancy per DRAM access (per NUMA node), in cycles.
+  std::uint32_t dram_occupancy = 15;
+};
+
+/// Per-context TLB geometry (single level, set-associative, LRU).
+struct TlbSpec {
+  std::uint32_t entries = 64;
+  std::uint32_t associativity = 4;
+};
+
+/// Energy constants. Package energy = static power x time + dynamic
+/// per-event energies; DRAM energy = background power x time + per-access
+/// energy. Magnitudes chosen so energy-per-instruction lands in the paper's
+/// 2-9 nJ range for the simulated workloads.
+struct EnergySpec {
+  double pkg_static_watts_per_socket = 2.2;
+  double core_nj_per_cycle = 0.045;  ///< dynamic energy while executing
+  double l1_access_nj = 0.05;
+  double l2_access_nj = 0.15;
+  double l3_access_nj = 0.6;
+  double onchip_transfer_nj = 1.2;   ///< c2c within a socket
+  double offchip_transfer_nj = 6.0;  ///< QPI crossing (c2c or remote DRAM)
+  double dram_background_watts_per_node = 0.15;
+  double dram_access_nj = 12.0;
+};
+
+/// Full machine description.
+struct MachineSpec {
+  std::string name = "machine";
+  TopologySpec topology;
+  double freq_hz = 2.0e9;
+
+  CacheGeometry l1;  ///< per core, shared by SMT siblings
+  CacheGeometry l2;  ///< per core
+  CacheGeometry l3;  ///< per socket, shared by all its cores
+
+  TlbSpec tlb;
+  LatencySpec latency;
+  EnergySpec energy;
+
+  std::uint64_t page_bytes = 4 * util::kKiB;
+  /// Throughput penalty multiplier on compute cycles when both SMT contexts
+  /// of a core are occupied.
+  double smt_penalty = 1.25;
+
+  std::uint64_t line_bytes() const { return l1.line_bytes; }
+};
+
+/// The paper's evaluation machine (Table I): 2x Xeon E5-2650, 8 cores each,
+/// 2-way SMT, 32 KiB L1d + 256 KiB L2 per core, 20 MiB L3 per socket,
+/// 4 KiB pages, 2.0 GHz.
+MachineSpec dual_xeon_e5_2650();
+
+/// A small 2-socket x 2-core x 2-SMT machine with tiny caches, for tests
+/// that need cache pressure without big footprints.
+MachineSpec tiny_test_machine();
+
+/// Single-socket machine without SMT, for degenerate-case tests.
+MachineSpec single_socket_machine();
+
+}  // namespace spcd::arch

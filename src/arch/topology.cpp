@@ -1,0 +1,73 @@
+#include "arch/topology.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace spcd::arch {
+
+Topology::Topology(const TopologySpec& spec) : spec_(spec) {
+  SPCD_EXPECTS(spec.sockets >= 1);
+  SPCD_EXPECTS(spec.cores_per_socket >= 1);
+  SPCD_EXPECTS(spec.smt_per_core >= 1);
+}
+
+SocketId Topology::socket_of(ContextId ctx) const {
+  SPCD_EXPECTS(ctx < num_contexts());
+  return ctx / (spec_.cores_per_socket * spec_.smt_per_core);
+}
+
+CoreId Topology::core_of(ContextId ctx) const {
+  SPCD_EXPECTS(ctx < num_contexts());
+  return ctx / spec_.smt_per_core;
+}
+
+std::uint32_t Topology::smt_slot_of(ContextId ctx) const {
+  SPCD_EXPECTS(ctx < num_contexts());
+  return ctx % spec_.smt_per_core;
+}
+
+SocketId Topology::socket_of_core(CoreId core) const {
+  SPCD_EXPECTS(core < num_cores());
+  return core / spec_.cores_per_socket;
+}
+
+std::vector<ContextId> Topology::contexts_of_core(CoreId core) const {
+  SPCD_EXPECTS(core < num_cores());
+  std::vector<ContextId> out;
+  out.reserve(spec_.smt_per_core);
+  for (std::uint32_t s = 0; s < spec_.smt_per_core; ++s) {
+    out.push_back(core * spec_.smt_per_core + s);
+  }
+  return out;
+}
+
+std::vector<CoreId> Topology::cores_of_socket(SocketId socket) const {
+  SPCD_EXPECTS(socket < num_sockets());
+  std::vector<CoreId> out;
+  out.reserve(spec_.cores_per_socket);
+  for (std::uint32_t c = 0; c < spec_.cores_per_socket; ++c) {
+    out.push_back(socket * spec_.cores_per_socket + c);
+  }
+  return out;
+}
+
+Proximity Topology::proximity(ContextId a, ContextId b) const {
+  if (a == b) return Proximity::kSameContext;
+  if (core_of(a) == core_of(b)) return Proximity::kSameCore;
+  if (socket_of(a) == socket_of(b)) return Proximity::kSameSocket;
+  return Proximity::kCrossSocket;
+}
+
+std::vector<std::uint32_t> Topology::arity_path() const {
+  return {spec_.smt_per_core, spec_.cores_per_socket, spec_.sockets};
+}
+
+std::string Topology::describe(ContextId ctx) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ctx %u (socket %u, core %u, smt %u)", ctx,
+                socket_of(ctx), core_of(ctx), smt_slot_of(ctx));
+  return buf;
+}
+
+}  // namespace spcd::arch

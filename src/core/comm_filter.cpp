@@ -1,0 +1,50 @@
+#include "core/comm_filter.hpp"
+
+#include "util/contracts.hpp"
+
+namespace spcd::core {
+
+CommFilter::CommFilter(std::uint32_t num_threads, std::uint32_t threshold,
+                       double margin)
+    : threshold_(threshold),
+      margin_(margin),
+      partners_(num_threads, -1),
+      changed_since_remap_(num_threads, false) {
+  SPCD_EXPECTS(num_threads >= 1);
+  SPCD_EXPECTS(margin >= 1.0);
+}
+
+bool CommFilter::should_remap(const CommMatrix& matrix) {
+  SPCD_EXPECTS(matrix.size() == partners_.size());
+  ++evaluations_;
+
+  for (std::uint32_t t = 0; t < partners_.size(); ++t) {
+    const std::int32_t current = matrix.partner_of(t);
+    // A thread that has not communicated yet keeps its old partner; the
+    // filter only reacts to threads that actively switched partners, and
+    // only when the new partner clearly dominates the stored one.
+    if (current == -1 || current == partners_[t]) continue;
+    const bool dominates =
+        partners_[t] == -1 ||
+        static_cast<double>(
+            matrix.at(t, static_cast<std::uint32_t>(current))) >
+            margin_ * static_cast<double>(matrix.at(
+                          t, static_cast<std::uint32_t>(partners_[t])));
+    if (dominates) {
+      partners_[t] = current;
+      changed_since_remap_[t] = true;
+    }
+  }
+  std::uint32_t changes = 0;
+  for (std::uint32_t t = 0; t < partners_.size(); ++t) {
+    if (changed_since_remap_[t]) ++changes;
+  }
+  last_changes_ = changes;
+
+  if (changes < threshold_) return false;
+  std::fill(changed_since_remap_.begin(), changed_since_remap_.end(), false);
+  ++triggers_;
+  return true;
+}
+
+}  // namespace spcd::core

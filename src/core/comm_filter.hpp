@@ -1,0 +1,46 @@
+// The communication filter (paper Section IV-A): decide whether the
+// communication matrix changed enough to justify re-running the (more
+// expensive) mapping algorithm. Each thread has one *partner* — the thread
+// it communicates most with; if at least `threshold` threads changed
+// partner since the last evaluation, the pattern is considered new.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+
+namespace spcd::core {
+
+class CommFilter {
+ public:
+  /// `margin`: hysteresis factor — a thread only counts as having changed
+  /// partner when the new partner's communication exceeds the stored
+  /// partner's by this factor. Without it, the two near-equal neighbours of
+  /// a banded pattern (t-1 vs t+1) flip the argmax on every few samples and
+  /// the filter re-triggers indefinitely.
+  CommFilter(std::uint32_t num_threads, std::uint32_t threshold,
+             double margin = 1.5);
+
+  /// Evaluate the matrix. Partner changes accumulate across evaluations;
+  /// once at least `threshold` distinct threads have changed partner since
+  /// the last remap, the mapping algorithm should run and the accumulator
+  /// resets.
+  bool should_remap(const CommMatrix& matrix);
+
+  /// Partner changes seen at the last evaluation.
+  std::uint32_t last_changes() const { return last_changes_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::uint64_t triggers() const { return triggers_; }
+
+ private:
+  std::uint32_t threshold_;
+  double margin_;
+  std::vector<std::int32_t> partners_;
+  std::vector<bool> changed_since_remap_;
+  std::uint32_t last_changes_ = 0;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace spcd::core

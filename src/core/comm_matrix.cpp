@@ -1,0 +1,94 @@
+#include "core/comm_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace spcd::core {
+
+CommMatrix::CommMatrix(std::uint32_t num_threads) : n_(num_threads) {
+  SPCD_EXPECTS(num_threads >= 1);
+  cells_.assign(static_cast<std::size_t>(n_) * n_, 0);
+}
+
+void CommMatrix::add(std::uint32_t a, std::uint32_t b, std::uint64_t amount) {
+  SPCD_EXPECTS(a < n_ && b < n_);
+  SPCD_EXPECTS(a != b);
+  cells_[idx(a, b)] += amount;
+  cells_[idx(b, a)] += amount;
+}
+
+std::uint64_t CommMatrix::at(std::uint32_t a, std::uint32_t b) const {
+  SPCD_EXPECTS(a < n_ && b < n_);
+  return cells_[idx(a, b)];
+}
+
+std::uint64_t CommMatrix::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint32_t a = 0; a < n_; ++a) {
+    for (std::uint32_t b = a + 1; b < n_; ++b) sum += cells_[idx(a, b)];
+  }
+  return sum;
+}
+
+void CommMatrix::clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+std::int32_t CommMatrix::partner_of(std::uint32_t t) const {
+  SPCD_EXPECTS(t < n_);
+  std::int32_t best = -1;
+  std::uint64_t best_amount = 0;
+  for (std::uint32_t other = 0; other < n_; ++other) {
+    if (other == t) continue;
+    const std::uint64_t amount = cells_[idx(t, other)];
+    if (amount > best_amount) {
+      best_amount = amount;
+      best = static_cast<std::int32_t>(other);
+    }
+  }
+  return best;
+}
+
+CommMatrix CommMatrix::diff(const CommMatrix& earlier) const {
+  SPCD_EXPECTS(earlier.n_ == n_);
+  CommMatrix out(n_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i] = cells_[i] >= earlier.cells_[i]
+                        ? cells_[i] - earlier.cells_[i]
+                        : 0;
+  }
+  return out;
+}
+
+std::vector<double> CommMatrix::as_double() const {
+  std::vector<double> out(cells_.size());
+  std::transform(cells_.begin(), cells_.end(), out.begin(),
+                 [](std::uint64_t v) { return static_cast<double>(v); });
+  return out;
+}
+
+double CommMatrix::correlation(const CommMatrix& other) const {
+  SPCD_EXPECTS(other.n_ == n_);
+  std::vector<double> a, b;
+  a.reserve(static_cast<std::size_t>(n_) * (n_ - 1) / 2);
+  b.reserve(a.capacity());
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    for (std::uint32_t j = i + 1; j < n_; ++j) {
+      a.push_back(static_cast<double>(cells_[idx(i, j)]));
+      b.push_back(static_cast<double>(other.cells_[idx(i, j)]));
+    }
+  }
+  return util::pearson(a, b);
+}
+
+std::uint64_t CommMatrix::group_weight(
+    std::span<const std::uint32_t> group_a,
+    std::span<const std::uint32_t> group_b) const {
+  std::uint64_t sum = 0;
+  for (const std::uint32_t a : group_a) {
+    for (const std::uint32_t b : group_b) sum += cells_[idx(a, b)];
+  }
+  return sum;
+}
+
+}  // namespace spcd::core

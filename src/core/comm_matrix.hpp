@@ -1,0 +1,61 @@
+// The communication matrix (paper Section II-B): cell (i, j) holds the
+// amount of communication detected between threads i and j. Symmetric by
+// construction; the diagonal is always zero.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spcd::core {
+
+class CommMatrix {
+ public:
+  explicit CommMatrix(std::uint32_t num_threads);
+
+  std::uint32_t size() const { return n_; }
+
+  /// Record `amount` units of communication between two distinct threads.
+  void add(std::uint32_t a, std::uint32_t b, std::uint64_t amount = 1);
+
+  std::uint64_t at(std::uint32_t a, std::uint32_t b) const;
+
+  /// Sum over the upper triangle (each pair counted once).
+  std::uint64_t total() const;
+
+  void clear();
+
+  /// The thread each thread communicates most with (its *partner* in the
+  /// paper's filter terminology), or -1 if the row is all zero. Ties go to
+  /// the lowest thread id.
+  std::int32_t partner_of(std::uint32_t t) const;
+
+  /// Element-wise saturating difference (this - earlier): the communication
+  /// that happened after `earlier` was snapshotted.
+  CommMatrix diff(const CommMatrix& earlier) const;
+
+  /// Row-major copy as doubles (for heatmaps / statistics).
+  std::vector<double> as_double() const;
+
+  /// Pearson correlation of the upper triangles of two matrices — the
+  /// accuracy metric used to compare a detected pattern against the oracle.
+  double correlation(const CommMatrix& other) const;
+
+  /// Eq. (1) of the paper generalized to groups: total communication
+  /// between two disjoint thread groups.
+  std::uint64_t group_weight(std::span<const std::uint32_t> group_a,
+                             std::span<const std::uint32_t> group_b) const;
+
+  /// Raw row-major storage (n x n), for tests and rendering.
+  std::span<const std::uint64_t> data() const { return cells_; }
+
+ private:
+  std::size_t idx(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::size_t>(a) * n_ + b;
+  }
+
+  std::uint32_t n_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace spcd::core

@@ -1,0 +1,50 @@
+#include "core/data_mapper.hpp"
+
+#include "mem/frame_allocator.hpp"
+#include "mem/page_table.hpp"
+#include "util/contracts.hpp"
+
+namespace spcd::core {
+
+DataMapper::DataMapper(const DataMapperConfig& config) : config_(config) {}
+
+util::Cycles DataMapper::on_fault(const mem::FaultEvent& event) {
+  if (engine_ == nullptr) return 0;
+  mem::AddressSpace& as = engine_->address_space();
+
+  const mem::Pte* entry = as.page_table().walk(event.vpn);
+  if (entry == nullptr) return 0;
+  const std::uint32_t home =
+      mem::FrameAllocator::node_of(mem::pte::frame_of(*entry));
+  const std::uint32_t accessor_node =
+      engine_->machine().topology().socket_of(event.ctx);
+
+  Affinity& aff = affinity_[event.vpn];
+  if (accessor_node == home) {
+    aff.streak = 0;
+    return 0;
+  }
+  if (aff.node != accessor_node) {
+    aff.node = accessor_node;
+    aff.streak = 1;
+    return 0;
+  }
+  if (++aff.streak < config_.streak_threshold ||
+      pages_migrated_ >= config_.max_migrations) {
+    return 0;
+  }
+
+  // Move the page: new frame on the accessor's node, remap, shoot down
+  // stale translations. The caches keep lines of the old frame; they fade
+  // out naturally, and the refill cost of the new frame is the (real)
+  // price of the migration, modelled by the cache hierarchy itself.
+  as.migrate_page(event.vpn, accessor_node);
+  engine_->counters().tlb_shootdowns +=
+      engine_->machine().tlb_shootdown(event.vpn);
+  ++engine_->counters().page_migrations;
+  ++pages_migrated_;
+  aff.streak = 0;
+  return config_.page_copy_cost;
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,55 @@
+// SPCD-based data mapping — the extension the paper names in Section IV:
+// "Although we focus on thread mapping in this paper, the mechanisms can
+// be used to perform data mapping as well."
+//
+// The same fault stream that reveals thread-to-thread communication also
+// reveals thread-to-page affinity: if the faults on a page keep coming
+// from a NUMA node other than the one holding its frame, the page is
+// misplaced (e.g. its owner thread was migrated away, or first-touch put
+// it on the wrong node). The DataMapper observes faults and migrates such
+// pages to the node that is actually using them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address_space.hpp"
+#include "sim/engine.hpp"
+
+namespace spcd::core {
+
+struct DataMapperConfig {
+  /// Consecutive faults from the same remote node before the page moves.
+  std::uint32_t streak_threshold = 2;
+  /// Cycles to copy one page across nodes (charged to the faulting thread).
+  util::Cycles page_copy_cost = 2500;
+  /// Upper bound on page migrations (safety valve).
+  std::uint64_t max_migrations = 1 << 20;
+};
+
+class DataMapper final : public mem::FaultObserver {
+ public:
+  explicit DataMapper(const DataMapperConfig& config);
+
+  /// Attach to an engine: observes the same fault stream as the detector
+  /// and performs TLB shootdowns through the machine. Must be installed
+  /// on the engine's address space by the caller (SpcdKernel does this).
+  void bind(sim::Engine& engine) { engine_ = &engine; }
+
+  util::Cycles on_fault(const mem::FaultEvent& event) override;
+
+  std::uint64_t pages_migrated() const { return pages_migrated_; }
+
+ private:
+  struct Affinity {
+    std::uint32_t node = 0;
+    std::uint32_t streak = 0;
+  };
+
+  DataMapperConfig config_;
+  sim::Engine* engine_ = nullptr;
+  std::unordered_map<std::uint64_t, Affinity> affinity_;  // vpn -> streak
+  std::uint64_t pages_migrated_ = 0;
+};
+
+}  // namespace spcd::core

@@ -1,0 +1,42 @@
+// The additional-page-fault generator (paper Section III-B2): a kernel
+// thread that wakes at a fixed interval, walks the application's page table
+// and clears the present bit of a random sample of resident pages
+// (shooting down the TLB entries), so that subsequent accesses fault and
+// feed the detector. A feedback controller sizes each batch so injected
+// faults stay at the configured ratio of total faults.
+#pragma once
+
+#include "core/spcd_config.hpp"
+#include "mem/address_space.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::core {
+
+class FaultInjector {
+ public:
+  FaultInjector(const SpcdConfig& config, std::uint64_t seed);
+
+  /// Schedule the first wake-up on the engine. The injector reschedules
+  /// itself every `injector_period` until the run ends.
+  void install(sim::Engine& engine);
+
+  std::uint64_t pages_cleared() const { return pages_cleared_; }
+  std::uint32_t wakeups() const { return wakeups_; }
+  std::uint32_t last_batch() const { return last_batch_; }
+
+  /// The batch size the controller would choose right now (exposed for
+  /// unit tests of the feedback law).
+  std::uint32_t planned_batch(const mem::AddressSpace& as) const;
+
+ private:
+  void tick(sim::Engine& engine);
+
+  SpcdConfig config_;
+  util::Xoshiro256 rng_;
+  std::uint64_t pages_cleared_ = 0;
+  std::uint32_t wakeups_ = 0;
+  std::uint32_t last_batch_ = 0;
+};
+
+}  // namespace spcd::core

@@ -1,0 +1,53 @@
+// The thread mapping algorithm of Section IV-B: model the communication
+// matrix as a complete weighted graph, pair threads with Edmonds' maximum
+// weight perfect matching, then repeatedly pair the resulting groups using
+// the heuristic of Eq. (1) (group-to-group weight = sum of member-pairwise
+// communication), building a binary grouping tree. Leaves of that tree, in
+// tree order, are assigned to hardware contexts in topology order — so the
+// tightest pairs land on SMT siblings, the next level shares L2/L3, and the
+// loosest split crosses sockets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "core/comm_matrix.hpp"
+#include "sim/engine.hpp"
+
+namespace spcd::core {
+
+struct MappingResult {
+  sim::Placement placement;  ///< tid -> context
+  std::uint32_t rounds = 0;  ///< matching rounds performed
+};
+
+/// Compute a placement for `matrix.size()` threads on the given topology.
+/// Requires matrix.size() <= topology.num_contexts(). Threads with no
+/// communication at all are still placed (arbitrarily, but
+/// deterministically).
+///
+/// If `current` is non-empty, the assignment of groups to symmetric
+/// resources (which socket, which core within a socket, which SMT slot) is
+/// chosen to keep as many threads as possible on their current context —
+/// the mapping quality is identical, but repeated remappings do not churn
+/// the whole fleet.
+MappingResult compute_mapping(const CommMatrix& matrix,
+                              const arch::Topology& topology,
+                              const sim::Placement& current = {});
+
+/// Greedy baseline for the ablation study (DESIGN.md S5.6): repeatedly pair
+/// the two unmatched threads with the highest mutual communication instead
+/// of solving the matching optimally.
+MappingResult compute_mapping_greedy(const CommMatrix& matrix,
+                                     const arch::Topology& topology);
+
+/// Communication cost of a placement under a matrix: each pair's
+/// communication is weighted by the distance of their contexts (same core
+/// 1x, same socket ~L3/L1 ratio, cross-socket ~interconnect ratio). Lower
+/// is better; used to decide whether a remapping is worth the migrations.
+double placement_comm_cost(const CommMatrix& matrix,
+                           const arch::Topology& topology,
+                           const sim::Placement& placement);
+
+}  // namespace spcd::core

@@ -1,0 +1,621 @@
+#include "core/matching.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace spcd::core {
+
+namespace {
+
+// The primal-dual blossom algorithm state. Vertices are 0..n-1; blossoms
+// n..2n-1. An edge k has two "endpoints" 2k and 2k+1; endpoint p belongs to
+// vertex endpoint_[p]. mate_[v] is the remote endpoint of v's matched edge.
+class BlossomMatcher {
+ public:
+  BlossomMatcher(int num_vertices, const std::vector<WeightedEdge>& edges,
+                 bool max_cardinality)
+      : n_(num_vertices), max_cardinality_(max_cardinality) {
+    edges_.reserve(edges.size());
+    // Internally double all weights so every dual update is integral.
+    for (const auto& e : edges) {
+      SPCD_EXPECTS(e.u >= 0 && e.u < n_ && e.v >= 0 && e.v < n_);
+      SPCD_EXPECTS(e.u != e.v);
+      edges_.push_back(WeightedEdge{e.u, e.v, 2 * e.weight});
+    }
+    const int nedge = static_cast<int>(edges_.size());
+
+    std::int64_t maxweight = 0;
+    for (const auto& e : edges_) maxweight = std::max(maxweight, e.weight);
+
+    endpoint_.resize(2 * static_cast<std::size_t>(nedge));
+    for (int k = 0; k < nedge; ++k) {
+      endpoint_[2 * static_cast<std::size_t>(k)] = edges_[k].u;
+      endpoint_[2 * static_cast<std::size_t>(k) + 1] = edges_[k].v;
+    }
+    neighbend_.resize(n_);
+    for (int k = 0; k < nedge; ++k) {
+      neighbend_[edges_[k].u].push_back(2 * k + 1);
+      neighbend_[edges_[k].v].push_back(2 * k);
+    }
+
+    mate_.assign(n_, -1);
+    label_.assign(2 * static_cast<std::size_t>(n_), 0);
+    labelend_.assign(2 * static_cast<std::size_t>(n_), -1);
+    inblossom_.resize(n_);
+    for (int v = 0; v < n_; ++v) inblossom_[v] = v;
+    blossomparent_.assign(2 * static_cast<std::size_t>(n_), -1);
+    blossomchilds_.assign(2 * static_cast<std::size_t>(n_), {});
+    blossombase_.resize(2 * static_cast<std::size_t>(n_));
+    for (int v = 0; v < n_; ++v) blossombase_[v] = v;
+    for (int b = n_; b < 2 * n_; ++b) blossombase_[b] = -1;
+    blossomendps_.assign(2 * static_cast<std::size_t>(n_), {});
+    bestedge_.assign(2 * static_cast<std::size_t>(n_), -1);
+    blossombestedges_.assign(2 * static_cast<std::size_t>(n_), {});
+    has_bestedges_.assign(2 * static_cast<std::size_t>(n_), false);
+    for (int b = 2 * n_ - 1; b >= n_; --b) unusedblossoms_.push_back(b);
+    dualvar_.assign(2 * static_cast<std::size_t>(n_), 0);
+    for (int v = 0; v < n_; ++v) dualvar_[v] = maxweight;
+    allowedge_.assign(edges_.size(), false);
+  }
+
+  std::vector<int> solve() {
+    for (int stage = 0; stage < n_; ++stage) {
+      std::fill(label_.begin(), label_.end(), 0);
+      std::fill(bestedge_.begin(), bestedge_.end(), -1);
+      for (int b = n_; b < 2 * n_; ++b) {
+        blossombestedges_[b].clear();
+        has_bestedges_[b] = false;
+      }
+      std::fill(allowedge_.begin(), allowedge_.end(), false);
+      queue_.clear();
+
+      for (int v = 0; v < n_; ++v) {
+        if (mate_[v] == -1 && label_[inblossom_[v]] == 0) {
+          assign_label(v, 1, -1);
+        }
+      }
+
+      bool augmented = false;
+      for (;;) {
+        while (!queue_.empty() && !augmented) {
+          const int v = queue_.back();
+          queue_.pop_back();
+          SPCD_ASSERT(label_[inblossom_[v]] == 1);
+
+          for (const int p : neighbend_[v]) {
+            const int k = p / 2;
+            const int w = endpoint_[p];
+            if (inblossom_[v] == inblossom_[w]) continue;
+
+            std::int64_t kslack = 0;
+            if (!allowedge_[static_cast<std::size_t>(k)]) {
+              kslack = slack(k);
+              if (kslack <= 0) allowedge_[static_cast<std::size_t>(k)] = true;
+            }
+            if (allowedge_[static_cast<std::size_t>(k)]) {
+              if (label_[inblossom_[w]] == 0) {
+                assign_label(w, 2, p ^ 1);
+              } else if (label_[inblossom_[w]] == 1) {
+                const int base = scan_blossom(v, w);
+                if (base >= 0) {
+                  add_blossom(base, k);
+                } else {
+                  augment_matching(k);
+                  augmented = true;
+                  break;
+                }
+              } else if (label_[w] == 0) {
+                SPCD_ASSERT(label_[inblossom_[w]] == 2);
+                label_[w] = 2;
+                labelend_[w] = p ^ 1;
+              }
+            } else if (label_[inblossom_[w]] == 1) {
+              const int b = inblossom_[v];
+              if (bestedge_[b] == -1 || kslack < slack(bestedge_[b])) {
+                bestedge_[b] = k;
+              }
+            } else if (label_[w] == 0) {
+              if (bestedge_[w] == -1 || kslack < slack(bestedge_[w])) {
+                bestedge_[w] = k;
+              }
+            }
+          }
+        }
+        if (augmented) break;
+
+        // No augmenting path: compute the dual adjustment delta.
+        int deltatype = -1;
+        std::int64_t delta = 0;
+        int deltaedge = -1;
+        int deltablossom = -1;
+
+        if (!max_cardinality_) {
+          deltatype = 1;
+          delta = std::max<std::int64_t>(
+              0, *std::min_element(dualvar_.begin(), dualvar_.begin() + n_));
+        }
+        for (int v = 0; v < n_; ++v) {
+          if (label_[inblossom_[v]] == 0 && bestedge_[v] != -1) {
+            const std::int64_t d = slack(bestedge_[v]);
+            if (deltatype == -1 || d < delta) {
+              delta = d;
+              deltatype = 2;
+              deltaedge = bestedge_[v];
+            }
+          }
+        }
+        for (int b = 0; b < 2 * n_; ++b) {
+          if (blossomparent_[b] == -1 && label_[b] == 1 &&
+              bestedge_[b] != -1) {
+            const std::int64_t kslack = slack(bestedge_[b]);
+            SPCD_ASSERT(kslack % 2 == 0);
+            const std::int64_t d = kslack / 2;
+            if (deltatype == -1 || d < delta) {
+              delta = d;
+              deltatype = 3;
+              deltaedge = bestedge_[b];
+            }
+          }
+        }
+        for (int b = n_; b < 2 * n_; ++b) {
+          if (blossombase_[b] >= 0 && blossomparent_[b] == -1 &&
+              label_[b] == 2 && (deltatype == -1 || dualvar_[b] < delta)) {
+            delta = dualvar_[b];
+            deltatype = 4;
+            deltablossom = b;
+          }
+        }
+        if (deltatype == -1) {
+          // All structures have unbounded growth room (max-cardinality
+          // mode); clamp to keep duals non-negative and stop.
+          deltatype = 1;
+          delta = std::max<std::int64_t>(
+              0, *std::min_element(dualvar_.begin(), dualvar_.begin() + n_));
+        }
+
+        for (int v = 0; v < n_; ++v) {
+          const int l = label_[inblossom_[v]];
+          if (l == 1) {
+            dualvar_[v] -= delta;
+          } else if (l == 2) {
+            dualvar_[v] += delta;
+          }
+        }
+        for (int b = n_; b < 2 * n_; ++b) {
+          if (blossombase_[b] >= 0 && blossomparent_[b] == -1) {
+            if (label_[b] == 1) {
+              dualvar_[b] += delta;
+            } else if (label_[b] == 2) {
+              dualvar_[b] -= delta;
+            }
+          }
+        }
+
+        if (deltatype == 1) {
+          break;  // optimum reached
+        } else if (deltatype == 2) {
+          allowedge_[static_cast<std::size_t>(deltaedge)] = true;
+          int i = edges_[deltaedge].u;
+          if (label_[inblossom_[i]] == 0) i = edges_[deltaedge].v;
+          SPCD_ASSERT(label_[inblossom_[i]] == 1);
+          queue_.push_back(i);
+        } else if (deltatype == 3) {
+          allowedge_[static_cast<std::size_t>(deltaedge)] = true;
+          SPCD_ASSERT(label_[inblossom_[edges_[deltaedge].u]] == 1);
+          queue_.push_back(edges_[deltaedge].u);
+        } else {
+          expand_blossom(deltablossom, false);
+        }
+      }
+
+      if (!augmented) break;
+
+      // End of stage: expand blossoms whose dual reached zero.
+      for (int b = n_; b < 2 * n_; ++b) {
+        if (blossomparent_[b] == -1 && blossombase_[b] >= 0 &&
+            label_[b] == 1 && dualvar_[b] == 0) {
+          expand_blossom(b, true);
+        }
+      }
+    }
+
+    std::vector<int> mate_vertex(static_cast<std::size_t>(n_), -1);
+    for (int v = 0; v < n_; ++v) {
+      if (mate_[v] >= 0) mate_vertex[static_cast<std::size_t>(v)] =
+          endpoint_[mate_[v]];
+    }
+    for (int v = 0; v < n_; ++v) {
+      const int m = mate_vertex[static_cast<std::size_t>(v)];
+      SPCD_ENSURES(m == -1 || mate_vertex[static_cast<std::size_t>(m)] == v);
+    }
+    return mate_vertex;
+  }
+
+ private:
+  std::int64_t slack(int k) const {
+    return dualvar_[edges_[k].u] + dualvar_[edges_[k].v] - 2 * edges_[k].weight;
+  }
+
+  // Python-style index into a child list (negative wraps around).
+  template <typename T>
+  static T& wrap_at(std::vector<T>& v, int j) {
+    const int len = static_cast<int>(v.size());
+    const int idx = j >= 0 ? j : j + len;
+    return v[static_cast<std::size_t>(idx)];
+  }
+
+  void blossom_leaves(int b, std::vector<int>& out) const {
+    if (b < n_) {
+      out.push_back(b);
+      return;
+    }
+    for (const int t : blossomchilds_[b]) {
+      blossom_leaves(t, out);
+    }
+  }
+
+  void assign_label(int w, int t, int p) {
+    const int b = inblossom_[w];
+    SPCD_ASSERT(label_[w] == 0 && label_[b] == 0);
+    label_[w] = label_[b] = t;
+    labelend_[w] = labelend_[b] = p;
+    bestedge_[w] = bestedge_[b] = -1;
+    if (t == 1) {
+      std::vector<int> leaves;
+      blossom_leaves(b, leaves);
+      queue_.insert(queue_.end(), leaves.begin(), leaves.end());
+    } else {
+      const int base = blossombase_[b];
+      SPCD_ASSERT(mate_[base] >= 0);
+      assign_label(endpoint_[mate_[base]], 1, mate_[base] ^ 1);
+    }
+  }
+
+  int scan_blossom(int v, int w) {
+    std::vector<int> path;
+    int base = -1;
+    while (v != -1 || w != -1) {
+      int b = inblossom_[v];
+      if (label_[b] & 4) {
+        base = blossombase_[b];
+        break;
+      }
+      SPCD_ASSERT(label_[b] == 1);
+      path.push_back(b);
+      label_[b] = 5;
+      SPCD_ASSERT(labelend_[b] == mate_[blossombase_[b]]);
+      if (labelend_[b] == -1) {
+        v = -1;
+      } else {
+        v = endpoint_[labelend_[b]];
+        b = inblossom_[v];
+        SPCD_ASSERT(label_[b] == 2);
+        SPCD_ASSERT(labelend_[b] >= 0);
+        v = endpoint_[labelend_[b]];
+      }
+      if (w != -1) std::swap(v, w);
+    }
+    for (const int b : path) label_[b] = 1;
+    return base;
+  }
+
+  void add_blossom(int base, int k) {
+    int v = edges_[k].u;
+    int w = edges_[k].v;
+    const int bb = inblossom_[base];
+    int bv = inblossom_[v];
+    int bw = inblossom_[w];
+
+    SPCD_ASSERT(!unusedblossoms_.empty());
+    const int b = unusedblossoms_.back();
+    unusedblossoms_.pop_back();
+
+    blossombase_[b] = base;
+    blossomparent_[b] = -1;
+    blossomparent_[bb] = b;
+
+    std::vector<int>& path = blossomchilds_[b];
+    std::vector<int>& endps = blossomendps_[b];
+    path.clear();
+    endps.clear();
+
+    while (bv != bb) {
+      blossomparent_[bv] = b;
+      path.push_back(bv);
+      endps.push_back(labelend_[bv]);
+      SPCD_ASSERT(label_[bv] == 2 ||
+                  (label_[bv] == 1 &&
+                   labelend_[bv] == mate_[blossombase_[bv]]));
+      SPCD_ASSERT(labelend_[bv] >= 0);
+      v = endpoint_[labelend_[bv]];
+      bv = inblossom_[v];
+    }
+    path.push_back(bb);
+    std::reverse(path.begin(), path.end());
+    std::reverse(endps.begin(), endps.end());
+    endps.push_back(2 * k);
+    while (bw != bb) {
+      blossomparent_[bw] = b;
+      path.push_back(bw);
+      endps.push_back(labelend_[bw] ^ 1);
+      SPCD_ASSERT(label_[bw] == 2 ||
+                  (label_[bw] == 1 &&
+                   labelend_[bw] == mate_[blossombase_[bw]]));
+      SPCD_ASSERT(labelend_[bw] >= 0);
+      w = endpoint_[labelend_[bw]];
+      bw = inblossom_[w];
+    }
+
+    SPCD_ASSERT(label_[bb] == 1);
+    label_[b] = 1;
+    labelend_[b] = labelend_[bb];
+    dualvar_[b] = 0;
+
+    std::vector<int> leaves;
+    blossom_leaves(b, leaves);
+    for (const int leaf : leaves) {
+      if (label_[inblossom_[leaf]] == 2) queue_.push_back(leaf);
+      inblossom_[leaf] = b;
+    }
+
+    // Recompute best-edge lists for the new blossom.
+    std::vector<int> bestedgeto(2 * static_cast<std::size_t>(n_), -1);
+    for (const int child : path) {
+      std::vector<std::vector<int>> nblists;
+      if (!has_bestedges_[child]) {
+        std::vector<int> child_leaves;
+        blossom_leaves(child, child_leaves);
+        for (const int leaf : child_leaves) {
+          std::vector<int> ks;
+          ks.reserve(neighbend_[leaf].size());
+          for (const int p : neighbend_[leaf]) ks.push_back(p / 2);
+          nblists.push_back(std::move(ks));
+        }
+      } else {
+        nblists.push_back(blossombestedges_[child]);
+      }
+      for (const auto& nblist : nblists) {
+        for (const int ek : nblist) {
+          int i = edges_[ek].u;
+          int j = edges_[ek].v;
+          if (inblossom_[j] == b) std::swap(i, j);
+          const int bj = inblossom_[j];
+          if (bj != b && label_[bj] == 1 &&
+              (bestedgeto[static_cast<std::size_t>(bj)] == -1 ||
+               slack(ek) < slack(bestedgeto[static_cast<std::size_t>(bj)]))) {
+            bestedgeto[static_cast<std::size_t>(bj)] = ek;
+          }
+        }
+      }
+      blossombestedges_[child].clear();
+      has_bestedges_[child] = false;
+      bestedge_[child] = -1;
+    }
+    blossombestedges_[b].clear();
+    for (const int ek : bestedgeto) {
+      if (ek != -1) blossombestedges_[b].push_back(ek);
+    }
+    has_bestedges_[b] = true;
+    bestedge_[b] = -1;
+    for (const int ek : blossombestedges_[b]) {
+      if (bestedge_[b] == -1 || slack(ek) < slack(bestedge_[b])) {
+        bestedge_[b] = ek;
+      }
+    }
+  }
+
+  void expand_blossom(int b, bool endstage) {
+    for (const int s : blossomchilds_[b]) {
+      blossomparent_[s] = -1;
+      if (s < n_) {
+        inblossom_[s] = s;
+      } else if (endstage && dualvar_[s] == 0) {
+        expand_blossom(s, endstage);
+      } else {
+        std::vector<int> leaves;
+        blossom_leaves(s, leaves);
+        for (const int leaf : leaves) inblossom_[leaf] = s;
+      }
+    }
+    if (!endstage && label_[b] == 2) {
+      // Relabel the even-length path from the entry child to the base.
+      const int entrychild = inblossom_[endpoint_[labelend_[b] ^ 1]];
+      auto& childs = blossomchilds_[b];
+      auto& endps = blossomendps_[b];
+      int j = static_cast<int>(
+          std::find(childs.begin(), childs.end(), entrychild) -
+          childs.begin());
+      int jstep;
+      int endptrick;
+      if (j & 1) {
+        j -= static_cast<int>(childs.size());
+        jstep = 1;
+        endptrick = 0;
+      } else {
+        jstep = -1;
+        endptrick = 1;
+      }
+      int p = labelend_[b];
+      while (j != 0) {
+        label_[endpoint_[p ^ 1]] = 0;
+        label_[endpoint_[wrap_at(endps, j - endptrick) ^ endptrick ^ 1]] = 0;
+        assign_label(endpoint_[p ^ 1], 2, p);
+        allowedge_[static_cast<std::size_t>(
+            wrap_at(endps, j - endptrick) / 2)] = true;
+        j += jstep;
+        p = wrap_at(endps, j - endptrick) ^ endptrick;
+        allowedge_[static_cast<std::size_t>(p / 2)] = true;
+        j += jstep;
+      }
+      const int bv_entry = wrap_at(childs, j);
+      label_[endpoint_[p ^ 1]] = label_[bv_entry] = 2;
+      labelend_[endpoint_[p ^ 1]] = labelend_[bv_entry] = p;
+      bestedge_[bv_entry] = -1;
+      j += jstep;
+      while (wrap_at(childs, j) != entrychild) {
+        const int bv = wrap_at(childs, j);
+        if (label_[bv] == 1) {
+          j += jstep;
+          continue;
+        }
+        std::vector<int> leaves;
+        blossom_leaves(bv, leaves);
+        int labelled_leaf = -1;
+        for (const int leaf : leaves) {
+          if (label_[leaf] != 0) {
+            labelled_leaf = leaf;
+            break;
+          }
+        }
+        if (labelled_leaf != -1) {
+          SPCD_ASSERT(label_[labelled_leaf] == 2);
+          SPCD_ASSERT(inblossom_[labelled_leaf] == bv);
+          label_[labelled_leaf] = 0;
+          label_[endpoint_[mate_[blossombase_[bv]]]] = 0;
+          assign_label(labelled_leaf, 2, labelend_[labelled_leaf]);
+        }
+        j += jstep;
+      }
+    }
+    label_[b] = -1;
+    labelend_[b] = -1;
+    blossomchilds_[b].clear();
+    blossomendps_[b].clear();
+    blossombase_[b] = -1;
+    blossombestedges_[b].clear();
+    has_bestedges_[b] = false;
+    bestedge_[b] = -1;
+    unusedblossoms_.push_back(b);
+  }
+
+  void augment_blossom(int b, int v) {
+    int t = v;
+    while (blossomparent_[t] != b) t = blossomparent_[t];
+    if (t >= n_) augment_blossom(t, v);
+
+    auto& childs = blossomchilds_[b];
+    auto& endps = blossomendps_[b];
+    const int i = static_cast<int>(
+        std::find(childs.begin(), childs.end(), t) - childs.begin());
+    int j = i;
+    int jstep;
+    int endptrick;
+    if (i & 1) {
+      j -= static_cast<int>(childs.size());
+      jstep = 1;
+      endptrick = 0;
+    } else {
+      jstep = -1;
+      endptrick = 1;
+    }
+    while (j != 0) {
+      j += jstep;
+      int tt = wrap_at(childs, j);
+      const int p = wrap_at(endps, j - endptrick) ^ endptrick;
+      if (tt >= n_) augment_blossom(tt, endpoint_[p]);
+      j += jstep;
+      tt = wrap_at(childs, j);
+      if (tt >= n_) augment_blossom(tt, endpoint_[p ^ 1]);
+      mate_[endpoint_[p]] = p ^ 1;
+      mate_[endpoint_[p ^ 1]] = p;
+    }
+    std::rotate(childs.begin(), childs.begin() + i, childs.end());
+    std::rotate(endps.begin(), endps.begin() + i, endps.end());
+    blossombase_[b] = blossombase_[childs[0]];
+    SPCD_ASSERT(blossombase_[b] == v);
+  }
+
+  void augment_matching(int k) {
+    const int v = edges_[k].u;
+    const int w = edges_[k].v;
+    const std::pair<int, int> starts[2] = {{v, 2 * k + 1}, {w, 2 * k}};
+    for (const auto& [s0, p0] : starts) {
+      int s = s0;
+      int p = p0;
+      for (;;) {
+        const int bs = inblossom_[s];
+        SPCD_ASSERT(label_[bs] == 1);
+        SPCD_ASSERT(labelend_[bs] == mate_[blossombase_[bs]]);
+        if (bs >= n_) augment_blossom(bs, s);
+        mate_[s] = p;
+        if (labelend_[bs] == -1) break;  // reached an exposed root
+        const int t = endpoint_[labelend_[bs]];
+        const int bt = inblossom_[t];
+        SPCD_ASSERT(label_[bt] == 2);
+        SPCD_ASSERT(labelend_[bt] >= 0);
+        s = endpoint_[labelend_[bt]];
+        const int j = endpoint_[labelend_[bt] ^ 1];
+        SPCD_ASSERT(blossombase_[bt] == t);
+        if (bt >= n_) augment_blossom(bt, j);
+        mate_[j] = labelend_[bt];
+        p = labelend_[bt] ^ 1;
+      }
+    }
+  }
+
+  int n_;
+  bool max_cardinality_;
+  std::vector<WeightedEdge> edges_;  // weights doubled
+  std::vector<int> endpoint_;
+  std::vector<std::vector<int>> neighbend_;
+  std::vector<int> mate_;
+  std::vector<int> label_;
+  std::vector<int> labelend_;
+  std::vector<int> inblossom_;
+  std::vector<int> blossomparent_;
+  std::vector<std::vector<int>> blossomchilds_;
+  std::vector<int> blossombase_;
+  std::vector<std::vector<int>> blossomendps_;
+  std::vector<int> bestedge_;
+  std::vector<std::vector<int>> blossombestedges_;
+  std::vector<bool> has_bestedges_;
+  std::vector<int> unusedblossoms_;
+  std::vector<std::int64_t> dualvar_;
+  std::vector<bool> allowedge_;
+  std::vector<int> queue_;
+};
+
+}  // namespace
+
+std::vector<int> max_weight_matching(int num_vertices,
+                                     const std::vector<WeightedEdge>& edges,
+                                     bool max_cardinality) {
+  SPCD_EXPECTS(num_vertices >= 0);
+  if (num_vertices == 0 || edges.empty()) {
+    return std::vector<int>(static_cast<std::size_t>(num_vertices), -1);
+  }
+  BlossomMatcher matcher(num_vertices, edges, max_cardinality);
+  return matcher.solve();
+}
+
+std::vector<int> max_weight_matching_dense(
+    const std::vector<std::int64_t>& weights, int n, bool max_cardinality) {
+  SPCD_EXPECTS(weights.size() ==
+               static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.push_back(WeightedEdge{
+          i, j, weights[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(n) +
+                        static_cast<std::size_t>(j)]});
+    }
+  }
+  return max_weight_matching(n, edges, max_cardinality);
+}
+
+std::int64_t matching_weight(const std::vector<int>& mate,
+                             const std::vector<WeightedEdge>& edges) {
+  std::int64_t total = 0;
+  for (const auto& e : edges) {
+    if (e.u < static_cast<int>(mate.size()) &&
+        mate[static_cast<std::size_t>(e.u)] == e.v) {
+      total += e.weight;
+    }
+  }
+  return total;
+}
+
+}  // namespace spcd::core

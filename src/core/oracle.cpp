@@ -1,0 +1,54 @@
+#include "core/oracle.hpp"
+
+namespace spcd::core {
+
+OracleTracer::OracleTracer(std::uint32_t num_threads,
+                           unsigned granularity_shift,
+                           util::Cycles time_window)
+    : granularity_shift_(granularity_shift),
+      time_window_(time_window),
+      matrix_(num_threads) {
+  regions_.reserve(1 << 18);
+}
+
+void OracleTracer::install(sim::Engine& engine) {
+  engine.set_access_hook([this](sim::ThreadId tid, std::uint64_t vaddr,
+                                bool write, util::Cycles now) {
+    observe(tid, vaddr, write, now);
+  });
+}
+
+void OracleTracer::observe(std::uint32_t tid, std::uint64_t vaddr,
+                           bool /*write*/, util::Cycles now) {
+  ++accesses_;
+  Region& region = regions_[vaddr >> granularity_shift_];
+
+  std::uint32_t self_idx = region.count;
+  std::uint32_t oldest_idx = 0;
+  for (std::uint32_t i = 0; i < region.count; ++i) {
+    if (region.tids[i] == tid) {
+      self_idx = i;
+      continue;
+    }
+    if (region.stamps[i] < region.stamps[oldest_idx]) oldest_idx = i;
+    const bool in_window =
+        time_window_ == 0 || now - region.stamps[i] <= time_window_;
+    if (in_window && tid < matrix_.size() &&
+        region.tids[i] < matrix_.size()) {
+      matrix_.add(tid, region.tids[i]);
+    }
+  }
+
+  if (self_idx < region.count) {
+    region.stamps[self_idx] = now;
+  } else if (region.count < Region::kMaxSharers) {
+    region.tids[region.count] = tid;
+    region.stamps[region.count] = now;
+    ++region.count;
+  } else {
+    region.tids[oldest_idx] = tid;
+    region.stamps[oldest_idx] = now;
+  }
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,30 @@
+#include "core/os_scheduler.hpp"
+
+namespace spcd::core {
+
+OsLoadBalancer::OsLoadBalancer(const OsBalancerConfig& config,
+                               std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void OsLoadBalancer::install(sim::Engine& engine) {
+  engine.schedule(engine.now() + config_.period,
+                  [this](sim::Engine& e) { tick(e); });
+}
+
+void OsLoadBalancer::tick(sim::Engine& engine) {
+  const std::uint32_t n = engine.num_threads();
+  if (n >= 2 && rng_.chance(config_.swap_probability)) {
+    const auto a = static_cast<sim::ThreadId>(rng_.below(n));
+    auto b = static_cast<sim::ThreadId>(rng_.below(n - 1));
+    if (b >= a) ++b;
+    // Moving a onto b's context swaps the pair (Engine::migrate semantics).
+    engine.migrate(a, engine.placement()[b]);
+    ++swaps_;
+  }
+  if (engine.active_threads() > 0) {
+    engine.schedule(engine.now() + config_.period,
+                    [this](sim::Engine& e) { tick(e); });
+  }
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,46 @@
+// A communication-agnostic load balancer standing in for the stock Linux
+// scheduler of the paper's baseline. With one thread per hardware context
+// the run queues are balanced, but the real scheduler still migrates
+// threads occasionally (wake-up placement, NUMA balancing attempts); this
+// module reproduces that behaviour as periodic random swaps, which both
+// perturbs cache affinity and produces the run-to-run variance visible in
+// the paper's OS-mapping error bars.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace spcd::core {
+
+struct OsBalancerConfig {
+  /// Load-balancer wake-up period (default 1.5 ms @ 2 GHz).
+  util::Cycles period = 3'000'000;
+  /// Probability that a wake-up migrates (swaps) a pair of threads.
+  /// Barrier-synchronized applications idle their contexts at every
+  /// barrier, so the stock scheduler's idle/periodic balancing fires
+  /// often — the paper's random mapping exists precisely to quantify the
+  /// cost of these communication-oblivious migrations.
+  double swap_probability = 0.5;
+};
+
+class OsLoadBalancer {
+ public:
+  OsLoadBalancer(const OsBalancerConfig& config, std::uint64_t seed);
+
+  /// Schedule periodic balancing on the engine.
+  void install(sim::Engine& engine);
+
+  std::uint32_t swaps_performed() const { return swaps_; }
+
+ private:
+  void tick(sim::Engine& engine);
+
+  OsBalancerConfig config_;
+  util::Xoshiro256 rng_;
+  std::uint32_t swaps_ = 0;
+};
+
+}  // namespace spcd::core

@@ -1,0 +1,67 @@
+#include "core/policy.hpp"
+
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::core {
+
+const char* to_string(MappingPolicy policy) {
+  switch (policy) {
+    case MappingPolicy::kOs: return "os";
+    case MappingPolicy::kRandom: return "random";
+    case MappingPolicy::kOracle: return "oracle";
+    case MappingPolicy::kSpcd: return "spcd";
+  }
+  return "?";
+}
+
+sim::Placement os_spread_placement(const arch::Topology& topology,
+                                   std::uint32_t num_threads) {
+  SPCD_EXPECTS(num_threads <= topology.num_contexts());
+  const auto& spec = topology.spec();
+  sim::Placement placement;
+  placement.reserve(num_threads);
+  // Enumerate contexts breadth-first over the hierarchy: all sockets' first
+  // cores' first SMT slots, then the next core, ..., then the second SMT
+  // slots — the order a load balancer fills an idle machine.
+  for (std::uint32_t slot = 0;
+       slot < spec.smt_per_core && placement.size() < num_threads; ++slot) {
+    for (std::uint32_t core = 0;
+         core < spec.cores_per_socket && placement.size() < num_threads;
+         ++core) {
+      for (std::uint32_t socket = 0;
+           socket < spec.sockets && placement.size() < num_threads;
+           ++socket) {
+        const arch::ContextId ctx =
+            (socket * spec.cores_per_socket + core) * spec.smt_per_core +
+            slot;
+        placement.push_back(ctx);
+      }
+    }
+  }
+  return placement;
+}
+
+sim::Placement random_placement(const arch::Topology& topology,
+                                std::uint32_t num_threads,
+                                std::uint64_t seed) {
+  SPCD_EXPECTS(num_threads <= topology.num_contexts());
+  std::vector<arch::ContextId> contexts(topology.num_contexts());
+  std::iota(contexts.begin(), contexts.end(), 0);
+  util::Xoshiro256 rng(seed);
+  util::shuffle(contexts.begin(), contexts.end(), rng);
+  contexts.resize(num_threads);
+  return contexts;
+}
+
+sim::Placement compact_placement(const arch::Topology& topology,
+                                 std::uint32_t num_threads) {
+  SPCD_EXPECTS(num_threads <= topology.num_contexts());
+  sim::Placement placement(num_threads);
+  std::iota(placement.begin(), placement.end(), 0);
+  return placement;
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,39 @@
+// The four mappings compared in the paper's evaluation (Section V-D):
+//   * operating system — the stock Linux scheduler (baseline),
+//   * random — a seeded random static mapping,
+//   * oracle — static mapping computed from a full memory trace,
+//   * SPCD — the dynamic mechanism of this library.
+// This header provides the static placement generators and the policy enum;
+// the oracle trace analysis lives in oracle.hpp and the dynamic mechanism
+// in spcd_kernel.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace spcd::core {
+
+enum class MappingPolicy : std::uint8_t { kOs, kRandom, kOracle, kSpcd };
+
+const char* to_string(MappingPolicy policy);
+
+/// Linux-like initial placement: spread threads across sockets and cores
+/// first, filling SMT siblings last (thread i and i+1 land on different
+/// sockets). Communication-agnostic, like the stock scheduler.
+sim::Placement os_spread_placement(const arch::Topology& topology,
+                                   std::uint32_t num_threads);
+
+/// Seeded random placement (the paper uses 10 fixed random mappings, one
+/// per repetition).
+sim::Placement random_placement(const arch::Topology& topology,
+                                std::uint32_t num_threads, std::uint64_t seed);
+
+/// Compact placement: fill contexts in topology order (SMT siblings first).
+/// Not part of the paper's comparison; used in tests and ablations.
+sim::Placement compact_placement(const arch::Topology& topology,
+                                 std::uint32_t num_threads);
+
+}  // namespace spcd::core

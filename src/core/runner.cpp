@@ -1,0 +1,155 @@
+#include "core/runner.hpp"
+
+#include "core/oracle.hpp"
+#include "core/spcd_kernel.hpp"
+#include "sim/energy.hpp"
+#include "sim/machine.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::core {
+
+namespace {
+
+std::uint64_t name_hash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Runner::Runner(RunnerConfig config) : config_(std::move(config)) {}
+
+const sim::Placement& Runner::oracle_placement(
+    const std::string& workload_name, const WorkloadFactory& factory) {
+  auto it = oracle_cache_.find(workload_name);
+  if (it != oracle_cache_.end()) return it->second.placement;
+
+  SPCD_LOG_INFO("oracle: profiling %s", workload_name.c_str());
+  const std::uint64_t seed =
+      util::derive_seed(config_.base_seed, name_hash(workload_name));
+
+  sim::Machine machine(config_.machine);
+  mem::AddressSpace as = machine.make_address_space();
+  auto workload = factory(seed);
+  SPCD_EXPECTS(workload != nullptr);
+  const std::uint32_t n = workload->num_threads();
+
+  sim::Engine engine(machine, as, *workload,
+                     os_spread_placement(machine.topology(), n),
+                     config_.engine);
+  OracleTracer tracer(n, /*granularity_shift=*/6,
+                      config_.spcd.table.time_window);
+  tracer.install(engine);
+  engine.run();
+
+  OracleEntry entry;
+  entry.matrix = tracer.matrix();
+  entry.placement = compute_mapping(tracer.matrix(), machine.topology())
+                        .placement;
+  auto [pos, inserted] =
+      oracle_cache_.emplace(workload_name, std::move(entry));
+  SPCD_ASSERT(inserted);
+  return pos->second.placement;
+}
+
+const CommMatrix* Runner::oracle_matrix(
+    const std::string& workload_name) const {
+  auto it = oracle_cache_.find(workload_name);
+  return it == oracle_cache_.end() ? nullptr : &it->second.matrix;
+}
+
+RunMetrics Runner::run_once(const std::string& workload_name,
+                            const WorkloadFactory& factory,
+                            MappingPolicy policy, std::uint32_t repetition) {
+  const std::uint64_t rep_seed = util::derive_seed(
+      config_.base_seed, name_hash(workload_name) + repetition);
+
+  sim::Machine machine(config_.machine);
+  mem::AddressSpace as = machine.make_address_space();
+  auto workload = factory(rep_seed);
+  SPCD_EXPECTS(workload != nullptr);
+  const std::uint32_t n = workload->num_threads();
+
+  sim::Placement placement;
+  switch (policy) {
+    case MappingPolicy::kOs:
+    case MappingPolicy::kSpcd:
+      placement = os_spread_placement(machine.topology(), n);
+      break;
+    case MappingPolicy::kRandom:
+      placement = random_placement(machine.topology(), n,
+                                   util::derive_seed(rep_seed, 0x7a7d));
+      break;
+    case MappingPolicy::kOracle:
+      placement = oracle_placement(workload_name, factory);
+      break;
+  }
+
+  sim::Engine engine(machine, as, *workload, placement, config_.engine);
+
+  std::unique_ptr<OsLoadBalancer> balancer;
+  std::unique_ptr<SpcdKernel> kernel;
+  if (policy == MappingPolicy::kOs) {
+    balancer = std::make_unique<OsLoadBalancer>(
+        config_.balancer, util::derive_seed(rep_seed, 0xba1a));
+    balancer->install(engine);
+  } else if (policy == MappingPolicy::kSpcd) {
+    kernel = std::make_unique<SpcdKernel>(config_.spcd, n,
+                                          util::derive_seed(rep_seed, 0x5bcd));
+    kernel->install(engine);
+  }
+
+  engine.run();
+  SPCD_ASSERT(!engine.timed_out());
+
+  const sim::PerfCounters& c = engine.counters();
+  const double seconds = engine.exec_seconds();
+  const sim::EnergyBreakdown energy =
+      sim::compute_energy(c, seconds, config_.machine);
+
+  RunMetrics m;
+  m.exec_seconds = seconds;
+  m.instructions = c.instructions;
+  m.l2_mpki = c.l2_mpki();
+  m.l3_mpki = c.l3_mpki();
+  m.c2c_transactions = c.c2c_total();
+  m.invalidations = c.invalidations;
+  m.dram_accesses = c.dram_total();
+  m.package_joules = energy.package_joules;
+  m.dram_joules = energy.dram_joules;
+  m.package_epi_nj = energy.package_epi_nj(c.instructions);
+  m.dram_epi_nj = energy.dram_epi_nj(c.instructions);
+  const double cpu_time =
+      static_cast<double>(engine.finish_time()) * static_cast<double>(n);
+  if (cpu_time > 0.0) {
+    m.detection_overhead =
+        static_cast<double>(c.spcd_detection_cycles) / cpu_time;
+    m.mapping_overhead = static_cast<double>(c.mapping_cycles) / cpu_time;
+  }
+  m.minor_faults = c.minor_faults;
+  m.injected_faults = c.injected_faults;
+  if (kernel) {
+    m.migration_events = kernel->migration_events();
+    last_spcd_matrix_ = kernel->matrix();
+  }
+  return m;
+}
+
+std::vector<RunMetrics> Runner::run_policy(const std::string& workload_name,
+                                           const WorkloadFactory& factory,
+                                           MappingPolicy policy) {
+  std::vector<RunMetrics> out;
+  out.reserve(config_.repetitions);
+  for (std::uint32_t rep = 0; rep < config_.repetitions; ++rep) {
+    out.push_back(run_once(workload_name, factory, policy, rep));
+  }
+  return out;
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,121 @@
+// Experiment pipeline reproducing the paper's methodology (Section V-A):
+// run each workload under the four mappings (OS / random / oracle / SPCD),
+// repeat each configuration, and collect the metrics of Figures 8-16 and
+// Table II. The Runner is workload-agnostic: concrete workloads are
+// supplied through factories, so the core library does not depend on the
+// benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/machine_spec.hpp"
+#include "core/comm_matrix.hpp"
+#include "core/os_scheduler.hpp"
+#include "core/policy.hpp"
+#include "core/spcd_config.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+
+namespace spcd::core {
+
+/// Everything the paper reports for one execution.
+struct RunMetrics {
+  double exec_seconds = 0.0;
+  std::uint64_t instructions = 0;
+  double l2_mpki = 0.0;
+  double l3_mpki = 0.0;
+  std::uint64_t c2c_transactions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t dram_accesses = 0;
+
+  double package_joules = 0.0;
+  double dram_joules = 0.0;
+  double package_epi_nj = 0.0;
+  double dram_epi_nj = 0.0;
+
+  /// Fraction of total CPU time (finish time x threads) spent in SPCD.
+  double detection_overhead = 0.0;
+  double mapping_overhead = 0.0;
+
+  std::uint32_t migration_events = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t injected_faults = 0;
+
+  double injected_fault_ratio() const {
+    const auto total = minor_faults + injected_faults;
+    return total == 0 ? 0.0
+                      : static_cast<double>(injected_faults) /
+                            static_cast<double>(total);
+  }
+};
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<sim::Workload>(std::uint64_t seed)>;
+
+struct RunnerConfig {
+  arch::MachineSpec machine = arch::dual_xeon_e5_2650();
+  SpcdConfig spcd;
+  OsBalancerConfig balancer;
+  sim::EngineConfig engine;
+  std::uint32_t repetitions = 10;  ///< the paper runs each experiment 10x
+  std::uint64_t base_seed = 0xC0FFEE;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerConfig config = {});
+
+  const RunnerConfig& config() const { return config_; }
+
+  /// One execution of `factory`'s workload under `policy`.
+  RunMetrics run_once(const std::string& workload_name,
+                      const WorkloadFactory& factory, MappingPolicy policy,
+                      std::uint32_t repetition);
+
+  /// All repetitions under one policy.
+  std::vector<RunMetrics> run_policy(const std::string& workload_name,
+                                     const WorkloadFactory& factory,
+                                     MappingPolicy policy);
+
+  /// The oracle's static placement for a workload, computed once from a
+  /// full-trace profiling run and cached by name.
+  const sim::Placement& oracle_placement(const std::string& workload_name,
+                                         const WorkloadFactory& factory);
+
+  /// The oracle's exact communication matrix (available after
+  /// oracle_placement() or any kOracle run).
+  const CommMatrix* oracle_matrix(const std::string& workload_name) const;
+
+  /// Communication matrix detected by SPCD in the most recent kSpcd run.
+  const CommMatrix* last_spcd_matrix() const {
+    return last_spcd_matrix_ ? &*last_spcd_matrix_ : nullptr;
+  }
+
+ private:
+  struct OracleEntry {
+    sim::Placement placement;
+    CommMatrix matrix{1};
+  };
+
+  RunnerConfig config_;
+  std::map<std::string, OracleEntry> oracle_cache_;
+  std::optional<CommMatrix> last_spcd_matrix_;
+};
+
+/// Aggregate one metric over repetitions into mean ± 95% CI.
+template <typename Fn>
+util::MeanCi aggregate(const std::vector<RunMetrics>& runs, Fn&& metric) {
+  std::vector<double> samples;
+  samples.reserve(runs.size());
+  for (const auto& r : runs) samples.push_back(metric(r));
+  return util::mean_ci95(samples);
+}
+
+}  // namespace spcd::core

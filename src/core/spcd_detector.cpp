@@ -1,0 +1,21 @@
+#include "core/spcd_detector.hpp"
+
+namespace spcd::core {
+
+SpcdDetector::SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads)
+    : config_(config), table_(config.table), matrix_(num_threads) {}
+
+util::Cycles SpcdDetector::on_fault(const mem::FaultEvent& event) {
+  ++faults_seen_;
+  const mem::CommunicationEvent comm =
+      table_.record_access(event.vaddr, event.tid, event.time);
+  for (std::uint32_t i = 0; i < comm.partner_count; ++i) {
+    if (comm.partners[i] < matrix_.size() && event.tid < matrix_.size()) {
+      matrix_.add(event.tid, comm.partners[i]);
+      ++comm_events_;
+    }
+  }
+  return config_.fault_hook_cost;
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,37 @@
+// SPCD's communication detection: the page-fault hook of the paper's
+// Figure 2. Every fault on the monitored application records (thread,
+// region) in the sharing table; faults on regions other threads touched
+// recently increment the communication matrix.
+#pragma once
+
+#include "core/comm_matrix.hpp"
+#include "core/spcd_config.hpp"
+#include "mem/address_space.hpp"
+#include "mem/sharing_table.hpp"
+
+namespace spcd::core {
+
+class SpcdDetector final : public mem::FaultObserver {
+ public:
+  SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads);
+
+  /// FaultObserver: record the faulting access, detect communication, and
+  /// report the handler's extra cycles.
+  util::Cycles on_fault(const mem::FaultEvent& event) override;
+
+  const CommMatrix& matrix() const { return matrix_; }
+  CommMatrix& matrix() { return matrix_; }
+  const mem::SharingTable& table() const { return table_; }
+
+  std::uint64_t faults_seen() const { return faults_seen_; }
+  std::uint64_t communication_events() const { return comm_events_; }
+
+ private:
+  SpcdConfig config_;
+  mem::SharingTable table_;
+  CommMatrix matrix_;
+  std::uint64_t faults_seen_ = 0;
+  std::uint64_t comm_events_ = 0;
+};
+
+}  // namespace spcd::core

@@ -1,0 +1,110 @@
+#include "core/spcd_kernel.hpp"
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::core {
+
+SpcdKernel::SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
+                       std::uint64_t seed)
+    : config_(config),
+      detector_(config, num_threads),
+      injector_(config, util::derive_seed(seed, 0x1)),
+      filter_(num_threads, config.filter_threshold, config.filter_margin) {}
+
+SpcdKernel::~SpcdKernel() {
+  if (hooked_space_ != nullptr) {
+    hooked_space_->remove_fault_observer(&detector_);
+    if (data_mapper_) hooked_space_->remove_fault_observer(data_mapper_.get());
+  }
+}
+
+void SpcdKernel::install(sim::Engine& engine) {
+  hooked_space_ = &engine.address_space();
+  hooked_space_->add_fault_observer(&detector_);
+  if (config_.enable_data_mapping) {
+    data_mapper_ = std::make_unique<DataMapper>(DataMapperConfig{});
+    data_mapper_->bind(engine);
+    hooked_space_->add_fault_observer(data_mapper_.get());
+  }
+  injector_.install(engine);
+  engine.schedule(engine.now() + config_.mapping_interval,
+                  [this](sim::Engine& e) { mapping_tick(e); });
+}
+
+void SpcdKernel::mapping_tick(sim::Engine& engine) {
+  const std::uint32_t n = engine.num_threads();
+
+  // Filter evaluation is Theta(N^2); its cost is mapping overhead.
+  util::Cycles cost = config_.filter_cost_per_thread_sq *
+                      static_cast<util::Cycles>(n) * n;
+  bool migrated = false;
+
+  const std::uint64_t total = detector_.matrix().total();
+  const bool refine =
+      mapped_once_ && config_.refine_growth > 0.0 &&
+      static_cast<double>(total) >=
+          config_.refine_growth * static_cast<double>(last_remap_total_);
+  if (total >= config_.min_matrix_total && config_.enable_migration &&
+      (filter_.should_remap(detector_.matrix()) || refine)) {
+    mapped_once_ = true;
+    last_remap_total_ = total;
+    cost += config_.matching_base_cost +
+            config_.matching_cost_per_thread_cubed *
+                static_cast<util::Cycles>(n) * n * n;
+    const MappingResult mapping = compute_mapping(
+        detector_.matrix(), engine.machine().topology(), engine.placement());
+    const double current_cost = placement_comm_cost(
+        detector_.matrix(), engine.machine().topology(), engine.placement());
+    const double new_cost = placement_comm_cost(
+        detector_.matrix(), engine.machine().topology(), mapping.placement);
+    std::uint32_t would_move = 0;
+    for (sim::ThreadId tid = 0; tid < n; ++tid) {
+      if (engine.placement()[tid] != mapping.placement[tid]) ++would_move;
+    }
+    const double penalty = config_.move_penalty_frac *
+                           static_cast<double>(total) *
+                           static_cast<double>(would_move);
+    std::uint32_t moved = 0;
+    if (new_cost + penalty <= config_.mapping_gain_threshold * current_cost) {
+      for (sim::ThreadId tid = 0; tid < n; ++tid) {
+        if (engine.placement()[tid] != mapping.placement[tid]) {
+          engine.migrate(tid, mapping.placement[tid]);
+          migrated = true;
+          ++moved;
+        }
+      }
+    }
+    if (migrated) {
+      ++migration_events_;
+      std::uint32_t band_adj = 0;
+      const auto& topo2 = engine.machine().topology();
+      for (sim::ThreadId t2 = 0; t2 + 1 < n; ++t2) {
+        if (topo2.socket_of(mapping.placement[t2]) ==
+            topo2.socket_of(mapping.placement[t2 + 1])) {
+          ++band_adj;
+        }
+      }
+      SPCD_LOG_INFO(
+          "spcd: migration event %u at cycle %llu (moved %u threads, "
+          "filter changes %u, matrix total %llu, band adjacency %u/%u, "
+          "cost ratio %.3f)",
+          migration_events_, static_cast<unsigned long long>(engine.now()),
+          moved, filter_.last_changes(),
+          static_cast<unsigned long long>(detector_.matrix().total()),
+          band_adj, n - 1, new_cost / current_cost);
+    }
+  }
+
+  // Charge the analysis to a rotating victim thread, like the injector.
+  const sim::ThreadId victim =
+      static_cast<sim::ThreadId>(filter_.evaluations() % n);
+  engine.charge_mapping(cost, victim);
+
+  if (engine.active_threads() > 0) {
+    engine.schedule(engine.now() + config_.mapping_interval,
+                    [this](sim::Engine& e) { mapping_tick(e); });
+  }
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,84 @@
+#include "mem/address_space.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace spcd::mem {
+
+AddressSpace::AddressSpace(FrameAllocator& frames, unsigned page_shift)
+    : frames_(frames), page_shift_(page_shift) {
+  SPCD_EXPECTS(page_shift >= 6 && page_shift <= 30);
+}
+
+AddressSpace::Translation AddressSpace::translate(std::uint64_t vaddr,
+                                                  ThreadId tid,
+                                                  arch::ContextId ctx,
+                                                  std::uint32_t touch_node,
+                                                  util::Cycles now) {
+  const std::uint64_t vpn = vpn_of(vaddr);
+  Translation out;
+
+  Pte* entry = table_.walk_mut(vpn);
+  if (entry != nullptr && pte::is_present(*entry)) {
+    out.frame = pte::frame_of(*entry);
+    return out;
+  }
+
+  // Fault path.
+  FaultEvent event;
+  event.vaddr = vaddr;
+  event.vpn = vpn;
+  event.tid = tid;
+  event.ctx = ctx;
+  event.time = now;
+
+  if (entry == nullptr) {
+    // Never touched: first-touch allocation on the faulting context's node.
+    const std::uint64_t frame = frames_.allocate(touch_node);
+    table_.map(vpn, frame);
+    resident_.push_back(vpn);
+    event.kind = FaultKind::kFirstTouch;
+    out.frame = frame;
+    ++minor_faults_;
+  } else {
+    // Present bit cleared (by the SPCD injector): fast restore.
+    const bool was_injected = table_.restore_present(vpn);
+    SPCD_ASSERT(was_injected);  // only the injector clears present bits
+    event.kind = FaultKind::kInjected;
+    out.frame = pte::frame_of(*entry);
+    ++injected_faults_;
+  }
+  out.fault = event.kind;
+
+  for (FaultObserver* obs : observers_) {
+    out.observer_cycles += obs->on_fault(event);
+  }
+  return out;
+}
+
+bool AddressSpace::clear_present(std::uint64_t vpn) {
+  return table_.clear_present(vpn);
+}
+
+std::uint64_t AddressSpace::migrate_page(std::uint64_t vpn,
+                                         std::uint32_t node) {
+  Pte* entry = table_.walk_mut(vpn);
+  SPCD_EXPECTS(entry != nullptr);
+  const std::uint64_t frame = frames_.allocate(node);
+  const Pte flags = *entry & ((1ULL << pte::kFrameShift) - 1);
+  *entry = (frame << pte::kFrameShift) | flags;
+  return frame;
+}
+
+void AddressSpace::add_fault_observer(FaultObserver* observer) {
+  SPCD_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void AddressSpace::remove_fault_observer(FaultObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+}  // namespace spcd::mem

@@ -1,0 +1,99 @@
+// Per-process virtual address space: the page table plus the fault-handling
+// path. This is the seam where SPCD plugs in — exactly like the modified
+// page fault handler in the paper's Figure 2: every fault is reported to the
+// registered observers with the faulting thread id and the full virtual
+// address (the paper stresses the *full address* is available to the kernel,
+// which is what lets the detection granularity differ from the page size).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/page_table.hpp"
+#include "util/units.hpp"
+
+namespace spcd::mem {
+
+using ThreadId = std::uint32_t;
+
+enum class FaultKind : std::uint8_t {
+  kFirstTouch,  ///< page touched for the first time: allocate + map
+  kInjected,    ///< present bit had been cleared by the SPCD injector
+};
+
+struct FaultEvent {
+  std::uint64_t vaddr = 0;
+  std::uint64_t vpn = 0;
+  ThreadId tid = 0;
+  arch::ContextId ctx = 0;
+  util::Cycles time = 0;
+  FaultKind kind = FaultKind::kFirstTouch;
+};
+
+/// Observer interface for page faults (SPCD's detector implements this).
+/// on_fault returns the extra cycles its processing costs, so the simulator
+/// can charge the detection overhead to the faulting thread.
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+  virtual util::Cycles on_fault(const FaultEvent& event) = 0;
+};
+
+class AddressSpace {
+ public:
+  struct Translation {
+    std::uint64_t frame = 0;
+    std::optional<FaultKind> fault;  ///< set if a fault was taken
+    util::Cycles observer_cycles = 0;  ///< cost added by fault observers
+  };
+
+  AddressSpace(FrameAllocator& frames, unsigned page_shift);
+
+  /// Translate a virtual address, taking (and resolving) a page fault if
+  /// needed. First-touch faults allocate the frame on `touch_node`.
+  Translation translate(std::uint64_t vaddr, ThreadId tid, arch::ContextId ctx,
+                        std::uint32_t touch_node, util::Cycles now);
+
+  /// Clear the present bit of a resident page (SPCD fault injection).
+  /// Returns false if the page was unmapped or already non-present.
+  bool clear_present(std::uint64_t vpn);
+
+  /// Move a resident page to a different NUMA node: allocate a frame
+  /// there and remap the PTE (data mapping / page migration). The caller
+  /// is responsible for the TLB shootdown. Returns the new frame.
+  std::uint64_t migrate_page(std::uint64_t vpn, std::uint32_t node);
+
+  /// All virtual page numbers ever mapped, in map order. Pages are never
+  /// unmapped during a run, so this doubles as the resident set the SPCD
+  /// kernel thread samples from.
+  const std::vector<std::uint64_t>& resident_vpns() const { return resident_; }
+
+  void add_fault_observer(FaultObserver* observer);
+  void remove_fault_observer(FaultObserver* observer);
+
+  unsigned page_shift() const { return page_shift_; }
+  std::uint64_t page_bytes() const { return 1ULL << page_shift_; }
+  std::uint64_t vpn_of(std::uint64_t vaddr) const {
+    return vaddr >> page_shift_;
+  }
+
+  const PageTable& page_table() const { return table_; }
+  PageTable& page_table() { return table_; }
+
+  std::uint64_t minor_faults() const { return minor_faults_; }
+  std::uint64_t injected_faults() const { return injected_faults_; }
+
+ private:
+  FrameAllocator& frames_;
+  PageTable table_;
+  unsigned page_shift_;
+  std::vector<std::uint64_t> resident_;
+  std::vector<FaultObserver*> observers_;
+  std::uint64_t minor_faults_ = 0;
+  std::uint64_t injected_faults_ = 0;
+};
+
+}  // namespace spcd::mem

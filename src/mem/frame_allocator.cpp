@@ -1,0 +1,30 @@
+#include "mem/frame_allocator.hpp"
+
+#include "util/contracts.hpp"
+
+namespace spcd::mem {
+
+FrameAllocator::FrameAllocator(std::uint32_t num_nodes)
+    : next_index_(num_nodes, 0) {
+  SPCD_EXPECTS(num_nodes >= 1);
+}
+
+std::uint64_t FrameAllocator::allocate(std::uint32_t node) {
+  SPCD_EXPECTS(node < next_index_.size());
+  const std::uint64_t index = next_index_[node]++;
+  SPCD_ENSURES(index < (1ULL << kNodeShift));
+  return (static_cast<std::uint64_t>(node) << kNodeShift) | index;
+}
+
+std::uint64_t FrameAllocator::allocated_on(std::uint32_t node) const {
+  SPCD_EXPECTS(node < next_index_.size());
+  return next_index_[node];
+}
+
+std::uint64_t FrameAllocator::total_allocated() const {
+  std::uint64_t total = 0;
+  for (auto n : next_index_) total += n;
+  return total;
+}
+
+}  // namespace spcd::mem

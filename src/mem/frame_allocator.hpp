@@ -1,0 +1,41 @@
+// Physical frame allocator with per-NUMA-node pools. The simulator uses a
+// first-touch policy (like Linux): the page fault handler allocates the frame
+// on the NUMA node of the faulting context. The node id is encoded in the
+// frame number's high bits so the memory hierarchy can derive a page's home
+// node from any physical address.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spcd::mem {
+
+class FrameAllocator {
+ public:
+  /// Bits reserved for the per-node frame index (node id lives above them).
+  static constexpr unsigned kNodeShift = 40;
+
+  explicit FrameAllocator(std::uint32_t num_nodes);
+
+  /// Allocate one frame on the given node.
+  std::uint64_t allocate(std::uint32_t node);
+
+  /// NUMA node a frame belongs to.
+  static std::uint32_t node_of(std::uint64_t frame) {
+    return static_cast<std::uint32_t>(frame >> kNodeShift);
+  }
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(next_index_.size());
+  }
+
+  /// Frames handed out on a node so far.
+  std::uint64_t allocated_on(std::uint32_t node) const;
+
+  std::uint64_t total_allocated() const;
+
+ private:
+  std::vector<std::uint64_t> next_index_;
+};
+
+}  // namespace spcd::mem

@@ -1,0 +1,83 @@
+#include "mem/page_table.hpp"
+
+#include "util/contracts.hpp"
+
+namespace spcd::mem {
+
+namespace {
+constexpr std::uint64_t idx_at(std::uint64_t vpn, unsigned level) {
+  // level 0 = leaf index, level 3 = root index; 9 bits each.
+  return (vpn >> (9 * level)) & 0x1ff;
+}
+}  // namespace
+
+PageTable::PageTable() : root_(std::make_unique<Root>()) {}
+PageTable::~PageTable() = default;
+
+PageTable::Leaf* PageTable::find_leaf(std::uint64_t vpn) const {
+  SPCD_EXPECTS(vpn < (1ULL << 36));
+  const auto& l3 = root_->children[idx_at(vpn, 3)];
+  if (!l3) return nullptr;
+  const auto& l2 = l3->children[idx_at(vpn, 2)];
+  if (!l2) return nullptr;
+  return l2->children[idx_at(vpn, 1)].get();
+}
+
+PageTable::Leaf& PageTable::ensure_leaf(std::uint64_t vpn) {
+  SPCD_EXPECTS(vpn < (1ULL << 36));
+  auto& l3 = root_->children[idx_at(vpn, 3)];
+  if (!l3) {
+    l3 = std::make_unique<Level3>();
+    ++nodes_;
+  }
+  auto& l2 = l3->children[idx_at(vpn, 2)];
+  if (!l2) {
+    l2 = std::make_unique<Level2>();
+    ++nodes_;
+  }
+  auto& leaf = l2->children[idx_at(vpn, 1)];
+  if (!leaf) {
+    leaf = std::make_unique<Leaf>();
+    ++nodes_;
+  }
+  return *leaf;
+}
+
+void PageTable::map(std::uint64_t vpn, std::uint64_t frame) {
+  Leaf& leaf = ensure_leaf(vpn);
+  Pte& entry = leaf.entries[idx_at(vpn, 0)];
+  SPCD_EXPECTS(!pte::is_mapped(entry));
+  entry = pte::make(frame);
+  ++mapped_;
+}
+
+const Pte* PageTable::walk(std::uint64_t vpn) const {
+  const Leaf* leaf = find_leaf(vpn);
+  if (leaf == nullptr) return nullptr;
+  const Pte& entry = leaf->entries[idx_at(vpn, 0)];
+  return pte::is_mapped(entry) ? &entry : nullptr;
+}
+
+Pte* PageTable::walk_mut(std::uint64_t vpn) {
+  Leaf* leaf = find_leaf(vpn);
+  if (leaf == nullptr) return nullptr;
+  Pte& entry = leaf->entries[idx_at(vpn, 0)];
+  return pte::is_mapped(entry) ? &entry : nullptr;
+}
+
+bool PageTable::clear_present(std::uint64_t vpn) {
+  Pte* entry = walk_mut(vpn);
+  if (entry == nullptr || !pte::is_present(*entry)) return false;
+  *entry = (*entry & ~pte::kPresent) | pte::kSpcdCleared;
+  return true;
+}
+
+bool PageTable::restore_present(std::uint64_t vpn) {
+  Pte* entry = walk_mut(vpn);
+  SPCD_EXPECTS(entry != nullptr);
+  const bool was_injected = pte::is_spcd_cleared(*entry);
+  *entry = (*entry | pte::kPresent) & ~pte::kSpcdCleared;
+  return was_injected;
+}
+
+}  // namespace spcd::mem

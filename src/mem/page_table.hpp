@@ -1,0 +1,94 @@
+// Four-level radix page table, modelled after x86-64 paging. This is the
+// structure SPCD manipulates in the original kernel module: the mechanism
+// clears *present* bits of resident pages to provoke additional minor faults
+// and observe which thread touches which page.
+//
+// A PTE here is a packed 64-bit word:
+//   [63:12] frame number   [3] mapped   [2] accessed
+//   [1]     spcd_cleared   [0] present
+// "mapped" means a frame is assigned; "present" mirrors the hardware present
+// bit. spcd_cleared marks pages whose present bit was cleared by the SPCD
+// fault injector (so the fault handler can take the fast restore path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+namespace spcd::mem {
+
+using Pte = std::uint64_t;
+
+namespace pte {
+inline constexpr Pte kPresent = 1ULL << 0;
+inline constexpr Pte kSpcdCleared = 1ULL << 1;
+inline constexpr Pte kAccessed = 1ULL << 2;
+inline constexpr Pte kMapped = 1ULL << 3;
+inline constexpr unsigned kFrameShift = 12;
+
+constexpr bool is_present(Pte e) { return (e & kPresent) != 0; }
+constexpr bool is_mapped(Pte e) { return (e & kMapped) != 0; }
+constexpr bool is_spcd_cleared(Pte e) { return (e & kSpcdCleared) != 0; }
+constexpr std::uint64_t frame_of(Pte e) { return e >> kFrameShift; }
+constexpr Pte make(std::uint64_t frame) {
+  return (frame << kFrameShift) | kMapped | kPresent;
+}
+}  // namespace pte
+
+/// Radix page table over 36-bit virtual page numbers (4 levels x 9 bits).
+/// Nodes are allocated lazily on first map, like a real kernel would.
+class PageTable {
+ public:
+  PageTable();
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Map a virtual page to a frame; the entry becomes present.
+  /// Precondition: the page is not currently mapped.
+  void map(std::uint64_t vpn, std::uint64_t frame);
+
+  /// Walk the table. Returns nullptr if no translation exists at any level
+  /// (which in the simulator means the page was never mapped).
+  const Pte* walk(std::uint64_t vpn) const;
+
+  /// Mutable walk for fault handling / injection.
+  Pte* walk_mut(std::uint64_t vpn);
+
+  /// Clear the present bit and tag the entry as SPCD-cleared.
+  /// Returns false if the page is unmapped or already non-present.
+  bool clear_present(std::uint64_t vpn);
+
+  /// Restore the present bit after a fault. Returns true if the entry had
+  /// been SPCD-cleared (fast restore path).
+  bool restore_present(std::uint64_t vpn);
+
+  std::uint64_t mapped_pages() const { return mapped_; }
+
+  /// Number of radix nodes allocated (for memory accounting tests).
+  std::uint64_t node_count() const { return nodes_; }
+
+ private:
+  struct Leaf {
+    std::array<Pte, 512> entries{};
+  };
+  struct Level2 {
+    std::array<std::unique_ptr<Leaf>, 512> children;
+  };
+  struct Level3 {
+    std::array<std::unique_ptr<Level2>, 512> children;
+  };
+  struct Root {
+    std::array<std::unique_ptr<Level3>, 512> children;
+  };
+
+  Leaf* find_leaf(std::uint64_t vpn) const;
+  Leaf& ensure_leaf(std::uint64_t vpn);
+
+  std::unique_ptr<Root> root_;
+  std::uint64_t mapped_ = 0;
+  std::uint64_t nodes_ = 1;
+};
+
+}  // namespace spcd::mem

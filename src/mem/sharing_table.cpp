@@ -1,0 +1,115 @@
+#include "mem/sharing_table.hpp"
+
+#include "util/contracts.hpp"
+
+namespace spcd::mem {
+
+namespace {
+// Linux kernel hash_64: multiply by the 64-bit golden ratio prime. We map to
+// an arbitrary (not necessarily power-of-two) table size by taking the high
+// 32 bits and reducing them modulo the size, which preserves the avalanche
+// behaviour of the multiplicative hash.
+constexpr std::uint64_t kGoldenRatio64 = 0x61c8864680b583ebULL;
+
+std::uint64_t hash_64(std::uint64_t val) { return val * kGoldenRatio64; }
+}  // namespace
+
+SharingTable::SharingTable(const SharingTableConfig& config)
+    : config_(config) {
+  SPCD_EXPECTS(config.num_entries >= 1);
+  SPCD_EXPECTS(config.max_sharers >= 2 && config.max_sharers <= 8);
+  table_.resize(config.num_entries);
+  if (config_.collision_policy == CollisionPolicy::kChain) {
+    overflow_.resize(config.num_entries);
+  }
+}
+
+std::uint64_t SharingTable::bucket_of(std::uint64_t region) const {
+  return (hash_64(region) >> 32) % table_.size();
+}
+
+CommunicationEvent SharingTable::touch_entry(Entry& entry,
+                                             std::uint64_t region,
+                                             ThreadId tid, util::Cycles now) {
+  CommunicationEvent event;
+
+  if (entry.region != region) {
+    // Empty slot or collision: (re)initialize for this region.
+    if (entry.region == Entry::kEmpty) {
+      ++occupied_;
+    } else {
+      ++collisions_;
+    }
+    entry.region = region;
+    entry.sharer_count = 0;
+  }
+
+  // Collect communication partners and update / insert this thread's stamp.
+  std::uint32_t self_idx = entry.sharer_count;  // sentinel: not found
+  std::uint32_t oldest_idx = 0;
+  for (std::uint32_t i = 0; i < entry.sharer_count; ++i) {
+    Sharer& s = entry.sharers[i];
+    if (s.tid == tid) {
+      self_idx = i;
+      continue;
+    }
+    if (s.last_access < entry.sharers[oldest_idx].last_access) oldest_idx = i;
+    const bool in_window =
+        config_.time_window == 0 || now - s.last_access <= config_.time_window;
+    if (in_window) {
+      if (event.partner_count < 8) {
+        event.partners[event.partner_count++] = s.tid;
+      }
+    } else {
+      ++window_rejects_;
+    }
+  }
+
+  if (self_idx < entry.sharer_count) {
+    entry.sharers[self_idx].last_access = now;
+  } else if (entry.sharer_count < config_.max_sharers) {
+    entry.sharers[entry.sharer_count++] = Sharer{tid, now};
+  } else {
+    // Sharer list full: evict the least recently active sharer.
+    entry.sharers[oldest_idx] = Sharer{tid, now};
+  }
+  return event;
+}
+
+CommunicationEvent SharingTable::record_access(std::uint64_t vaddr,
+                                               ThreadId tid,
+                                               util::Cycles now) {
+  ++accesses_;
+  const std::uint64_t region = region_of(vaddr);
+  const std::uint64_t bucket = bucket_of(region);
+  Entry& head = table_[bucket];
+
+  if (config_.collision_policy == CollisionPolicy::kOverwrite ||
+      head.region == region || head.region == Entry::kEmpty) {
+    return touch_entry(head, region, tid, now);
+  }
+
+  // Chained mode: search the overflow list, append if absent.
+  auto& chain = overflow_[bucket];
+  for (Entry& e : chain) {
+    if (e.region == region) return touch_entry(e, region, tid, now);
+  }
+  ++collisions_;
+  chain.emplace_back();
+  ++occupied_;
+  return touch_entry(chain.back(), region, tid, now);
+}
+
+std::uint64_t SharingTable::memory_bytes() const {
+  std::uint64_t bytes = table_.size() * sizeof(Entry);
+  for (const auto& chain : overflow_) bytes += chain.size() * sizeof(Entry);
+  return bytes;
+}
+
+void SharingTable::clear() {
+  for (auto& e : table_) e = Entry{};
+  for (auto& chain : overflow_) chain.clear();
+  collisions_ = occupied_ = accesses_ = window_rejects_ = 0;
+}
+
+}  // namespace spcd::mem

@@ -1,0 +1,108 @@
+// The paper's central data structure (Figure 4): a fixed-size hash table,
+// outside the page table, that maps a memory *region* (virtual address
+// shifted by a configurable granularity — decoupled from the hardware page
+// size, SIII-C1) to the list of threads that faulted on it, with a timestamp
+// of each thread's last access.
+//
+// Faithful to the paper:
+//   * fixed size, default 256,000 entries (~1 GiB of coverage at 4 KiB
+//     granularity; ~18 MiB of kernel memory),
+//   * hash collisions overwrite the previous entry ("to reduce the
+//     overhead", SIII-B1),
+//   * a subsequent access counts as communication only with sharers whose
+//     last access fell inside a time window (temporal false communication,
+//     SIII-C2),
+//   * the hash function follows the Linux kernel's hash_64 (golden-ratio
+//     multiplicative hash).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "util/units.hpp"
+
+namespace spcd::mem {
+
+/// Collision handling policy. The paper uses overwrite; chaining exists for
+/// the ablation study (DESIGN.md S5.1).
+enum class CollisionPolicy : std::uint8_t { kOverwrite, kChain };
+
+struct SharingTableConfig {
+  std::uint64_t num_entries = 256000;
+  /// log2 of the detection granularity in bytes (default 4 KiB like the
+  /// paper, independent of the machine's page size).
+  unsigned granularity_shift = 12;
+  /// Accesses farther apart than this window are not communication.
+  /// 0 disables the temporal filter.
+  util::Cycles time_window = 0;
+  CollisionPolicy collision_policy = CollisionPolicy::kOverwrite;
+  /// Sharers remembered per region; the kernel module bounds this so an
+  /// entry stays ~72 bytes. The oldest sharer is evicted when full.
+  std::uint32_t max_sharers = 8;
+};
+
+/// Result of recording one access: the other threads this access
+/// communicated with (sharers of the region inside the time window).
+struct CommunicationEvent {
+  /// Partner thread ids; parallel to `partner_count`.
+  std::uint32_t partners[8];
+  std::uint32_t partner_count = 0;
+};
+
+class SharingTable {
+ public:
+  explicit SharingTable(const SharingTableConfig& config);
+
+  /// Record that `tid` touched `vaddr` at time `now`; reports which threads
+  /// it communicated with (previous sharers within the time window).
+  CommunicationEvent record_access(std::uint64_t vaddr, ThreadId tid,
+                                   util::Cycles now);
+
+  /// Region key for an address at the configured granularity.
+  std::uint64_t region_of(std::uint64_t vaddr) const {
+    return vaddr >> config_.granularity_shift;
+  }
+
+  const SharingTableConfig& config() const { return config_; }
+
+  /// Approximate memory footprint of the table in bytes.
+  std::uint64_t memory_bytes() const;
+
+  // --- statistics ---
+  std::uint64_t collisions() const { return collisions_; }
+  std::uint64_t occupied() const { return occupied_; }
+  std::uint64_t accesses() const { return accesses_; }
+  /// Accesses suppressed by the temporal window.
+  std::uint64_t window_rejects() const { return window_rejects_; }
+
+  void clear();
+
+ private:
+  struct Sharer {
+    ThreadId tid = 0;
+    util::Cycles last_access = 0;
+  };
+  struct Entry {
+    static constexpr std::uint64_t kEmpty = ~0ULL;
+    std::uint64_t region = kEmpty;
+    std::uint32_t sharer_count = 0;
+    Sharer sharers[8];
+  };
+
+  std::uint64_t bucket_of(std::uint64_t region) const;
+  CommunicationEvent touch_entry(Entry& entry, std::uint64_t region,
+                                 ThreadId tid, util::Cycles now);
+
+  SharingTableConfig config_;
+  std::vector<Entry> table_;
+  // Chained mode keeps per-bucket overflow lists (ablation only).
+  std::vector<std::vector<Entry>> overflow_;
+
+  std::uint64_t collisions_ = 0;
+  std::uint64_t occupied_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t window_rejects_ = 0;
+};
+
+}  // namespace spcd::mem

@@ -1,0 +1,74 @@
+#include "sim/cache.hpp"
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace spcd::sim {
+
+Cache::Cache(const arch::CacheGeometry& geometry)
+    : num_sets_(geometry.num_sets()), ways_(geometry.associativity) {
+  SPCD_EXPECTS(geometry.line_bytes > 0);
+  SPCD_EXPECTS(geometry.associativity > 0);
+  SPCD_EXPECTS(geometry.size_bytes % (geometry.line_bytes *
+                                      geometry.associativity) == 0);
+  SPCD_EXPECTS(num_sets_ >= 1);
+  ways_store_.resize(num_sets_ * ways_);
+}
+
+bool Cache::probe(std::uint64_t line) {
+  Way* set = &ways_store_[set_index(line) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line) {
+      set[w].tick = ++tick_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t line) const {
+  const Way* set = &ways_store_[set_index(line) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line) return true;
+  }
+  return false;
+}
+
+Cache::InsertResult Cache::insert(std::uint64_t line) {
+  Way* set = &ways_store_[set_index(line) * ways_];
+  Way* victim = &set[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    SPCD_ASSERT(set[w].tag != line);  // caller must probe first
+    if (set[w].tick < victim->tick) victim = &set[w];
+  }
+  InsertResult result;
+  if (victim->valid) {
+    result.evicted = true;
+    result.victim = victim->tag;
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->tick = ++tick_;
+  return result;
+}
+
+bool Cache::invalidate(std::uint64_t line) {
+  Way* set = &ways_store_[set_index(line) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line) {
+      set[w].valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& w : ways_store_) w.valid = false;
+}
+
+}  // namespace spcd::sim

@@ -1,0 +1,57 @@
+// Set-associative cache tag store with LRU replacement. Only tags are
+// simulated (the simulator never stores data); timing and coherence are
+// handled by MemoryHierarchy on top of this structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine_spec.hpp"
+
+namespace spcd::sim {
+
+class Cache {
+ public:
+  explicit Cache(const arch::CacheGeometry& geometry);
+
+  /// Probe for a line address; a hit refreshes its LRU position.
+  bool probe(std::uint64_t line);
+
+  /// Probe without touching LRU state (for inspection).
+  bool contains(std::uint64_t line) const;
+
+  struct InsertResult {
+    bool evicted = false;
+    std::uint64_t victim = 0;
+  };
+
+  /// Insert a line (must not be present); returns the evicted victim if the
+  /// set was full.
+  InsertResult insert(std::uint64_t line);
+
+  /// Remove a line (coherence invalidation). Returns true if it was present.
+  bool invalidate(std::uint64_t line);
+
+  void flush();
+
+  std::uint64_t num_sets() const { return num_sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t tick = 0;
+    bool valid = false;
+  };
+
+  std::size_t set_index(std::uint64_t line) const {
+    return static_cast<std::size_t>(line % num_sets_);
+  }
+
+  std::uint64_t num_sets_;
+  std::uint32_t ways_;
+  std::vector<Way> ways_store_;  // num_sets_ x ways_, row-major
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace spcd::sim

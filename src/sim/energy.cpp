@@ -1,0 +1,34 @@
+#include "sim/energy.hpp"
+
+namespace spcd::sim {
+
+EnergyBreakdown compute_energy(const PerfCounters& c, double exec_seconds,
+                               const arch::MachineSpec& spec) {
+  const arch::EnergySpec& e = spec.energy;
+  const double sockets = spec.topology.sockets;
+  const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  EnergyBreakdown out;
+
+  // Package: static leakage + core execution + cache activity + interconnect.
+  double pkg_nj = 0.0;
+  pkg_nj += d(c.busy_cycles) * e.core_nj_per_cycle;
+  pkg_nj += d(c.accesses()) * e.l1_access_nj;
+  const std::uint64_t l2_accesses = c.l2_hits + c.l2_misses;
+  const std::uint64_t l3_accesses = c.l3_hits + c.l3_misses;
+  pkg_nj += d(l2_accesses) * e.l2_access_nj;
+  pkg_nj += d(l3_accesses) * e.l3_access_nj;
+  pkg_nj += d(c.c2c_same_socket + c.invalidations + c.back_invalidations) *
+            e.onchip_transfer_nj;
+  pkg_nj += d(c.c2c_cross_socket + c.dram_remote) * e.offchip_transfer_nj;
+  out.package_joules =
+      pkg_nj * 1e-9 + sockets * e.pkg_static_watts_per_socket * exec_seconds;
+
+  // DRAM: background power + per-access energy.
+  double dram_nj = d(c.dram_total()) * e.dram_access_nj;
+  out.dram_joules = dram_nj * 1e-9 +
+                    sockets * e.dram_background_watts_per_node * exec_seconds;
+  return out;
+}
+
+}  // namespace spcd::sim

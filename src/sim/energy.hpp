@@ -1,0 +1,36 @@
+// Energy model standing in for the RAPL counters used in the paper
+// (package and DRAM domains). Energy has a static part (power x wall time)
+// and a dynamic part (per-event energies from the performance counters), so
+// mapping improvements show up twice, exactly as in the paper: shorter
+// execution time cuts the static part, and fewer cache misses / less
+// interconnect traffic cut the dynamic part.
+#pragma once
+
+#include "arch/machine_spec.hpp"
+#include "sim/perf_counters.hpp"
+
+namespace spcd::sim {
+
+struct EnergyBreakdown {
+  double package_joules = 0.0;
+  double dram_joules = 0.0;
+
+  double package_epi_nj(std::uint64_t instructions) const {
+    return instructions == 0
+               ? 0.0
+               : package_joules * 1e9 / static_cast<double>(instructions);
+  }
+  double dram_epi_nj(std::uint64_t instructions) const {
+    return instructions == 0
+               ? 0.0
+               : dram_joules * 1e9 / static_cast<double>(instructions);
+  }
+};
+
+/// Compute the energy consumed by a run that took `exec_seconds` of wall
+/// time and produced the given counters on the given machine.
+EnergyBreakdown compute_energy(const PerfCounters& counters,
+                               double exec_seconds,
+                               const arch::MachineSpec& spec);
+
+}  // namespace spcd::sim

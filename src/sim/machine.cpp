@@ -1,0 +1,37 @@
+#include "sim/machine.hpp"
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace spcd::sim {
+
+Machine::Machine(const arch::MachineSpec& spec)
+    : spec_(spec),
+      topo_(spec.topology),
+      page_shift_(util::log2_exact(spec.page_bytes)),
+      line_shift_(util::log2_exact(spec.l1.line_bytes)),
+      frames_(spec.topology.sockets),
+      hierarchy_(spec_, topo_) {
+  SPCD_EXPECTS(util::is_pow2(spec.page_bytes));
+  SPCD_EXPECTS(util::is_pow2(spec.l1.line_bytes));
+  SPCD_EXPECTS(spec.l1.line_bytes == spec.l2.line_bytes &&
+               spec.l2.line_bytes == spec.l3.line_bytes);
+  tlbs_.reserve(topo_.num_contexts());
+  for (std::uint32_t c = 0; c < topo_.num_contexts(); ++c) {
+    tlbs_.emplace_back(spec.tlb);
+  }
+}
+
+mem::AddressSpace Machine::make_address_space() {
+  return mem::AddressSpace(frames_, page_shift_);
+}
+
+std::uint32_t Machine::tlb_shootdown(std::uint64_t vpn) {
+  std::uint32_t hit = 0;
+  for (auto& tlb : tlbs_) {
+    if (tlb.invalidate(vpn)) ++hit;
+  }
+  return hit;
+}
+
+}  // namespace spcd::sim

@@ -1,0 +1,58 @@
+// The simulated machine: topology + per-context TLBs + cache hierarchy +
+// physical memory. One Machine hosts one parallel application (a process
+// with one AddressSpace), mirroring the paper's setup of one NPB benchmark
+// running alone on the evaluation system.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/machine_spec.hpp"
+#include "arch/topology.hpp"
+#include "mem/address_space.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/tlb.hpp"
+#include "sim/memory_hierarchy.hpp"
+
+namespace spcd::sim {
+
+class Machine {
+ public:
+  explicit Machine(const arch::MachineSpec& spec);
+
+  const arch::MachineSpec& spec() const { return spec_; }
+  const arch::Topology& topology() const { return topo_; }
+
+  mem::Tlb& tlb(arch::ContextId ctx) { return tlbs_[ctx]; }
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  const MemoryHierarchy& hierarchy() const { return hierarchy_; }
+  mem::FrameAllocator& frames() { return frames_; }
+
+  /// Create the (single) process address space for this machine.
+  mem::AddressSpace make_address_space();
+
+  /// Invalidate a page's translation in every context's TLB (the shootdown
+  /// the SPCD injector must perform after clearing a present bit).
+  /// Returns how many TLBs actually held the entry.
+  std::uint32_t tlb_shootdown(std::uint64_t vpn);
+
+  unsigned page_shift() const { return page_shift_; }
+  unsigned line_shift() const { return line_shift_; }
+
+  /// Physical line address for a frame + virtual address offset.
+  std::uint64_t line_of(std::uint64_t frame, std::uint64_t vaddr) const {
+    const std::uint64_t page_off = vaddr & ((1ULL << page_shift_) - 1);
+    return (frame << (page_shift_ - line_shift_)) | (page_off >> line_shift_);
+  }
+
+ private:
+  arch::MachineSpec spec_;
+  arch::Topology topo_;
+  unsigned page_shift_;
+  unsigned line_shift_;
+  mem::FrameAllocator frames_;
+  std::vector<mem::Tlb> tlbs_;
+  MemoryHierarchy hierarchy_;
+};
+
+}  // namespace spcd::sim

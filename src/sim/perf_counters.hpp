@@ -1,0 +1,71 @@
+// Performance counters collected by the simulator. These stand in for the
+// PAPI hardware counters and Intel VTune statistics the paper measures:
+// instructions, L2/L3 misses (for MPKI), cache-to-cache transactions, and
+// the SPCD overhead accounting of Section V-F.
+#pragma once
+
+#include <cstdint>
+
+namespace spcd::sim {
+
+struct PerfCounters {
+  // Instruction and access stream.
+  std::uint64_t instructions = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  // Cache hierarchy.
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l3_hits = 0;
+  std::uint64_t l3_misses = 0;
+
+  // Coherence traffic.
+  std::uint64_t c2c_same_socket = 0;   ///< data served from a cache on-chip
+  std::uint64_t c2c_cross_socket = 0;  ///< data served from a remote chip
+  std::uint64_t invalidations = 0;     ///< copies killed by write upgrades
+  std::uint64_t back_invalidations = 0;  ///< inclusion-victim invalidations
+
+  // Memory.
+  std::uint64_t dram_local = 0;
+  std::uint64_t dram_remote = 0;
+
+  // Virtual memory.
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t injected_faults = 0;
+  std::uint64_t tlb_shootdowns = 0;
+
+  // Execution.
+  std::uint64_t busy_cycles = 0;          ///< sum of per-thread active cycles
+  std::uint64_t barrier_wait_cycles = 0;  ///< sum of per-thread idle waits
+  std::uint64_t thread_migrations = 0;    ///< individual thread moves
+  std::uint64_t page_migrations = 0;      ///< pages moved between nodes
+
+  // SPCD overhead accounting (Figure 16): cycles spent in communication
+  // detection (fault hook + injector walks) and in the mapping path
+  // (filter + matching + migrations).
+  std::uint64_t spcd_detection_cycles = 0;
+  std::uint64_t mapping_cycles = 0;
+
+  std::uint64_t accesses() const { return reads + writes; }
+  std::uint64_t c2c_total() const { return c2c_same_socket + c2c_cross_socket; }
+  std::uint64_t dram_total() const { return dram_local + dram_remote; }
+
+  /// Misses per kilo-instruction, the paper's cache metric.
+  double l2_mpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(l2_misses) /
+                                   static_cast<double>(instructions);
+  }
+  double l3_mpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(l3_misses) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+}  // namespace spcd::sim

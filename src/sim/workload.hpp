@@ -1,0 +1,58 @@
+// Workload interface consumed by the engine. A workload spawns one
+// ThreadProgram per thread; each program is a deterministic generator of
+// operations (memory accesses, compute bursts, barriers). Concrete
+// workloads (producer/consumer, the NPB-like kernels) live in
+// src/workloads/.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace spcd::sim {
+
+enum class OpKind : std::uint8_t {
+  kAccess,   ///< one memory reference plus attached compute work
+  kCompute,  ///< pure compute burst (no memory system interaction)
+  kBarrier,  ///< synchronize with all other running threads
+  kFinish,   ///< thread is done; the program will not be asked again
+};
+
+struct Op {
+  OpKind kind = OpKind::kFinish;
+  bool write = false;
+  std::uint32_t insns = 1;   ///< instructions this op represents
+  std::uint32_t cycles = 0;  ///< compute cycles (added to memory latency)
+  std::uint64_t vaddr = 0;   ///< virtual address (kAccess only)
+
+  static Op access(std::uint64_t vaddr, bool write, std::uint32_t insns,
+                   std::uint32_t cycles) {
+    return Op{OpKind::kAccess, write, insns, cycles, vaddr};
+  }
+  static Op compute(std::uint32_t insns, std::uint32_t cycles) {
+    return Op{OpKind::kCompute, false, insns, cycles, 0};
+  }
+  static Op barrier() { return Op{OpKind::kBarrier, false, 0, 0, 0}; }
+  static Op finish() { return Op{OpKind::kFinish, false, 0, 0, 0}; }
+};
+
+/// Per-thread deterministic op generator.
+class ThreadProgram {
+ public:
+  virtual ~ThreadProgram() = default;
+  /// Next operation. After returning kFinish the program is not called again.
+  virtual Op next() = 0;
+};
+
+/// A parallel application.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  virtual std::uint32_t num_threads() const = 0;
+  /// Create the program for thread `tid`; `seed` decorrelates repetitions.
+  virtual std::unique_ptr<ThreadProgram> make_thread(std::uint32_t tid,
+                                                     std::uint64_t seed) = 0;
+};
+
+}  // namespace spcd::sim

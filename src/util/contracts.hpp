@@ -1,0 +1,32 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations abort with a location message;
+// they indicate programming errors, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spcd::util::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace spcd::util::detail
+
+#define SPCD_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::spcd::util::detail::contract_failure("Precondition", #cond,   \
+                                                   __FILE__, __LINE__))
+
+#define SPCD_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::spcd::util::detail::contract_failure("Postcondition", #cond,  \
+                                                   __FILE__, __LINE__))
+
+#define SPCD_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::spcd::util::detail::contract_failure("Invariant", #cond,      \
+                                                   __FILE__, __LINE__))

@@ -1,0 +1,19 @@
+// Environment-variable knobs for the benchmark harnesses (repetition counts,
+// workload scale). Central parsing so every bench honors the same settings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spcd::util {
+
+/// Integer environment variable with a default; invalid values fall back.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Floating-point environment variable with a default.
+double env_double(const char* name, double fallback);
+
+/// String environment variable with a default.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace spcd::util

@@ -1,0 +1,65 @@
+#include "util/heatmap.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace spcd::util {
+
+std::string render_heatmap(std::span<const double> matrix, std::size_t n,
+                           const HeatmapOptions& opts) {
+  SPCD_EXPECTS(matrix.size() == n * n);
+  SPCD_EXPECTS(!opts.ramp.empty());
+
+  double maxv = opts.fixed_max;
+  if (opts.auto_scale) {
+    maxv = 0.0;
+    for (double v : matrix) maxv = std::max(maxv, v);
+  }
+
+  std::ostringstream out;
+  // Column header (tens digit then ones digit, every label_stride columns).
+  auto col_label = [&](std::size_t digit_div) {
+    out << "    ";
+    for (std::size_t c = 0; c < n; ++c) {
+      if (opts.label_stride != 0 && c % opts.label_stride == 0) {
+        out << ((c / digit_div) % 10);
+      } else {
+        out << ' ';
+      }
+      out << ' ';
+    }
+    out << '\n';
+  };
+  if (n > 10) col_label(10);
+  col_label(1);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%3zu ", r);
+    out << label;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double v = matrix[r * n + c];
+      std::size_t idx = 0;
+      if (maxv > 0.0 && v > 0.0) {
+        const double norm = std::clamp(v / maxv, 0.0, 1.0);
+        idx = static_cast<std::size_t>(
+            norm * static_cast<double>(opts.ramp.size() - 1) + 0.5);
+      }
+      out << opts.ramp[idx] << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_heatmap_u64(std::span<const std::uint64_t> matrix,
+                               std::size_t n, const HeatmapOptions& opts) {
+  std::vector<double> d(matrix.size());
+  std::transform(matrix.begin(), matrix.end(), d.begin(),
+                 [](std::uint64_t v) { return static_cast<double>(v); });
+  return render_heatmap(d, n, opts);
+}
+
+}  // namespace spcd::util

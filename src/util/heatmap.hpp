@@ -1,0 +1,31 @@
+// ASCII heatmap rendering for communication matrices, used to reproduce the
+// paper's Figures 6 and 7 on a terminal. Darker shades mean more
+// communication, matching the paper's grayscale convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spcd::util {
+
+struct HeatmapOptions {
+  /// Characters from lightest to darkest.
+  std::string ramp = " .:-=+*#%@";
+  /// Print thread-id axis labels every `label_stride` rows/columns.
+  unsigned label_stride = 4;
+  /// Normalize against the matrix's own maximum (true) or a fixed max.
+  bool auto_scale = true;
+  double fixed_max = 1.0;
+};
+
+/// Render an n x n matrix (row-major) as an ASCII heatmap.
+std::string render_heatmap(std::span<const double> matrix, std::size_t n,
+                           const HeatmapOptions& opts = {});
+
+/// Convenience overload for integer matrices.
+std::string render_heatmap_u64(std::span<const std::uint64_t> matrix,
+                               std::size_t n, const HeatmapOptions& opts = {});
+
+}  // namespace spcd::util

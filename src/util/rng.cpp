@@ -1,0 +1,13 @@
+#include "util/rng.hpp"
+
+namespace spcd::util {
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  // Mix parent and stream through splitmix so adjacent streams differ in all
+  // bits. Two rounds keep (parent, stream) and (parent+1, stream-1) apart.
+  SplitMix64 sm(parent ^ (stream * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace spcd::util

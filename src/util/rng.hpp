@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generators for the simulator.
+//
+// The simulator must be reproducible: every experiment seeds its own
+// generator from (experiment id, repetition), so results are stable across
+// runs and machines. We use splitmix64 for seeding and xoshiro256** for the
+// main stream (both public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace spcd::util {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG. Satisfies
+/// UniformRandomBitGenerator so it can be used with <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the tiny bias is irrelevant for simulation sampling.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+    using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+    const auto x = (*this)();
+    return static_cast<std::uint64_t>((static_cast<u128>(x) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive a child seed from a parent seed and a stream index, so independent
+/// components (threads, repetitions) get decorrelated streams.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream);
+
+/// Fisher-Yates shuffle of [first, last) using the given generator.
+template <typename It>
+void shuffle(It first, It last, Xoshiro256& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const auto j = rng.below(i);
+    using std::swap;
+    swap(first[static_cast<std::ptrdiff_t>(i - 1)],
+         first[static_cast<std::ptrdiff_t>(j)]);
+  }
+}
+
+}  // namespace spcd::util

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace spcd::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double student_t_975(std::size_t dof) {
+  // Table of two-sided 95% critical values; beyond 30 dof the normal
+  // approximation is within 0.05 of the exact value.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof];
+  return 1.960 + 2.4 / static_cast<double>(dof);  // smooth approach to z
+}
+
+MeanCi mean_ci95(std::span<const double> samples) {
+  MeanCi out;
+  out.n = samples.size();
+  if (samples.empty()) return out;
+  RunningStats rs;
+  for (double s : samples) rs.add(s);
+  out.mean = rs.mean();
+  if (samples.size() >= 2) {
+    const double sem =
+        rs.stddev() / std::sqrt(static_cast<double>(samples.size()));
+    out.ci95 = student_t_975(samples.size() - 1) * sem;
+  }
+  return out;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  SPCD_EXPECTS(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  if (sa.stddev() == 0.0 || sb.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+double mean_of(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double geomean_of(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double s : samples) {
+    SPCD_EXPECTS(s > 0.0);
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace spcd::util

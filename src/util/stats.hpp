@@ -1,0 +1,54 @@
+// Statistics used by the experiment harness: sample mean, standard deviation,
+// and Student-t 95% confidence intervals, matching the paper's methodology
+// ("10 executions, average and 95% confidence interval, Student's
+// t-distribution").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spcd::util {
+
+/// Welford-style online accumulator for mean and variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean plus symmetric 95% confidence half-width.
+struct MeanCi {
+  double mean = 0.0;
+  double ci95 = 0.0;  ///< half-width; interval is [mean - ci95, mean + ci95]
+  std::size_t n = 0;
+};
+
+/// Two-sided 97.5% quantile of Student's t-distribution with `dof` degrees of
+/// freedom (the multiplier for a 95% confidence interval).
+double student_t_975(std::size_t dof);
+
+/// Compute mean and 95% CI of a sample.
+MeanCi mean_ci95(std::span<const double> samples);
+
+/// Pearson correlation coefficient of two equally sized samples.
+/// Returns 0 when either sample has zero variance.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Arithmetic mean (0 for an empty span).
+double mean_of(std::span<const double> samples);
+
+/// Geometric mean of strictly positive samples (0 for an empty span).
+double geomean_of(std::span<const double> samples);
+
+}  // namespace spcd::util

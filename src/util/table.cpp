@@ -1,0 +1,120 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace spcd::util {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  // Compute column widths over header + all rows.
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) widen(r.cells);
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  if (!widths.empty()) total += 2 * (widths.size() - 1);
+  const std::string rule(total, '-');
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      out << c << std::string(widths[i] - c.size(), ' ');
+      if (i + 1 < widths.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << rule << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      out << rule << '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      const bool quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : cells[i]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cells[i];
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) emit(r.cells);
+  }
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent_delta(double ratio_vs_baseline, int precision) {
+  const double pct = (ratio_vs_baseline - 1.0) * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, pct);
+  return buf;
+}
+
+std::string fmt_mean_ci(double mean, double ci, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, mean, precision,
+                ci);
+  return buf;
+}
+
+std::string fmt_thousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace spcd::util

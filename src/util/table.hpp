@@ -1,0 +1,50 @@
+// Plain-text table rendering for the benchmark harnesses. The figure/table
+// benches print results in the layout of the paper's tables; this utility
+// handles column alignment and CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spcd::util {
+
+/// A simple column-aligned text table. Rows may have differing cell counts;
+/// missing cells render empty.
+class TextTable {
+ public:
+  /// Set the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void separator();
+
+  /// Render with padded columns; header separated by a rule.
+  std::string render() const;
+
+  /// Render as CSV (separators are skipped).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers used throughout the benches.
+std::string fmt_double(double v, int precision);
+/// e.g. -16.7%  (sign always shown)
+std::string fmt_percent_delta(double ratio_vs_baseline, int precision = 1);
+/// "12.34 ± 0.56" style
+std::string fmt_mean_ci(double mean, double ci, int precision);
+/// Group thousands: 177500 -> "177,500"
+std::string fmt_thousands(std::uint64_t v);
+
+}  // namespace spcd::util

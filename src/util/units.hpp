@@ -1,0 +1,39 @@
+// Size and time unit helpers shared across the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace spcd::util {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Simulated time is counted in processor cycles of the simulated machine.
+using Cycles = std::uint64_t;
+
+/// Convert cycles to seconds for a given core frequency in Hz.
+constexpr double cycles_to_seconds(Cycles c, double freq_hz) {
+  return static_cast<double>(c) / freq_hz;
+}
+
+/// Convert a wall-clock duration to cycles at a given frequency.
+constexpr Cycles seconds_to_cycles(double seconds, double freq_hz) {
+  return static_cast<Cycles>(seconds * freq_hz);
+}
+
+constexpr Cycles milliseconds_to_cycles(double ms, double freq_hz) {
+  return seconds_to_cycles(ms * 1e-3, freq_hz);
+}
+
+/// True iff x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t x) {
+  unsigned n = 0;
+  while ((x >> n) != 1) ++n;
+  return n;
+}
+
+}  // namespace spcd::util

@@ -1,0 +1,54 @@
+// All-to-all kernel: stand-in for the NPB codes the paper classifies as
+// *homogeneous* (FT's transpose, IS's bucket sort). Remote references pick
+// a uniformly random partner chunk, so every thread communicates equally
+// with every other thread — the flat matrices of Figure 7 for which no
+// mapping can improve communication.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+#include "workloads/locality.hpp"
+
+namespace spcd::workloads {
+
+struct AllToAllParams {
+  std::string name = "alltoall";
+  std::uint32_t threads = 32;
+  std::uint32_t iterations = 12;
+  std::uint32_t refs_per_iter = 2500;
+  std::uint64_t chunk_bytes = util::kMiB;
+  /// Fraction of references that go to a random other thread's chunk.
+  double remote_frac = 0.4;
+  /// Remote references write (IS scatters into buckets) or read (FT reads
+  /// the blocks it transposes).
+  bool remote_writes = false;
+  /// Write probability for local references.
+  double write_frac = 0.4;
+  /// Locality of local references.
+  LocalityParams locality;
+  std::uint32_t compute_cycles = 300;
+  std::uint32_t insns_per_ref = 10;
+};
+
+class AllToAllKernel final : public sim::Workload {
+ public:
+  AllToAllKernel(AllToAllParams params, std::uint64_t seed);
+
+  std::string name() const override { return params_.name; }
+  std::uint32_t num_threads() const override { return params_.threads; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t seed) override;
+
+  std::uint64_t chunk_base(std::uint32_t tid) const;
+  const AllToAllParams& params() const { return params_; }
+
+ private:
+  AllToAllParams params_;
+  std::uint64_t seed_;
+  std::uint64_t chunk_stride_;
+};
+
+}  // namespace spcd::workloads

@@ -1,0 +1,34 @@
+// Helper base for thread programs: concrete workloads generate one outer
+// iteration (typically ending in a barrier) at a time into a buffer; the
+// engine consumes it op by op. Keeps per-thread memory bounded while
+// letting kernels be written as straightforward loops.
+#pragma once
+
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace spcd::workloads {
+
+class BlockProgram : public sim::ThreadProgram {
+ public:
+  sim::Op next() final {
+    while (pos_ >= block_.size()) {
+      block_.clear();
+      pos_ = 0;
+      if (!fill(block_)) return sim::Op::finish();
+    }
+    return block_[pos_++];
+  }
+
+ protected:
+  /// Emit the next batch of ops. Return false when the thread is done
+  /// (`out` must then be left empty).
+  virtual bool fill(std::vector<sim::Op>& out) = 0;
+
+ private:
+  std::vector<sim::Op> block_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spcd::workloads

@@ -1,0 +1,52 @@
+// Data-cube kernel: the stand-in for NPB DC — a long-running, memory-bound
+// workload over a large shared, read-mostly array. Each thread's "hot
+// window" into the cube overlaps its neighbors' windows, which produces
+// DC's mildly heterogeneous pattern; a uniform background of random reads
+// plus private staging writes keeps the footprint DRAM-bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+#include "workloads/locality.hpp"
+
+namespace spcd::workloads {
+
+struct DataCubeParams {
+  std::string name = "datacube";
+  std::uint32_t threads = 32;
+  std::uint32_t iterations = 60;
+  std::uint32_t refs_per_iter = 2500;
+  std::uint64_t cube_bytes = 48 * util::kMiB;
+  /// Width of a thread's hot window, as a multiple of cube/threads.
+  double hot_window_factor = 1.25;
+  double hot_frac = 0.75;      ///< reads in the hot window
+  double uniform_frac = 0.10;  ///< reads anywhere in the cube
+  /// Remaining references are private staging writes.
+  std::uint64_t staging_bytes = util::kMiB;
+  /// Locality within the hot window.
+  LocalityParams locality{.stream_frac = 0.55, .hot_frac = 0.40,
+                          .stream_step = 8, .hot_bytes = 32 * 1024};
+  std::uint32_t compute_cycles = 45;
+  std::uint32_t insns_per_ref = 8;
+};
+
+class DataCubeKernel final : public sim::Workload {
+ public:
+  DataCubeKernel(DataCubeParams params, std::uint64_t seed);
+
+  std::string name() const override { return params_.name; }
+  std::uint32_t num_threads() const override { return params_.threads; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t seed) override;
+
+  const DataCubeParams& params() const { return params_; }
+
+ private:
+  DataCubeParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace spcd::workloads

@@ -1,0 +1,73 @@
+// Domain-decomposition kernel: the synthetic stand-in for the NPB codes
+// whose communication the paper classifies as *heterogeneous* (BT, SP, LU,
+// UA, MG, CG). Each thread owns a contiguous chunk of a shared domain; a
+// halo region at the start of every chunk is written by its owner and read
+// by the owner's neighbors, so communication concentrates between
+// neighboring thread ids — the banded matrices of the paper's Figure 7.
+//
+// The neighbor-stride distribution shapes the band: {+-1} gives the
+// tridiagonal pattern of BT/SP/LU, multiple power-of-two strides give MG's
+// multigrid pattern, and a "random thread" entry (stride 0) adds UA's
+// irregular background.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+#include "workloads/locality.hpp"
+
+namespace spcd::workloads {
+
+struct NeighborStride {
+  int stride = 1;       ///< partner = tid + stride (wrapping); 0 = random
+  double weight = 1.0;  ///< relative probability
+};
+
+struct DomainParams {
+  std::string name = "domain";
+  std::uint32_t threads = 32;
+  std::uint32_t iterations = 30;
+  std::uint32_t refs_per_iter = 2500;  ///< per thread, per iteration
+  std::uint64_t chunk_bytes = util::kMiB;
+  std::uint64_t halo_bytes = 16 * util::kKiB;
+  /// Fraction of references that touch halo regions (communication).
+  double halo_frac = 0.3;
+  /// Of the halo references: probability of reading a neighbor's halo
+  /// (the rest write the thread's own halo for neighbors to pick up).
+  double neighbor_read_frac = 0.6;
+  std::vector<NeighborStride> neighbor_strides = {{1, 0.5}, {-1, 0.5}};
+  /// Write probability for own-interior references.
+  double write_frac = 0.3;
+  /// Locality of interior references (streaming + hot window + background).
+  LocalityParams locality;
+  std::uint32_t compute_cycles = 300;
+  std::uint32_t insns_per_ref = 10;
+};
+
+class DomainKernel final : public sim::Workload {
+ public:
+  DomainKernel(DomainParams params, std::uint64_t seed);
+
+  std::string name() const override { return params_.name; }
+  std::uint32_t num_threads() const override { return params_.threads; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t seed) override;
+
+  const DomainParams& params() const { return params_; }
+
+  /// Start of thread `tid`'s chunk in the shared domain. Chunks are
+  /// contiguous (not page-aligned), like slices of one big array — so the
+  /// page straddling two chunks is naturally shared by the two neighbor
+  /// threads, exactly the sharing real domain-decomposition codes exhibit.
+  std::uint64_t chunk_base(std::uint32_t tid) const;
+
+ private:
+  DomainParams params_;
+  std::uint64_t seed_;
+  std::vector<double> stride_cdf_;
+};
+
+}  // namespace spcd::workloads

@@ -1,0 +1,22 @@
+// Virtual address space layout shared by all workloads. One simulated
+// process hosts the whole application, so regions just need to be disjoint.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace spcd::workloads {
+
+/// Base of the shared (inter-thread) data region.
+inline constexpr std::uint64_t kSharedBase = 0x1000'0000ULL;
+
+/// Base of per-thread private regions; each thread gets a 64 MiB window.
+inline constexpr std::uint64_t kPrivateBase = 0x10'0000'0000ULL;
+inline constexpr std::uint64_t kPrivateStride = 64 * util::kMiB;
+
+constexpr std::uint64_t private_base(std::uint32_t tid) {
+  return kPrivateBase + tid * kPrivateStride;
+}
+
+}  // namespace spcd::workloads

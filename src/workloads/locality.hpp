@@ -1,0 +1,82 @@
+// Locality model shared by the synthetic kernels. Real NPB codes hit L1/L2
+// for the vast majority of references; a kernel that drew uniformly random
+// addresses from its whole working set would produce absurd MPKI (and a
+// slow simulation). LocalityCursor mixes three access modes over a buffer:
+//   * stream: a sequential cursor advancing `stream_step` bytes per access
+//     (sub-line steps make consecutive references hit the same cache line),
+//   * hot window: uniform accesses within a small window that drifts across
+//     the buffer once per iteration (temporal locality),
+//   * background: uniform accesses over the whole buffer (capacity misses).
+#pragma once
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::workloads {
+
+struct LocalityParams {
+  double stream_frac = 0.5;   ///< sequential streaming accesses
+  double hot_frac = 0.4;      ///< hot-window accesses (rest: background)
+  std::uint32_t stream_step = 16;       ///< bytes per streaming step
+  std::uint64_t hot_bytes = 32 * 1024;  ///< hot window size
+  /// Consecutive sub-line accesses per random pick: real loops touch
+  /// several fields of a struct / elements of a row before moving on.
+  std::uint32_t line_burst = 3;
+};
+
+class LocalityCursor {
+ public:
+  LocalityCursor(std::uint64_t base, std::uint64_t size,
+                 const LocalityParams& params)
+      : base_(base), size_(size), params_(params) {
+    SPCD_EXPECTS(size >= 1);
+    SPCD_EXPECTS(params.stream_frac + params.hot_frac <= 1.0);
+    hot_size_ = params_.hot_bytes < size_ ? params_.hot_bytes : size_;
+  }
+
+  /// Advance the hot window by a quarter of its size (call once per outer
+  /// iteration). Gradual drift keeps most of the window warm across
+  /// iterations while still covering the buffer over a run.
+  void drift(std::uint64_t /*iteration*/) {
+    if (size_ <= hot_size_) return;
+    hot_base_ = (hot_base_ + hot_size_ / 4) % (size_ - hot_size_);
+  }
+
+  std::uint64_t next(util::Xoshiro256& rng) {
+    if (burst_left_ > 0) {
+      --burst_left_;
+      burst_pos_ = (burst_pos_ & ~63ULL) | ((burst_pos_ + 8) & 63ULL);
+      return base_ + burst_pos_;
+    }
+    const double u = rng.uniform();
+    if (u < params_.stream_frac) {
+      stream_pos_ = (stream_pos_ + params_.stream_step) % size_;
+      return base_ + stream_pos_;
+    }
+    std::uint64_t pos;
+    if (u < params_.stream_frac + params_.hot_frac) {
+      pos = hot_base_ + rng.below(hot_size_);
+    } else {
+      pos = rng.below(size_);
+    }
+    if (params_.line_burst > 1) {
+      burst_left_ = params_.line_burst - 1;
+      burst_pos_ = pos;
+    }
+    return base_ + pos;
+  }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t size_;
+  LocalityParams params_;
+  std::uint64_t hot_size_;
+  std::uint64_t hot_base_ = 0;
+  std::uint64_t stream_pos_ = 0;
+  std::uint64_t burst_pos_ = 0;
+  std::uint32_t burst_left_ = 0;
+};
+
+}  // namespace spcd::workloads

@@ -1,0 +1,50 @@
+// Compute-bound kernel with almost no sharing: the stand-in for NPB EP
+// ("embarrassingly parallel"). Threads churn through private buffers with
+// heavy per-reference compute; a tiny shared constants table is read very
+// rarely, giving the near-empty communication matrix the paper shows for
+// EP ("several threads not communicating at all").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+#include "workloads/locality.hpp"
+
+namespace spcd::workloads {
+
+struct PrivateParams {
+  std::string name = "private";
+  std::uint32_t threads = 32;
+  std::uint32_t iterations = 10;
+  std::uint32_t refs_per_iter = 2500;
+  std::uint64_t private_bytes = 2 * util::kMiB;
+  std::uint64_t shared_table_bytes = 64 * util::kKiB;
+  /// Probability a reference reads the shared constants table.
+  double shared_frac = 0.002;
+  double write_frac = 0.5;
+  /// EP is compute bound with a tiny footprint in flight: high locality.
+  LocalityParams locality{.stream_frac = 0.55, .hot_frac = 0.42,
+                          .stream_step = 8, .hot_bytes = 8 * 1024};
+  std::uint32_t compute_cycles = 800;
+  std::uint32_t insns_per_ref = 24;
+};
+
+class PrivateKernel final : public sim::Workload {
+ public:
+  PrivateKernel(PrivateParams params, std::uint64_t seed);
+
+  std::string name() const override { return params_.name; }
+  std::uint32_t num_threads() const override { return params_.threads; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t seed) override;
+
+  const PrivateParams& params() const { return params_; }
+
+ private:
+  PrivateParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace spcd::workloads

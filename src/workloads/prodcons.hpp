@@ -1,0 +1,53 @@
+// The producer/consumer microbenchmark of the paper's Section V-B: pairs of
+// threads communicate through a shared vector, and the pairing alternates
+// between two phases — phase 1 pairs neighboring thread ids (t, t^1),
+// phase 2 pairs distant ids (t, t + N/2) — so the optimal mapping changes
+// at every phase switch. Used to verify that SPCD detects dynamic behaviour
+// (the paper's Figures 5 and 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+
+namespace spcd::workloads {
+
+struct ProdConsParams {
+  std::uint32_t pairs = 16;  ///< threads = 2 * pairs
+  /// Iterations per phase; the benchmark runs `phases` phases total,
+  /// alternating neighbor / distant pairing.
+  std::uint32_t iterations_per_phase = 30;
+  std::uint32_t phases = 4;
+  std::uint32_t refs_per_iter = 2000;
+  std::uint64_t buffer_bytes = 64 * util::kKiB;  ///< shared vector per pair
+  double producer_write_frac = 0.9;
+  std::uint32_t compute_cycles = 150;
+  std::uint32_t insns_per_ref = 8;
+};
+
+class ProducerConsumer final : public sim::Workload {
+ public:
+  ProducerConsumer(ProdConsParams params, std::uint64_t seed);
+
+  std::string name() const override { return "prodcons"; }
+  std::uint32_t num_threads() const override { return params_.pairs * 2; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t seed) override;
+
+  const ProdConsParams& params() const { return params_; }
+
+  /// Partner of `tid` in the given phase (0-based; even phases = neighbor
+  /// pairing, odd phases = distant pairing).
+  std::uint32_t partner_in_phase(std::uint32_t tid, std::uint32_t phase) const;
+
+  /// Base address of the buffer shared by a pair in a phase.
+  std::uint64_t buffer_base(std::uint32_t tid, std::uint32_t phase) const;
+
+ private:
+  ProdConsParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace spcd::workloads

@@ -1,0 +1,99 @@
+#include "workloads/trace.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/contracts.hpp"
+
+namespace spcd::workloads {
+
+std::uint64_t Trace::total_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& ops : threads_) total += ops.size();
+  return total;
+}
+
+Trace Trace::record(sim::Workload& workload) {
+  Trace trace(workload.num_threads());
+  for (std::uint32_t tid = 0; tid < workload.num_threads(); ++tid) {
+    auto program = workload.make_thread(tid, /*seed=*/tid);
+    SPCD_EXPECTS(program != nullptr);
+    for (;;) {
+      const sim::Op op = program->next();
+      if (op.kind == sim::OpKind::kFinish) break;
+      trace.append(tid, op);
+    }
+  }
+  return trace;
+}
+
+namespace {
+constexpr char kMagic[8] = {'s', 'p', 'c', 'd', 't', 'r', 'c', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+}  // namespace
+
+void Trace::save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, static_cast<std::uint32_t>(threads_.size()));
+  for (const auto& ops : threads_) {
+    write_pod(out, static_cast<std::uint64_t>(ops.size()));
+    for (const auto& op : ops) {
+      write_pod(out, static_cast<std::uint8_t>(op.kind));
+      write_pod(out, static_cast<std::uint8_t>(op.write ? 1 : 0));
+      write_pod(out, op.insns);
+      write_pod(out, op.cycles);
+      write_pod(out, op.vaddr);
+    }
+  }
+}
+
+Trace Trace::load(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  SPCD_EXPECTS(in.good() && std::equal(magic, magic + 8, kMagic));
+  const auto num_threads = read_pod<std::uint32_t>(in);
+  Trace trace(num_threads);
+  for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
+    const auto count = read_pod<std::uint64_t>(in);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sim::Op op;
+      op.kind = static_cast<sim::OpKind>(read_pod<std::uint8_t>(in));
+      op.write = read_pod<std::uint8_t>(in) != 0;
+      op.insns = read_pod<std::uint32_t>(in);
+      op.cycles = read_pod<std::uint32_t>(in);
+      op.vaddr = read_pod<std::uint64_t>(in);
+      SPCD_EXPECTS(in.good());
+      trace.append(tid, op);
+    }
+  }
+  return trace;
+}
+
+std::unique_ptr<sim::ThreadProgram> TraceReplay::make_thread(
+    std::uint32_t tid, std::uint64_t) {
+  class Program final : public sim::ThreadProgram {
+   public:
+    explicit Program(const std::vector<sim::Op>& ops) : ops_(ops) {}
+    sim::Op next() override {
+      return pos_ < ops_.size() ? ops_[pos_++] : sim::Op::finish();
+    }
+
+   private:
+    const std::vector<sim::Op>& ops_;
+    std::size_t pos_ = 0;
+  };
+  SPCD_EXPECTS(tid < trace_.num_threads());
+  return std::make_unique<Program>(trace_.ops_of(tid));
+}
+
+}  // namespace spcd::workloads

@@ -1,0 +1,66 @@
+#include "arch/machine_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::arch {
+namespace {
+
+TEST(MachineSpecTest, XeonMatchesPaperTableI) {
+  const auto m = dual_xeon_e5_2650();
+  EXPECT_EQ(m.topology.sockets, 2u);
+  EXPECT_EQ(m.topology.cores_per_socket, 8u);
+  EXPECT_EQ(m.topology.smt_per_core, 2u);
+  EXPECT_DOUBLE_EQ(m.freq_hz, 2.0e9);
+  EXPECT_EQ(m.l1.size_bytes, 32u * 1024u);
+  EXPECT_EQ(m.l2.size_bytes, 256u * 1024u);
+  EXPECT_EQ(m.l3.size_bytes, 20u * 1024u * 1024u);
+  EXPECT_EQ(m.page_bytes, 4096u);
+  EXPECT_EQ(m.line_bytes(), 64u);
+}
+
+TEST(MachineSpecTest, CacheGeometryDerivedQuantities) {
+  CacheGeometry g{.size_bytes = 32 * 1024, .associativity = 8,
+                  .line_bytes = 64};
+  EXPECT_EQ(g.num_lines(), 512u);
+  EXPECT_EQ(g.num_sets(), 64u);
+}
+
+TEST(MachineSpecTest, LatencyOrderingIsSane) {
+  const auto m = dual_xeon_e5_2650();
+  const auto& l = m.latency;
+  EXPECT_LT(l.l1_hit, l.l2_hit);
+  EXPECT_LT(l.l2_hit, l.l3_hit);
+  EXPECT_LT(l.l3_hit, l.c2c_same_socket);
+  EXPECT_LT(l.c2c_same_socket, l.dram_local);
+  EXPECT_LT(l.dram_local, l.dram_remote);
+  EXPECT_LT(l.injected_fault, l.minor_fault);  // fast restore path
+}
+
+TEST(MachineSpecTest, TinyMachineIsSmall) {
+  const auto m = tiny_test_machine();
+  Topology t(m.topology);
+  EXPECT_EQ(t.num_contexts(), 8u);
+  EXPECT_LT(m.l3.size_bytes, 1024u * 1024u);
+  // TLB geometry must divide evenly.
+  EXPECT_EQ(m.tlb.entries % m.tlb.associativity, 0u);
+}
+
+TEST(MachineSpecTest, SingleSocketHasNoSmt) {
+  const auto m = single_socket_machine();
+  EXPECT_EQ(m.topology.sockets, 1u);
+  EXPECT_EQ(m.topology.smt_per_core, 1u);
+}
+
+TEST(MachineSpecTest, EnergyConstantsArePositive) {
+  const auto e = dual_xeon_e5_2650().energy;
+  EXPECT_GT(e.pkg_static_watts_per_socket, 0.0);
+  EXPECT_GT(e.core_nj_per_cycle, 0.0);
+  EXPECT_GT(e.l1_access_nj, 0.0);
+  EXPECT_GT(e.dram_access_nj, 0.0);
+  EXPECT_LT(e.l1_access_nj, e.l2_access_nj);
+  EXPECT_LT(e.l2_access_nj, e.l3_access_nj);
+  EXPECT_LT(e.onchip_transfer_nj, e.offchip_transfer_nj);
+}
+
+}  // namespace
+}  // namespace spcd::arch

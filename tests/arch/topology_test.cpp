@@ -1,0 +1,121 @@
+#include "arch/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spcd::arch {
+namespace {
+
+Topology xeon() {
+  return Topology(TopologySpec{.sockets = 2, .cores_per_socket = 8,
+                               .smt_per_core = 2});
+}
+
+TEST(TopologyTest, CountsMatchSpec) {
+  const auto t = xeon();
+  EXPECT_EQ(t.num_sockets(), 2u);
+  EXPECT_EQ(t.num_cores(), 16u);
+  EXPECT_EQ(t.num_contexts(), 32u);
+}
+
+TEST(TopologyTest, ContextLayoutIsSocketMajor) {
+  const auto t = xeon();
+  // ctx 0/1 = socket 0 core 0; ctx 16 starts socket 1.
+  EXPECT_EQ(t.socket_of(0), 0u);
+  EXPECT_EQ(t.socket_of(15), 0u);
+  EXPECT_EQ(t.socket_of(16), 1u);
+  EXPECT_EQ(t.socket_of(31), 1u);
+  EXPECT_EQ(t.core_of(0), 0u);
+  EXPECT_EQ(t.core_of(1), 0u);
+  EXPECT_EQ(t.core_of(2), 1u);
+  EXPECT_EQ(t.core_of(31), 15u);
+  EXPECT_EQ(t.smt_slot_of(0), 0u);
+  EXPECT_EQ(t.smt_slot_of(1), 1u);
+}
+
+TEST(TopologyTest, SocketOfCore) {
+  const auto t = xeon();
+  EXPECT_EQ(t.socket_of_core(0), 0u);
+  EXPECT_EQ(t.socket_of_core(7), 0u);
+  EXPECT_EQ(t.socket_of_core(8), 1u);
+}
+
+TEST(TopologyTest, ContextsOfCoreAreSiblings) {
+  const auto t = xeon();
+  const auto sibs = t.contexts_of_core(5);
+  ASSERT_EQ(sibs.size(), 2u);
+  EXPECT_EQ(sibs[0], 10u);
+  EXPECT_EQ(sibs[1], 11u);
+  EXPECT_EQ(t.core_of(sibs[0]), t.core_of(sibs[1]));
+}
+
+TEST(TopologyTest, CoresOfSocket) {
+  const auto t = xeon();
+  const auto cores = t.cores_of_socket(1);
+  ASSERT_EQ(cores.size(), 8u);
+  EXPECT_EQ(cores.front(), 8u);
+  EXPECT_EQ(cores.back(), 15u);
+}
+
+TEST(TopologyTest, ProximityClassification) {
+  const auto t = xeon();
+  EXPECT_EQ(t.proximity(3, 3), Proximity::kSameContext);
+  EXPECT_EQ(t.proximity(0, 1), Proximity::kSameCore);
+  EXPECT_EQ(t.proximity(0, 2), Proximity::kSameSocket);
+  EXPECT_EQ(t.proximity(0, 16), Proximity::kCrossSocket);
+  EXPECT_EQ(t.proximity(16, 0), Proximity::kCrossSocket);
+}
+
+TEST(TopologyTest, ProximityIsSymmetric) {
+  const auto t = xeon();
+  for (ContextId a = 0; a < t.num_contexts(); ++a) {
+    for (ContextId b = 0; b < t.num_contexts(); ++b) {
+      EXPECT_EQ(t.proximity(a, b), t.proximity(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, ArityPathMultipliesToContexts) {
+  const auto t = xeon();
+  const auto path = t.arity_path();
+  std::uint64_t product = 1;
+  for (auto a : path) product *= a;
+  EXPECT_EQ(product, t.num_contexts());
+}
+
+TEST(TopologyTest, AllContextsPartitionIntoCores) {
+  const auto t = xeon();
+  std::set<ContextId> seen;
+  for (CoreId c = 0; c < t.num_cores(); ++c) {
+    for (auto ctx : t.contexts_of_core(c)) {
+      EXPECT_TRUE(seen.insert(ctx).second) << "duplicate ctx " << ctx;
+    }
+  }
+  EXPECT_EQ(seen.size(), t.num_contexts());
+}
+
+TEST(TopologyTest, SingleSocketNoSmt) {
+  Topology t(TopologySpec{.sockets = 1, .cores_per_socket = 4,
+                          .smt_per_core = 1});
+  EXPECT_EQ(t.num_contexts(), 4u);
+  EXPECT_EQ(t.proximity(0, 1), Proximity::kSameSocket);
+  EXPECT_EQ(t.core_of(3), 3u);
+}
+
+TEST(TopologyTest, DescribeMentionsAllCoordinates) {
+  const auto t = xeon();
+  const auto s = t.describe(17);
+  EXPECT_NE(s.find("ctx 17"), std::string::npos);
+  EXPECT_NE(s.find("socket 1"), std::string::npos);
+  EXPECT_NE(s.find("core 8"), std::string::npos);
+  EXPECT_NE(s.find("smt 1"), std::string::npos);
+}
+
+TEST(TopologyDeathTest, OutOfRangeContextAborts) {
+  const auto t = xeon();
+  EXPECT_DEATH((void)t.socket_of(32), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::arch

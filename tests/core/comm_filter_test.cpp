@@ -1,0 +1,106 @@
+#include "core/comm_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::core {
+namespace {
+
+TEST(CommFilterTest, EmptyMatrixNeverTriggers) {
+  CommFilter f(4, 2);
+  CommMatrix m(4);
+  EXPECT_FALSE(f.should_remap(m));
+  EXPECT_EQ(f.last_changes(), 0u);
+  EXPECT_EQ(f.evaluations(), 1u);
+}
+
+TEST(CommFilterTest, FirstPatternTriggersWhenEnoughThreadsGainPartners) {
+  CommFilter f(4, 2);
+  CommMatrix m(4);
+  m.add(0, 1, 10);
+  m.add(2, 3, 10);
+  EXPECT_TRUE(f.should_remap(m));
+  EXPECT_EQ(f.triggers(), 1u);
+}
+
+TEST(CommFilterTest, SinglePartnerChangeBelowThresholdDoesNotTrigger) {
+  CommFilter f(4, 2);
+  CommMatrix m(4);
+  m.add(0, 1, 10);  // only threads 0 and 1 have partners
+  EXPECT_TRUE(f.should_remap(m));  // 2 threads gained partners
+  // Thread 2 now gains a partner (thread 3 also changes -> that's 2) — use
+  // a one-sided change instead: strengthen 0's tie to 2.
+  m.add(0, 2, 100);  // 0's partner flips to 2; 2's partner becomes 0
+  // 0 changes (dominates 10 by margin), 2 changes from -1. That's 2 again.
+  EXPECT_TRUE(f.should_remap(m));
+}
+
+TEST(CommFilterTest, StablePatternStopsTriggering) {
+  CommFilter f(4, 2);
+  CommMatrix m(4);
+  m.add(0, 1, 10);
+  m.add(2, 3, 10);
+  EXPECT_TRUE(f.should_remap(m));
+  m.add(0, 1, 5);
+  m.add(2, 3, 5);
+  EXPECT_FALSE(f.should_remap(m));
+  EXPECT_FALSE(f.should_remap(m));
+  EXPECT_EQ(f.triggers(), 1u);
+}
+
+TEST(CommFilterTest, MarginDampsNearTies) {
+  CommFilter f(4, 2, /*margin=*/1.5);
+  CommMatrix m(4);
+  m.add(0, 1, 100);
+  m.add(2, 3, 100);
+  EXPECT_TRUE(f.should_remap(m));
+  // New partner only slightly stronger: below the 1.5x margin, no change.
+  m.add(0, 2, 110);
+  m.add(1, 3, 110);
+  EXPECT_FALSE(f.should_remap(m));
+  // Now clearly dominating: both 0 and 1 switch -> trigger.
+  m.add(0, 2, 100);
+  m.add(1, 3, 100);
+  EXPECT_TRUE(f.should_remap(m));
+}
+
+TEST(CommFilterTest, ChangesAccumulateAcrossEvaluations) {
+  // Threads that changed partner are counted until the mapping runs: one
+  // change per evaluation must eventually cross the threshold.
+  CommFilter f(6, 3);  // threshold 3 so a pair flip alone cannot trigger
+  CommMatrix m(6);
+  m.add(0, 1, 10);
+  EXPECT_FALSE(f.should_remap(m));  // 2 accumulated changes (threads 0, 1)
+  m.add(4, 5, 10);
+  // 2 more changes accumulate -> 4 >= 3: triggers now.
+  EXPECT_TRUE(f.should_remap(m));
+  // Accumulator was reset by the trigger.
+  EXPECT_FALSE(f.should_remap(m));
+}
+
+TEST(CommFilterTest, ThresholdOneTriggersOnAnyChange) {
+  CommFilter f(4, 1);
+  CommMatrix m(4);
+  m.add(2, 3, 1);
+  EXPECT_TRUE(f.should_remap(m));
+}
+
+TEST(CommFilterTest, HighThresholdNeverTriggersOnPairFlip) {
+  CommFilter f(32, 16);
+  CommMatrix m(32);
+  m.add(0, 1, 100);
+  m.add(2, 3, 100);
+  EXPECT_FALSE(f.should_remap(m));  // 4 changes < 16
+}
+
+TEST(CommFilterDeathTest, SizeMismatchAborts) {
+  CommFilter f(4, 2);
+  CommMatrix m(5);
+  EXPECT_DEATH((void)f.should_remap(m), "Precondition");
+}
+
+TEST(CommFilterDeathTest, BadMarginAborts) {
+  EXPECT_DEATH(CommFilter(4, 2, 0.5), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::core

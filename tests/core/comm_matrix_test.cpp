@@ -1,0 +1,115 @@
+#include "core/comm_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::core {
+namespace {
+
+TEST(CommMatrixTest, StartsEmpty) {
+  CommMatrix m(4);
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.at(0, 1), 0u);
+  EXPECT_EQ(m.partner_of(0), -1);
+}
+
+TEST(CommMatrixTest, AddIsSymmetric) {
+  CommMatrix m(4);
+  m.add(1, 3, 5);
+  EXPECT_EQ(m.at(1, 3), 5u);
+  EXPECT_EQ(m.at(3, 1), 5u);
+  EXPECT_EQ(m.total(), 5u);
+}
+
+TEST(CommMatrixTest, TotalCountsPairsOnce) {
+  CommMatrix m(3);
+  m.add(0, 1, 2);
+  m.add(1, 2, 3);
+  EXPECT_EQ(m.total(), 5u);
+}
+
+TEST(CommMatrixTest, PartnerIsArgmax) {
+  CommMatrix m(4);
+  m.add(0, 1, 2);
+  m.add(0, 2, 7);
+  m.add(0, 3, 1);
+  EXPECT_EQ(m.partner_of(0), 2);
+}
+
+TEST(CommMatrixTest, PartnerTieGoesToLowestId) {
+  CommMatrix m(4);
+  m.add(0, 3, 5);
+  m.add(0, 1, 5);
+  EXPECT_EQ(m.partner_of(0), 1);
+}
+
+TEST(CommMatrixTest, ClearResets) {
+  CommMatrix m(3);
+  m.add(0, 1, 4);
+  m.clear();
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(CommMatrixTest, DiffIsSaturating) {
+  CommMatrix now(3), earlier(3);
+  earlier.add(0, 1, 5);
+  now.add(0, 1, 8);
+  now.add(1, 2, 2);
+  const CommMatrix d = now.diff(earlier);
+  EXPECT_EQ(d.at(0, 1), 3u);
+  EXPECT_EQ(d.at(1, 2), 2u);
+  // Saturation: earlier larger than now yields 0, not wraparound.
+  const CommMatrix d2 = earlier.diff(now);
+  EXPECT_EQ(d2.at(0, 1), 0u);
+}
+
+TEST(CommMatrixTest, CorrelationOfIdenticalPatternsIsOne) {
+  CommMatrix a(4), b(4);
+  a.add(0, 1, 10);
+  a.add(2, 3, 4);
+  b.add(0, 1, 20);  // scaled version: same pattern
+  b.add(2, 3, 8);
+  EXPECT_NEAR(a.correlation(b), 1.0, 1e-12);
+}
+
+TEST(CommMatrixTest, CorrelationOfOppositePatterns) {
+  CommMatrix a(3), b(3);
+  a.add(0, 1, 10);
+  a.add(0, 2, 0);  // explicit zero is fine via at(); skip add of zero
+  b.add(0, 2, 10);
+  EXPECT_LT(a.correlation(b), 0.0);
+}
+
+TEST(CommMatrixTest, GroupWeightSumsPairwise) {
+  CommMatrix m(6);
+  m.add(0, 2, 1);
+  m.add(0, 3, 2);
+  m.add(1, 2, 4);
+  m.add(1, 3, 8);
+  m.add(0, 1, 100);  // intra-group, must not count
+  const std::uint32_t a[] = {0, 1};
+  const std::uint32_t b[] = {2, 3};
+  EXPECT_EQ(m.group_weight(a, b), 15u);
+}
+
+TEST(CommMatrixTest, AsDoubleMatchesCells) {
+  CommMatrix m(2);
+  m.add(0, 1, 9);
+  const auto d = m.as_double();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[1], 9.0);
+  EXPECT_DOUBLE_EQ(d[2], 9.0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(CommMatrixDeathTest, SelfCommunicationAborts) {
+  CommMatrix m(3);
+  EXPECT_DEATH(m.add(1, 1), "Precondition");
+}
+
+TEST(CommMatrixDeathTest, OutOfRangeAborts) {
+  CommMatrix m(3);
+  EXPECT_DEATH(m.add(0, 3), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::core

@@ -1,0 +1,169 @@
+#include "core/data_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+#include "core/spcd_kernel.hpp"
+#include "sim/machine.hpp"
+#include "sim/workload.hpp"
+
+namespace spcd::core {
+namespace {
+
+/// Two threads on different sockets; thread 1 hammers a page whose frame
+/// lives on thread 0's node (first touch by thread 0).
+class RemoteHammer final : public sim::Workload {
+ public:
+  std::string name() const override { return "remote-hammer"; }
+  std::uint32_t num_threads() const override { return 2; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t) override {
+    class P final : public sim::ThreadProgram {
+     public:
+      explicit P(std::uint32_t tid) : tid_(tid) {}
+      sim::Op next() override {
+        if (tid_ == 0) {
+          // First-toucher: touch the page once, then work privately.
+          if (n_ == 0) {
+            ++n_;
+            return sim::Op::access(0x5000, true, 1, 10);
+          }
+          if (n_++ > 20000) return sim::Op::finish();
+          return sim::Op::access(0x900000 + (n_ % 512) * 64, false, 1, 50);
+        }
+        if (n_++ > 20000) return sim::Op::finish();
+        return sim::Op::access(0x5000 + (n_ % 64) * 8, false, 1, 50);
+      }
+
+     private:
+      std::uint32_t tid_;
+      std::uint64_t n_ = 0;
+    };
+    return std::make_unique<P>(tid);
+  }
+};
+
+TEST(DataMapperTest, MigratesPageTowardItsUser) {
+  sim::Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  RemoteHammer wl;
+  // Thread 0 on socket 0, thread 1 on socket 1.
+  sim::Engine engine(machine, as, wl, {0, 4});
+
+  SpcdConfig config;
+  config.enable_data_mapping = true;
+  config.injector_period = 50'000;
+  config.table.num_entries = 1024;
+  SpcdKernel kernel(config, 2, 1);
+  kernel.install(engine);
+  engine.run();
+
+  // The hammered page must have moved to socket 1.
+  const mem::Pte* entry = as.page_table().walk(0x5);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(mem::FrameAllocator::node_of(mem::pte::frame_of(*entry)), 1u);
+  EXPECT_GE(kernel.pages_migrated(), 1u);
+  EXPECT_GE(engine.counters().page_migrations, 1u);
+}
+
+TEST(DataMapperTest, DisabledByDefault) {
+  sim::Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  RemoteHammer wl;
+  sim::Engine engine(machine, as, wl, {0, 4});
+  SpcdConfig config;
+  config.injector_period = 50'000;
+  SpcdKernel kernel(config, 2, 1);
+  kernel.install(engine);
+  engine.run();
+  EXPECT_EQ(kernel.pages_migrated(), 0u);
+  EXPECT_EQ(engine.counters().page_migrations, 0u);
+}
+
+TEST(DataMapperTest, LocalFaultsDoNotTriggerMigration) {
+  DataMapper mapper(DataMapperConfig{});
+  sim::Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  // Minimal engine to bind against.
+  class Idle final : public sim::Workload {
+   public:
+    std::string name() const override { return "idle"; }
+    std::uint32_t num_threads() const override { return 1; }
+    std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t,
+                                                    std::uint64_t) override {
+      class P final : public sim::ThreadProgram {
+       public:
+        sim::Op next() override { return sim::Op::finish(); }
+      };
+      return std::make_unique<P>();
+    }
+  };
+  Idle wl;
+  sim::Engine engine(machine, as, wl, {0});
+  mapper.bind(engine);
+
+  // Page on node 0, faults from ctx 0 (socket 0): local, never migrates.
+  (void)as.translate(0x3000, 0, 0, 0, 0);
+  mem::FaultEvent e;
+  e.vaddr = 0x3000;
+  e.vpn = 3;
+  e.tid = 0;
+  e.ctx = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(mapper.on_fault(e), 0u);
+  }
+  EXPECT_EQ(mapper.pages_migrated(), 0u);
+}
+
+TEST(DataMapperTest, StreakThresholdRequiresRepeatedRemoteFaults) {
+  DataMapperConfig config;
+  config.streak_threshold = 3;
+  DataMapper mapper(config);
+  sim::Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  class Idle final : public sim::Workload {
+   public:
+    std::string name() const override { return "idle"; }
+    std::uint32_t num_threads() const override { return 1; }
+    std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t,
+                                                    std::uint64_t) override {
+      class P final : public sim::ThreadProgram {
+       public:
+        sim::Op next() override { return sim::Op::finish(); }
+      };
+      return std::make_unique<P>();
+    }
+  };
+  Idle wl;
+  sim::Engine engine(machine, as, wl, {0});
+  mapper.bind(engine);
+
+  (void)as.translate(0x3000, 0, 0, /*touch_node=*/0, 0);
+  mem::FaultEvent e;
+  e.vaddr = 0x3000;
+  e.vpn = 3;
+  e.tid = 1;
+  e.ctx = 4;  // socket 1 on the tiny machine
+  EXPECT_EQ(mapper.on_fault(e), 0u);  // streak 1
+  EXPECT_EQ(mapper.on_fault(e), 0u);  // streak 2
+  EXPECT_GT(mapper.on_fault(e), 0u);  // streak 3: migrate, cost charged
+  EXPECT_EQ(mapper.pages_migrated(), 1u);
+  const mem::Pte* entry = as.page_table().walk(3);
+  EXPECT_EQ(mem::FrameAllocator::node_of(mem::pte::frame_of(*entry)), 1u);
+}
+
+TEST(AddressSpaceMigratePageTest, PreservesFlagsAndChangesFrame) {
+  mem::FrameAllocator frames(2);
+  mem::AddressSpace as(frames, 12);
+  (void)as.translate(0x7000, 0, 0, 0, 0);
+  const mem::Pte before = *as.page_table().walk(7);
+  const std::uint64_t new_frame = as.migrate_page(7, 1);
+  const mem::Pte after = *as.page_table().walk(7);
+  EXPECT_EQ(mem::pte::frame_of(after), new_frame);
+  EXPECT_EQ(mem::FrameAllocator::node_of(new_frame), 1u);
+  EXPECT_EQ(before & 0xfff, after & 0xfff);  // flag bits preserved
+  EXPECT_TRUE(mem::pte::is_present(after));
+}
+
+}  // namespace
+}  // namespace spcd::core

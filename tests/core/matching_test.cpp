@@ -1,0 +1,311 @@
+#include "core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spcd::core {
+namespace {
+
+// Exhaustive optimum by recursion over vertices (n <= 10).
+struct BruteForce {
+  int n;
+  std::vector<std::vector<std::int64_t>> w;  // adjacency; -1 = no edge
+  std::vector<int> best_mate;
+
+  std::int64_t solve(bool max_cardinality) {
+    std::vector<int> mate(static_cast<std::size_t>(n), -1);
+    best_mate = mate;
+    best_weight_ = 0;
+    best_card_ = 0;
+    max_card_ = max_cardinality;
+    recurse(0, mate, 0, 0);
+    return best_weight_;
+  }
+
+ private:
+  void recurse(int v, std::vector<int>& mate, std::int64_t weight, int card) {
+    if (v == n) {
+      const bool better =
+          max_card_ ? (card > best_card_ ||
+                       (card == best_card_ && weight > best_weight_))
+                    : weight > best_weight_;
+      if (better) {
+        best_weight_ = weight;
+        best_card_ = card;
+        best_mate = mate;
+      }
+      return;
+    }
+    if (mate[static_cast<std::size_t>(v)] != -1) {
+      recurse(v + 1, mate, weight, card);
+      return;
+    }
+    recurse(v + 1, mate, weight, card);  // leave v unmatched
+    for (int u = v + 1; u < n; ++u) {
+      if (mate[static_cast<std::size_t>(u)] != -1) continue;
+      if (w[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] ==
+          kNoEdge) {
+        continue;
+      }
+      mate[static_cast<std::size_t>(v)] = u;
+      mate[static_cast<std::size_t>(u)] = v;
+      recurse(v + 1, mate,
+              weight +
+                  w[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)],
+              card + 1);
+      mate[static_cast<std::size_t>(v)] = -1;
+      mate[static_cast<std::size_t>(u)] = -1;
+    }
+  }
+
+  static constexpr std::int64_t kNoEdge = INT64_MIN;
+  std::int64_t best_weight_ = 0;
+  int best_card_ = 0;
+  bool max_card_ = false;
+
+ public:
+  static constexpr std::int64_t no_edge() { return kNoEdge; }
+};
+
+std::int64_t weight_of(const std::vector<int>& mate,
+                       const std::vector<WeightedEdge>& edges) {
+  return matching_weight(mate, edges);
+}
+
+int cardinality_of(const std::vector<int>& mate) {
+  int c = 0;
+  for (std::size_t v = 0; v < mate.size(); ++v) {
+    if (mate[v] != -1 && mate[v] > static_cast<int>(v)) ++c;
+  }
+  return c;
+}
+
+void expect_valid(const std::vector<int>& mate) {
+  for (std::size_t v = 0; v < mate.size(); ++v) {
+    if (mate[v] != -1) {
+      ASSERT_GE(mate[v], 0);
+      ASSERT_LT(mate[v], static_cast<int>(mate.size()));
+      EXPECT_EQ(mate[static_cast<std::size_t>(mate[v])],
+                static_cast<int>(v));
+      EXPECT_NE(mate[v], static_cast<int>(v));
+    }
+  }
+}
+
+TEST(MatchingTest, EmptyGraph) {
+  const auto mate = max_weight_matching(0, {});
+  EXPECT_TRUE(mate.empty());
+  const auto mate2 = max_weight_matching(3, {});
+  EXPECT_EQ(mate2, (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(MatchingTest, SingleEdge) {
+  const auto mate = max_weight_matching(2, {{0, 1, 5}});
+  EXPECT_EQ(mate, (std::vector<int>{1, 0}));
+}
+
+TEST(MatchingTest, NegativeEdgeSkippedUnlessMaxCardinality) {
+  const std::vector<WeightedEdge> edges{{0, 1, -3}};
+  const auto lazy = max_weight_matching(2, edges, false);
+  EXPECT_EQ(lazy, (std::vector<int>{-1, -1}));
+  const auto forced = max_weight_matching(2, edges, true);
+  EXPECT_EQ(forced, (std::vector<int>{1, 0}));
+}
+
+TEST(MatchingTest, PathChoosesHeavierEdge) {
+  // 0-1 (2), 1-2 (3): only one can be picked.
+  const auto mate = max_weight_matching(3, {{0, 1, 2}, {1, 2, 3}});
+  EXPECT_EQ(mate[1], 2);
+  EXPECT_EQ(mate[2], 1);
+  EXPECT_EQ(mate[0], -1);
+}
+
+TEST(MatchingTest, PathPrefersTwoEdgesOverOneHeavy) {
+  // 0-1 (2), 1-2 (3), 2-3 (2): 2+2 beats 3.
+  const auto mate = max_weight_matching(4, {{0, 1, 2}, {1, 2, 3}, {2, 3, 2}});
+  EXPECT_EQ(mate, (std::vector<int>{1, 0, 3, 2}));
+}
+
+// The classic tricky cases from van Rantwijk's test suite.
+TEST(MatchingTest, CreateBlossomAndAugment) {
+  // Triangle 1-2-3 plus pendant: forces an S-blossom.
+  const auto mate = max_weight_matching(
+      5, {{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}});
+  EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 4, 3}));
+}
+
+TEST(MatchingTest, ExpandBlossomCase) {
+  const auto mate = max_weight_matching(
+      7,
+      {{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3}});
+  EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 5, 4, 1}));
+}
+
+TEST(MatchingTest, SBlossomRelabelAsT) {
+  const auto mate = max_weight_matching(
+      9, {{1, 2, 10},
+          {1, 7, 10},
+          {2, 3, 12},
+          {3, 4, 20},
+          {3, 5, 20},
+          {4, 5, 25},
+          {5, 6, 10},
+          {6, 7, 10},
+          {7, 8, 8}});
+  EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 4, 3, 6, 5, 8, 7}));
+}
+
+TEST(MatchingTest, NestedSBlossom) {
+  const auto mate = max_weight_matching(
+      7, {{1, 2, 9},
+          {1, 3, 9},
+          {2, 3, 10},
+          {2, 4, 8},
+          {3, 5, 8},
+          {4, 5, 10},
+          {5, 6, 6}});
+  EXPECT_EQ(mate, (std::vector<int>{-1, 3, 4, 1, 2, 6, 5}));
+}
+
+TEST(MatchingTest, NestedSBlossomRelabeledExpanded) {
+  const auto mate = max_weight_matching(
+      12, {{1, 2, 40},
+           {1, 3, 40},
+           {2, 3, 60},
+           {2, 4, 55},
+           {3, 5, 55},
+           {4, 5, 50},
+           {1, 8, 15},
+           {5, 7, 30},
+           {7, 6, 10},
+           {8, 10, 10},
+           {4, 9, 30}});
+  EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 5, 9, 3, 7, 6, 10, 4, 8, -1}));
+}
+
+TEST(MatchingTest, BlossomWithAugmentingPathThroughIt) {
+  const auto mate = max_weight_matching(
+      10, {{1, 2, 45},
+          {1, 5, 45},
+          {2, 3, 50},
+          {3, 4, 45},
+          {4, 5, 50},
+          {1, 6, 30},
+          {3, 9, 35},
+          {4, 8, 35},
+          {5, 7, 26},
+          {9, 8, 5}});
+  EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 8, 7, 1, 5, 4, -1}));
+}
+
+class MatchingRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingRandomTest, MatchesBruteForceOnRandomGraphs) {
+  util::Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    const int n = 2 + static_cast<int>(rng.below(7));  // 2..8 vertices
+    const double density = 0.3 + rng.uniform() * 0.7;
+    std::vector<WeightedEdge> edges;
+    BruteForce bf;
+    bf.n = n;
+    bf.w.assign(static_cast<std::size_t>(n),
+                std::vector<std::int64_t>(static_cast<std::size_t>(n),
+                                          BruteForce::no_edge()));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.uniform() > density) continue;
+        const auto weight = static_cast<std::int64_t>(rng.below(100));
+        edges.push_back({i, j, weight});
+        bf.w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            weight;
+        bf.w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+            weight;
+      }
+    }
+    for (const bool maxcard : {false, true}) {
+      const auto mate = max_weight_matching(n, edges, maxcard);
+      expect_valid(mate);
+      const std::int64_t got = weight_of(mate, edges);
+      const std::int64_t want = bf.solve(maxcard);
+      if (maxcard) {
+        EXPECT_EQ(cardinality_of(mate), cardinality_of(bf.best_mate))
+            << "seed=" << GetParam() << " round=" << round << " n=" << n;
+      }
+      EXPECT_EQ(got, want) << "seed=" << GetParam() << " round=" << round
+                           << " n=" << n << " maxcard=" << maxcard;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(MatchingTest, CompleteGraphEvenVerticesIsPerfectUnderMaxCardinality) {
+  util::Xoshiro256 rng(77);
+  for (const int n : {2, 4, 8, 16, 32}) {
+    std::vector<WeightedEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        edges.push_back({i, j, static_cast<std::int64_t>(rng.below(1000))});
+      }
+    }
+    const auto mate = max_weight_matching(n, edges, true);
+    expect_valid(mate);
+    for (int v = 0; v < n; ++v) {
+      EXPECT_NE(mate[static_cast<std::size_t>(v)], -1)
+          << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(MatchingTest, DenseWrapperMatchesEdgeList) {
+  util::Xoshiro256 rng(5);
+  const int n = 6;
+  std::vector<std::int64_t> w(static_cast<std::size_t>(n * n), 0);
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto weight = static_cast<std::int64_t>(rng.below(50));
+      w[static_cast<std::size_t>(i * n + j)] = weight;
+      w[static_cast<std::size_t>(j * n + i)] = weight;
+      edges.push_back({i, j, weight});
+    }
+  }
+  const auto a = max_weight_matching_dense(w, n, true);
+  const auto b = max_weight_matching(n, edges, true);
+  EXPECT_EQ(weight_of(a, edges), weight_of(b, edges));
+}
+
+TEST(MatchingTest, ZeroWeightsStillPerfectWithMaxCardinality) {
+  std::vector<WeightedEdge> edges;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.push_back({i, j, 0});
+  }
+  const auto mate = max_weight_matching(n, edges, true);
+  expect_valid(mate);
+  EXPECT_EQ(cardinality_of(mate), n / 2);
+}
+
+TEST(MatchingTest, LargeCompleteGraphRuns) {
+  // 64 vertices: sanity (termination + validity) at mapper-relevant scale.
+  util::Xoshiro256 rng(123);
+  const int n = 64;
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.push_back({i, j, static_cast<std::int64_t>(rng.below(10000))});
+    }
+  }
+  const auto mate = max_weight_matching(n, edges, true);
+  expect_valid(mate);
+  EXPECT_EQ(cardinality_of(mate), n / 2);
+}
+
+}  // namespace
+}  // namespace spcd::core

@@ -1,0 +1,60 @@
+#include "core/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::core {
+namespace {
+
+TEST(OracleTracerTest, DirectObservationBuildsMatrix) {
+  OracleTracer tracer(2, /*granularity_shift=*/6);
+  tracer.observe(0, 0x1000, true, 10);
+  tracer.observe(1, 0x1008, false, 20);  // same 64-byte line
+  EXPECT_EQ(tracer.matrix().at(0, 1), 1u);
+  EXPECT_EQ(tracer.accesses_seen(), 2u);
+}
+
+TEST(OracleTracerTest, DifferentLinesNoCommunication) {
+  OracleTracer tracer(2, 6);
+  tracer.observe(0, 0x1000, true, 10);
+  tracer.observe(1, 0x1040, false, 20);
+  EXPECT_EQ(tracer.matrix().total(), 0u);
+}
+
+TEST(OracleTracerTest, RepeatAccessesAccumulate) {
+  OracleTracer tracer(2, 6);
+  tracer.observe(0, 0x1000, true, 1);
+  for (int i = 0; i < 10; ++i) tracer.observe(1, 0x1000, false, 2 + i);
+  EXPECT_EQ(tracer.matrix().at(0, 1), 10u);
+}
+
+TEST(OracleTracerTest, TimeWindowFiltersStaleSharing) {
+  OracleTracer tracer(2, 6, /*time_window=*/100);
+  tracer.observe(0, 0x1000, true, 10);
+  tracer.observe(1, 0x1000, false, 500);  // stale
+  EXPECT_EQ(tracer.matrix().total(), 0u);
+  tracer.observe(0, 0x1000, true, 550);  // within window of thread 1
+  EXPECT_EQ(tracer.matrix().at(0, 1), 1u);
+}
+
+TEST(OracleTracerTest, SharerListEvictsOldest) {
+  OracleTracer tracer(12, 6);
+  for (std::uint32_t t = 0; t < 9; ++t) {
+    tracer.observe(t, 0x2000, false, 10 * t + 1);
+  }
+  // Thread 0 (oldest) was evicted from the 8-entry region list; thread 9
+  // communicates with 1..8 only.
+  tracer.observe(9, 0x2000, false, 1000);
+  EXPECT_EQ(tracer.matrix().at(9, 0), 0u);
+  EXPECT_EQ(tracer.matrix().at(9, 1), 1u);
+  EXPECT_EQ(tracer.matrix().at(9, 8), 1u);
+}
+
+TEST(OracleTracerTest, CoarserGranularityMergesLines) {
+  OracleTracer tracer(2, /*granularity_shift=*/12);  // page granularity
+  tracer.observe(0, 0x1000, true, 1);
+  tracer.observe(1, 0x1FC0, false, 2);  // same page, far-away line
+  EXPECT_EQ(tracer.matrix().at(0, 1), 1u);
+}
+
+}  // namespace
+}  // namespace spcd::core

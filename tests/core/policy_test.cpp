@@ -1,0 +1,87 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spcd::core {
+namespace {
+
+arch::Topology xeon() {
+  return arch::Topology(arch::TopologySpec{.sockets = 2,
+                                           .cores_per_socket = 8,
+                                           .smt_per_core = 2});
+}
+
+void expect_injective(const sim::Placement& p) {
+  std::set<arch::ContextId> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), p.size());
+}
+
+TEST(PolicyTest, ToStringNames) {
+  EXPECT_STREQ(to_string(MappingPolicy::kOs), "os");
+  EXPECT_STREQ(to_string(MappingPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(MappingPolicy::kOracle), "oracle");
+  EXPECT_STREQ(to_string(MappingPolicy::kSpcd), "spcd");
+}
+
+TEST(PolicyTest, OsSpreadSplitsNeighborsAcrossSockets) {
+  const auto topo = xeon();
+  const auto p = os_spread_placement(topo, 32);
+  expect_injective(p);
+  // Consecutive thread ids land on different sockets (breadth-first fill).
+  EXPECT_NE(topo.socket_of(p[0]), topo.socket_of(p[1]));
+  EXPECT_NE(topo.socket_of(p[2]), topo.socket_of(p[3]));
+}
+
+TEST(PolicyTest, OsSpreadFillsCoresBeforeSmt) {
+  const auto topo = xeon();
+  const auto p = os_spread_placement(topo, 16);
+  // 16 threads on 16 cores: every core has at most one thread.
+  std::set<arch::CoreId> cores;
+  for (const auto ctx : p) {
+    EXPECT_TRUE(cores.insert(topo.core_of(ctx)).second);
+    EXPECT_EQ(topo.smt_slot_of(ctx), 0u);
+  }
+}
+
+TEST(PolicyTest, OsSpreadPartialCounts) {
+  const auto topo = xeon();
+  for (const std::uint32_t n : {1u, 2u, 7u, 31u, 32u}) {
+    const auto p = os_spread_placement(topo, n);
+    EXPECT_EQ(p.size(), n);
+    expect_injective(p);
+  }
+}
+
+TEST(PolicyTest, RandomPlacementIsSeededAndValid) {
+  const auto topo = xeon();
+  const auto a = random_placement(topo, 32, 1);
+  const auto b = random_placement(topo, 32, 1);
+  const auto c = random_placement(topo, 32, 2);
+  expect_injective(a);
+  EXPECT_EQ(a, b);  // same seed, same mapping
+  EXPECT_NE(a, c);  // different seed, different mapping
+}
+
+TEST(PolicyTest, RandomPlacementPartial) {
+  const auto topo = xeon();
+  const auto p = random_placement(topo, 10, 3);
+  EXPECT_EQ(p.size(), 10u);
+  expect_injective(p);
+}
+
+TEST(PolicyTest, CompactPlacementIsIdentity) {
+  const auto topo = xeon();
+  const auto p = compact_placement(topo, 6);
+  EXPECT_EQ(p, (sim::Placement{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PolicyDeathTest, TooManyThreadsAborts) {
+  const auto topo = xeon();
+  EXPECT_DEATH((void)os_spread_placement(topo, 33), "Precondition");
+  EXPECT_DEATH((void)random_placement(topo, 33, 1), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::core

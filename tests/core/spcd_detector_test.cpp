@@ -1,0 +1,88 @@
+#include "core/spcd_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::core {
+namespace {
+
+mem::FaultEvent fault(std::uint64_t vaddr, std::uint32_t tid,
+                      util::Cycles time,
+                      mem::FaultKind kind = mem::FaultKind::kFirstTouch) {
+  mem::FaultEvent e;
+  e.vaddr = vaddr;
+  e.vpn = vaddr >> 12;
+  e.tid = tid;
+  e.time = time;
+  e.kind = kind;
+  return e;
+}
+
+TEST(SpcdDetectorTest, ReproducesPaperFigure3Timeline) {
+  // Figure 3: thread 0 faults on page X (first touch, recorded); later the
+  // present bit is cleared; thread 1 faults on X -> cell (0,1) incremented.
+  SpcdConfig config;
+  SpcdDetector detector(config, 2);
+  detector.on_fault(fault(0x1000, 0, 100));
+  EXPECT_EQ(detector.matrix().at(0, 1), 0u);
+  detector.on_fault(fault(0x1008, 1, 200, mem::FaultKind::kInjected));
+  EXPECT_EQ(detector.matrix().at(0, 1), 1u);
+  EXPECT_EQ(detector.communication_events(), 1u);
+}
+
+TEST(SpcdDetectorTest, CostIsTheConfiguredHookCost) {
+  SpcdConfig config;
+  config.fault_hook_cost = 123;
+  SpcdDetector detector(config, 2);
+  EXPECT_EQ(detector.on_fault(fault(0x1000, 0, 1)), 123u);
+}
+
+TEST(SpcdDetectorTest, SamePageRepeatedBySameThreadIsNotCommunication) {
+  SpcdDetector detector(SpcdConfig{}, 2);
+  detector.on_fault(fault(0x1000, 0, 1));
+  detector.on_fault(fault(0x1000, 0, 2));
+  detector.on_fault(fault(0x1000, 0, 3));
+  EXPECT_EQ(detector.matrix().total(), 0u);
+  EXPECT_EQ(detector.faults_seen(), 3u);
+}
+
+TEST(SpcdDetectorTest, ThreeSharersAllPairsCounted) {
+  SpcdDetector detector(SpcdConfig{}, 3);
+  detector.on_fault(fault(0x1000, 0, 1));
+  detector.on_fault(fault(0x1000, 1, 2));  // (0,1)
+  detector.on_fault(fault(0x1000, 2, 3));  // (2,0) and (2,1)
+  EXPECT_EQ(detector.matrix().at(0, 1), 1u);
+  EXPECT_EQ(detector.matrix().at(0, 2), 1u);
+  EXPECT_EQ(detector.matrix().at(1, 2), 1u);
+}
+
+TEST(SpcdDetectorTest, GranularityFromConfigIsHonored) {
+  SpcdConfig config;
+  config.table.granularity_shift = 6;  // cache-line granularity
+  SpcdDetector detector(config, 2);
+  detector.on_fault(fault(0x1000, 0, 1));
+  detector.on_fault(fault(0x1040, 1, 2));  // same page, different line
+  EXPECT_EQ(detector.matrix().total(), 0u);
+  detector.on_fault(fault(0x1010, 1, 3));  // same line as first fault
+  EXPECT_EQ(detector.matrix().at(0, 1), 1u);
+}
+
+TEST(SpcdDetectorTest, TemporalWindowSuppresssesOldSharers) {
+  SpcdConfig config;
+  config.table.time_window = 50;
+  SpcdDetector detector(config, 2);
+  detector.on_fault(fault(0x1000, 0, 100));
+  detector.on_fault(fault(0x1000, 1, 1000));  // too far apart
+  EXPECT_EQ(detector.matrix().total(), 0u);
+  detector.on_fault(fault(0x1000, 0, 1020));  // within window of thread 1
+  EXPECT_EQ(detector.matrix().at(0, 1), 1u);
+}
+
+TEST(SpcdDetectorTest, OutOfRangeThreadIdIgnoredGracefully) {
+  SpcdDetector detector(SpcdConfig{}, 2);
+  detector.on_fault(fault(0x1000, 0, 1));
+  detector.on_fault(fault(0x1000, 7, 2));  // tid beyond matrix
+  EXPECT_EQ(detector.matrix().total(), 0u);
+}
+
+}  // namespace
+}  // namespace spcd::core

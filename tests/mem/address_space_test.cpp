@@ -1,0 +1,146 @@
+#include "mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spcd::mem {
+namespace {
+
+class RecordingObserver : public FaultObserver {
+ public:
+  util::Cycles on_fault(const FaultEvent& event) override {
+    events.push_back(event);
+    return cost;
+  }
+  std::vector<FaultEvent> events;
+  util::Cycles cost = 0;
+};
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  FrameAllocator frames_{2};
+  AddressSpace as_{frames_, 12};
+};
+
+TEST_F(AddressSpaceTest, FirstTouchFaultsAndAllocates) {
+  const auto t = as_.translate(0x1000, /*tid=*/3, /*ctx=*/5,
+                               /*touch_node=*/1, /*now=*/100);
+  ASSERT_TRUE(t.fault.has_value());
+  EXPECT_EQ(*t.fault, FaultKind::kFirstTouch);
+  EXPECT_EQ(FrameAllocator::node_of(t.frame), 1u);
+  EXPECT_EQ(as_.minor_faults(), 1u);
+  EXPECT_EQ(as_.injected_faults(), 0u);
+}
+
+TEST_F(AddressSpaceTest, SecondAccessNoFault) {
+  (void)as_.translate(0x1000, 0, 0, 0, 0);
+  const auto t = as_.translate(0x1234, 1, 1, 1, 10);  // same page
+  EXPECT_FALSE(t.fault.has_value());
+  EXPECT_EQ(as_.minor_faults(), 1u);
+}
+
+TEST_F(AddressSpaceTest, SamePageDifferentOffsetsShareFrame) {
+  const auto a = as_.translate(0x2000, 0, 0, 0, 0);
+  const auto b = as_.translate(0x2ff8, 0, 0, 0, 1);
+  EXPECT_EQ(a.frame, b.frame);
+}
+
+TEST_F(AddressSpaceTest, DifferentPagesGetDifferentFrames) {
+  const auto a = as_.translate(0x2000, 0, 0, 0, 0);
+  const auto b = as_.translate(0x3000, 0, 0, 0, 1);
+  EXPECT_NE(a.frame, b.frame);
+}
+
+TEST_F(AddressSpaceTest, ClearPresentCausesInjectedFault) {
+  const auto first = as_.translate(0x5000, 0, 0, 0, 0);
+  ASSERT_TRUE(as_.clear_present(as_.vpn_of(0x5000)));
+  const auto again = as_.translate(0x5008, 7, 2, 1, 50);
+  ASSERT_TRUE(again.fault.has_value());
+  EXPECT_EQ(*again.fault, FaultKind::kInjected);
+  EXPECT_EQ(again.frame, first.frame);  // frame retained, no realloc
+  EXPECT_EQ(as_.injected_faults(), 1u);
+  EXPECT_EQ(as_.minor_faults(), 1u);
+}
+
+TEST_F(AddressSpaceTest, ClearPresentOnUntouchedPageFails) {
+  EXPECT_FALSE(as_.clear_present(123));
+}
+
+TEST_F(AddressSpaceTest, ObserverSeesFullAddressAndThread) {
+  RecordingObserver obs;
+  as_.add_fault_observer(&obs);
+  (void)as_.translate(0x7abc, /*tid=*/9, /*ctx=*/4, 0, /*now=*/777);
+  ASSERT_EQ(obs.events.size(), 1u);
+  const auto& e = obs.events[0];
+  EXPECT_EQ(e.vaddr, 0x7abcu);  // full address, not page-aligned
+  EXPECT_EQ(e.vpn, 0x7u);
+  EXPECT_EQ(e.tid, 9u);
+  EXPECT_EQ(e.ctx, 4u);
+  EXPECT_EQ(e.time, 777u);
+  EXPECT_EQ(e.kind, FaultKind::kFirstTouch);
+}
+
+TEST_F(AddressSpaceTest, ObserverCostIsCharged) {
+  RecordingObserver obs;
+  obs.cost = 250;
+  as_.add_fault_observer(&obs);
+  const auto t = as_.translate(0x9000, 0, 0, 0, 0);
+  EXPECT_EQ(t.observer_cycles, 250u);
+  // No fault on the second access -> no observer cost.
+  const auto t2 = as_.translate(0x9000, 0, 0, 0, 1);
+  EXPECT_EQ(t2.observer_cycles, 0u);
+}
+
+TEST_F(AddressSpaceTest, MultipleObserversAllNotified) {
+  RecordingObserver a, b;
+  a.cost = 10;
+  b.cost = 20;
+  as_.add_fault_observer(&a);
+  as_.add_fault_observer(&b);
+  const auto t = as_.translate(0x4000, 0, 0, 0, 0);
+  EXPECT_EQ(t.observer_cycles, 30u);
+  EXPECT_EQ(a.events.size(), 1u);
+  EXPECT_EQ(b.events.size(), 1u);
+}
+
+TEST_F(AddressSpaceTest, RemoveObserverStopsNotifications) {
+  RecordingObserver obs;
+  as_.add_fault_observer(&obs);
+  as_.remove_fault_observer(&obs);
+  (void)as_.translate(0x4000, 0, 0, 0, 0);
+  EXPECT_TRUE(obs.events.empty());
+}
+
+TEST_F(AddressSpaceTest, ResidentVpnsTrackMappedPages) {
+  (void)as_.translate(0x1000, 0, 0, 0, 0);
+  (void)as_.translate(0x3000, 0, 0, 0, 0);
+  (void)as_.translate(0x1500, 0, 0, 0, 0);  // same page as first
+  const auto& resident = as_.resident_vpns();
+  ASSERT_EQ(resident.size(), 2u);
+  EXPECT_EQ(resident[0], 1u);
+  EXPECT_EQ(resident[1], 3u);
+}
+
+TEST_F(AddressSpaceTest, InjectedFaultObserverKindIsInjected) {
+  RecordingObserver obs;
+  (void)as_.translate(0x8000, 0, 0, 0, 0);
+  as_.add_fault_observer(&obs);
+  as_.clear_present(8);
+  (void)as_.translate(0x8000, 2, 1, 0, 99);
+  ASSERT_EQ(obs.events.size(), 1u);
+  EXPECT_EQ(obs.events[0].kind, FaultKind::kInjected);
+  EXPECT_EQ(obs.events[0].tid, 2u);
+}
+
+TEST_F(AddressSpaceTest, FirstTouchPolicyPlacesOnTouchNode) {
+  const auto a = as_.translate(0x10000, 0, 0, /*touch_node=*/0, 0);
+  const auto b = as_.translate(0x20000, 0, 0, /*touch_node=*/1, 0);
+  EXPECT_EQ(FrameAllocator::node_of(a.frame), 0u);
+  EXPECT_EQ(FrameAllocator::node_of(b.frame), 1u);
+  EXPECT_EQ(frames_.allocated_on(0), 1u);
+  EXPECT_EQ(frames_.allocated_on(1), 1u);
+}
+
+}  // namespace
+}  // namespace spcd::mem

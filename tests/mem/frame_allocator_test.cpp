@@ -1,0 +1,55 @@
+#include "mem/frame_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spcd::mem {
+namespace {
+
+TEST(FrameAllocatorTest, FramesAreUnique) {
+  FrameAllocator fa(2);
+  std::set<std::uint64_t> frames;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(frames.insert(fa.allocate(0)).second);
+    EXPECT_TRUE(frames.insert(fa.allocate(1)).second);
+  }
+}
+
+TEST(FrameAllocatorTest, NodeOfRoundTrips) {
+  FrameAllocator fa(4);
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    const auto f = fa.allocate(node);
+    EXPECT_EQ(FrameAllocator::node_of(f), node);
+  }
+}
+
+TEST(FrameAllocatorTest, PerNodeCounting) {
+  FrameAllocator fa(2);
+  fa.allocate(0);
+  fa.allocate(0);
+  fa.allocate(1);
+  EXPECT_EQ(fa.allocated_on(0), 2u);
+  EXPECT_EQ(fa.allocated_on(1), 1u);
+  EXPECT_EQ(fa.total_allocated(), 3u);
+}
+
+TEST(FrameAllocatorTest, SingleNode) {
+  FrameAllocator fa(1);
+  const auto f0 = fa.allocate(0);
+  const auto f1 = fa.allocate(0);
+  EXPECT_NE(f0, f1);
+  EXPECT_EQ(FrameAllocator::node_of(f0), 0u);
+}
+
+TEST(FrameAllocatorDeathTest, BadNodeAborts) {
+  FrameAllocator fa(2);
+  EXPECT_DEATH((void)fa.allocate(2), "Precondition");
+}
+
+TEST(FrameAllocatorDeathTest, ZeroNodesAborts) {
+  EXPECT_DEATH(FrameAllocator fa(0), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::mem

@@ -1,0 +1,133 @@
+#include "mem/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spcd::mem {
+namespace {
+
+TEST(PageTableTest, UnmappedWalkReturnsNull) {
+  PageTable pt;
+  EXPECT_EQ(pt.walk(0), nullptr);
+  EXPECT_EQ(pt.walk(12345), nullptr);
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+TEST(PageTableTest, MapThenWalk) {
+  PageTable pt;
+  pt.map(42, 1000);
+  const Pte* e = pt.walk(42);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(pte::is_present(*e));
+  EXPECT_TRUE(pte::is_mapped(*e));
+  EXPECT_EQ(pte::frame_of(*e), 1000u);
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(PageTableTest, NeighborVpnsAreIndependent) {
+  PageTable pt;
+  pt.map(100, 1);
+  EXPECT_EQ(pt.walk(99), nullptr);
+  EXPECT_EQ(pt.walk(101), nullptr);
+}
+
+TEST(PageTableTest, SparseVpnsAcrossAllLevels) {
+  PageTable pt;
+  // Indices chosen so every radix level differs.
+  const std::uint64_t vpns[] = {0ULL, 1ULL << 9, 1ULL << 18, 1ULL << 27,
+                                (1ULL << 36) - 1};
+  std::uint64_t frame = 1;
+  for (auto v : vpns) pt.map(v, frame++);
+  frame = 1;
+  for (auto v : vpns) {
+    const Pte* e = pt.walk(v);
+    ASSERT_NE(e, nullptr) << "vpn " << v;
+    EXPECT_EQ(pte::frame_of(*e), frame++);
+  }
+}
+
+TEST(PageTableTest, ClearPresentThenWalkShowsNotPresent) {
+  PageTable pt;
+  pt.map(7, 77);
+  EXPECT_TRUE(pt.clear_present(7));
+  const Pte* e = pt.walk(7);  // still mapped, but not present
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(pte::is_present(*e));
+  EXPECT_TRUE(pte::is_spcd_cleared(*e));
+  EXPECT_EQ(pte::frame_of(*e), 77u);  // frame is retained
+}
+
+TEST(PageTableTest, ClearPresentOnUnmappedFails) {
+  PageTable pt;
+  EXPECT_FALSE(pt.clear_present(3));
+}
+
+TEST(PageTableTest, ClearPresentTwiceFails) {
+  PageTable pt;
+  pt.map(9, 1);
+  EXPECT_TRUE(pt.clear_present(9));
+  EXPECT_FALSE(pt.clear_present(9));  // already non-present
+}
+
+TEST(PageTableTest, RestorePresentReportsInjected) {
+  PageTable pt;
+  pt.map(5, 50);
+  ASSERT_TRUE(pt.clear_present(5));
+  EXPECT_TRUE(pt.restore_present(5));
+  const Pte* e = pt.walk(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(pte::is_present(*e));
+  EXPECT_FALSE(pte::is_spcd_cleared(*e));
+}
+
+TEST(PageTableTest, RestoreOnAlreadyPresentIsNotInjected) {
+  PageTable pt;
+  pt.map(5, 50);
+  EXPECT_FALSE(pt.restore_present(5));
+}
+
+TEST(PageTableTest, NodeCountGrowsLazily) {
+  PageTable pt;
+  const auto initial = pt.node_count();
+  pt.map(0, 1);
+  const auto after_one = pt.node_count();
+  EXPECT_GT(after_one, initial);
+  pt.map(1, 2);  // same leaf
+  EXPECT_EQ(pt.node_count(), after_one);
+  pt.map(1ULL << 30, 3);  // far away: new subtree
+  EXPECT_GT(pt.node_count(), after_one);
+}
+
+TEST(PageTableTest, ManyRandomPagesRoundTrip) {
+  PageTable pt;
+  util::Xoshiro256 rng(1234);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pages;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t vpn = rng.below(1ULL << 36);
+    if (pt.walk(vpn) != nullptr) continue;
+    const std::uint64_t frame = rng.below(1ULL << 40);
+    pt.map(vpn, frame);
+    pages.emplace_back(vpn, frame);
+  }
+  for (const auto& [vpn, frame] : pages) {
+    const Pte* e = pt.walk(vpn);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(pte::frame_of(*e), frame);
+  }
+  EXPECT_EQ(pt.mapped_pages(), pages.size());
+}
+
+TEST(PageTableDeathTest, DoubleMapAborts) {
+  PageTable pt;
+  pt.map(1, 1);
+  EXPECT_DEATH(pt.map(1, 2), "Precondition");
+}
+
+TEST(PageTableDeathTest, RestoreUnmappedAborts) {
+  PageTable pt;
+  EXPECT_DEATH((void)pt.restore_present(1), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::mem

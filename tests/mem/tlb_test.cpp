@@ -1,0 +1,92 @@
+#include "mem/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::mem {
+namespace {
+
+arch::TlbSpec small_spec() {
+  return arch::TlbSpec{.entries = 8, .associativity = 2};
+}
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb(small_spec());
+  EXPECT_FALSE(tlb.probe(5));
+  tlb.insert(5);
+  EXPECT_TRUE(tlb.probe(5));
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, LruEvictionWithinSet) {
+  Tlb tlb(small_spec());  // 4 sets, 2 ways; vpns 0,4,8 share set 0
+  tlb.insert(0);
+  tlb.insert(4);
+  EXPECT_TRUE(tlb.probe(0));  // refresh 0; 4 becomes LRU
+  tlb.insert(8);              // evicts 4
+  EXPECT_TRUE(tlb.probe(0));
+  EXPECT_TRUE(tlb.probe(8));
+  EXPECT_FALSE(tlb.probe(4));
+}
+
+TEST(TlbTest, DifferentSetsDoNotInterfere) {
+  Tlb tlb(small_spec());
+  tlb.insert(0);
+  tlb.insert(1);
+  tlb.insert(2);
+  tlb.insert(3);
+  EXPECT_TRUE(tlb.probe(0));
+  EXPECT_TRUE(tlb.probe(1));
+  EXPECT_TRUE(tlb.probe(2));
+  EXPECT_TRUE(tlb.probe(3));
+}
+
+TEST(TlbTest, InvalidateRemovesOnlyTarget) {
+  Tlb tlb(small_spec());
+  tlb.insert(0);
+  tlb.insert(4);
+  EXPECT_TRUE(tlb.invalidate(0));
+  EXPECT_FALSE(tlb.probe(0));
+  EXPECT_TRUE(tlb.probe(4));
+}
+
+TEST(TlbTest, InvalidateMissingReturnsFalse) {
+  Tlb tlb(small_spec());
+  EXPECT_FALSE(tlb.invalidate(123));
+}
+
+TEST(TlbTest, FlushDropsEverything) {
+  Tlb tlb(small_spec());
+  for (std::uint64_t v = 0; v < 8; ++v) tlb.insert(v);
+  tlb.flush();
+  for (std::uint64_t v = 0; v < 8; ++v) EXPECT_FALSE(tlb.probe(v));
+}
+
+TEST(TlbTest, ReinsertAfterInvalidateWorks) {
+  Tlb tlb(small_spec());
+  tlb.insert(9);
+  tlb.invalidate(9);
+  tlb.insert(9);
+  EXPECT_TRUE(tlb.probe(9));
+}
+
+TEST(TlbTest, FullyAssociativeDegenerateCase) {
+  Tlb tlb(arch::TlbSpec{.entries = 4, .associativity = 4});  // 1 set
+  tlb.insert(10);
+  tlb.insert(20);
+  tlb.insert(30);
+  tlb.insert(40);
+  EXPECT_TRUE(tlb.probe(10));  // refresh -> 20 is LRU
+  tlb.insert(50);
+  EXPECT_FALSE(tlb.probe(20));
+  EXPECT_TRUE(tlb.probe(10));
+  EXPECT_TRUE(tlb.probe(50));
+}
+
+TEST(TlbDeathTest, NonDividingGeometryAborts) {
+  EXPECT_DEATH(Tlb(arch::TlbSpec{.entries = 10, .associativity = 4}),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::mem

@@ -1,0 +1,72 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::sim {
+namespace {
+
+TEST(EnergyTest, ZeroCountersGiveOnlyStaticEnergy) {
+  const auto spec = arch::dual_xeon_e5_2650();
+  PerfCounters c;
+  const auto e = compute_energy(c, /*exec_seconds=*/1.0, spec);
+  EXPECT_DOUBLE_EQ(e.package_joules,
+                   2.0 * spec.energy.pkg_static_watts_per_socket);
+  EXPECT_DOUBLE_EQ(e.dram_joules,
+                   2.0 * spec.energy.dram_background_watts_per_node);
+}
+
+TEST(EnergyTest, ZeroTimeGivesOnlyDynamicEnergy) {
+  const auto spec = arch::dual_xeon_e5_2650();
+  PerfCounters c;
+  c.busy_cycles = 1'000'000;
+  const auto e = compute_energy(c, 0.0, spec);
+  EXPECT_NEAR(e.package_joules,
+              1e6 * spec.energy.core_nj_per_cycle * 1e-9, 1e-12);
+  EXPECT_DOUBLE_EQ(e.dram_joules, 0.0);
+}
+
+TEST(EnergyTest, DramAccessesAddDramEnergy) {
+  const auto spec = arch::dual_xeon_e5_2650();
+  PerfCounters base, with;
+  with.dram_local = 1000;
+  with.dram_remote = 500;
+  const auto e0 = compute_energy(base, 0.01, spec);
+  const auto e1 = compute_energy(with, 0.01, spec);
+  EXPECT_NEAR(e1.dram_joules - e0.dram_joules,
+              1500 * spec.energy.dram_access_nj * 1e-9, 1e-12);
+}
+
+TEST(EnergyTest, CrossSocketTrafficCostsMoreThanOnChip) {
+  const auto spec = arch::dual_xeon_e5_2650();
+  PerfCounters onchip, offchip;
+  onchip.c2c_same_socket = 10000;
+  offchip.c2c_cross_socket = 10000;
+  const auto e_on = compute_energy(onchip, 0.0, spec);
+  const auto e_off = compute_energy(offchip, 0.0, spec);
+  EXPECT_GT(e_off.package_joules, e_on.package_joules);
+}
+
+TEST(EnergyTest, EnergyPerInstruction) {
+  EnergyBreakdown e;
+  e.package_joules = 1.0;
+  e.dram_joules = 0.1;
+  EXPECT_DOUBLE_EQ(e.package_epi_nj(1'000'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(e.dram_epi_nj(1'000'000'000), 0.1);
+  EXPECT_EQ(e.package_epi_nj(0), 0.0);
+}
+
+TEST(EnergyTest, FasterRunWithSameWorkUsesLessTotalEnergy) {
+  // The paper's core energy argument: reducing execution time cuts the
+  // static share even when the dynamic work is identical.
+  const auto spec = arch::dual_xeon_e5_2650();
+  PerfCounters c;
+  c.busy_cycles = 5'000'000'000;
+  c.reads = 100'000'000;
+  const auto slow = compute_energy(c, 0.100, spec);
+  const auto fast = compute_energy(c, 0.083, spec);
+  EXPECT_LT(fast.package_joules, slow.package_joules);
+  EXPECT_LT(fast.dram_joules, slow.dram_joules);
+}
+
+}  // namespace
+}  // namespace spcd::sim

@@ -1,0 +1,50 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spcd::sim {
+namespace {
+
+TEST(MachineTest, ConstructsFromSpec) {
+  Machine m(arch::tiny_test_machine());
+  EXPECT_EQ(m.topology().num_contexts(), 8u);
+  EXPECT_EQ(m.page_shift(), 12u);
+  EXPECT_EQ(m.line_shift(), 6u);
+}
+
+TEST(MachineTest, LineOfComposesFrameAndOffset) {
+  Machine m(arch::tiny_test_machine());
+  // frame 5, offset 0x8C (line 2 within the page)
+  EXPECT_EQ(m.line_of(5, 0x8C), (5ULL << 6) | 2);
+  // Offsets within the same line map to the same line address.
+  EXPECT_EQ(m.line_of(5, 0x80), m.line_of(5, 0xBF));
+  EXPECT_NE(m.line_of(5, 0x80), m.line_of(5, 0xC0));
+}
+
+TEST(MachineTest, AddressSpaceUsesMachineFrames) {
+  Machine m(arch::tiny_test_machine());
+  auto as = m.make_address_space();
+  (void)as.translate(0x1000, 0, 0, /*touch_node=*/1, 0);
+  EXPECT_EQ(m.frames().allocated_on(1), 1u);
+}
+
+TEST(MachineTest, TlbShootdownHitsAllContexts) {
+  Machine m(arch::tiny_test_machine());
+  m.tlb(0).insert(7);
+  m.tlb(3).insert(7);
+  m.tlb(5).insert(7);
+  m.tlb(5).insert(8);
+  EXPECT_EQ(m.tlb_shootdown(7), 3u);
+  EXPECT_FALSE(m.tlb(0).probe(7));
+  EXPECT_TRUE(m.tlb(5).probe(8));
+  EXPECT_EQ(m.tlb_shootdown(7), 0u);  // idempotent
+}
+
+TEST(MachineTest, PerContextTlbsAreIndependent) {
+  Machine m(arch::tiny_test_machine());
+  m.tlb(0).insert(1);
+  EXPECT_FALSE(m.tlb(1).probe(1));
+}
+
+}  // namespace
+}  // namespace spcd::sim

@@ -1,0 +1,173 @@
+#include "sim/memory_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spcd::sim {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest()
+      : spec_(arch::tiny_test_machine()),
+        topo_(spec_.topology),
+        mh_(spec_, topo_) {}
+
+  std::uint32_t read(arch::ContextId ctx, std::uint64_t line,
+                     std::uint32_t home = 0) {
+    return mh_.access(ctx, line, false, home, now_ += 1000);
+  }
+  std::uint32_t write(arch::ContextId ctx, std::uint64_t line,
+                      std::uint32_t home = 0) {
+    return mh_.access(ctx, line, true, home, now_ += 1000);
+  }
+
+  arch::MachineSpec spec_;
+  arch::Topology topo_;  // 2 sockets x 2 cores x 2 smt
+  MemoryHierarchy mh_;
+  std::uint64_t now_ = 0;
+};
+
+TEST_F(HierarchyTest, ColdMissGoesToDram) {
+  const auto lat = read(0, 100, /*home=*/0);
+  EXPECT_EQ(mh_.counters().dram_local, 1u);
+  EXPECT_EQ(mh_.counters().l3_misses, 1u);
+  EXPECT_GE(lat, spec_.latency.dram_local);
+}
+
+TEST_F(HierarchyTest, RemoteHomeCostsMore) {
+  const auto local = read(0, 100, /*home=*/0);
+  const auto remote = read(0, 200, /*home=*/1);
+  EXPECT_EQ(mh_.counters().dram_remote, 1u);
+  EXPECT_GT(remote, local);
+}
+
+TEST_F(HierarchyTest, SecondAccessHitsL1) {
+  read(0, 100);
+  const auto lat = read(0, 100);
+  EXPECT_EQ(lat, spec_.latency.l1_hit);
+  EXPECT_EQ(mh_.counters().l1_hits, 1u);
+}
+
+TEST_F(HierarchyTest, SmtSiblingSharesL1) {
+  read(0, 100);   // ctx 0 = core 0
+  const auto lat = read(1, 100);  // ctx 1 = same core
+  EXPECT_EQ(lat, spec_.latency.l1_hit);
+}
+
+TEST_F(HierarchyTest, SameSocketOtherCoreHitsL3) {
+  read(0, 100);  // core 0 fills L1/L2/L3 of socket 0
+  const auto lat = read(2, 100);  // ctx 2 = core 1, socket 0
+  EXPECT_EQ(lat, spec_.latency.l3_hit);
+  EXPECT_EQ(mh_.counters().l3_hits, 1u);
+}
+
+TEST_F(HierarchyTest, CrossSocketReadIsCacheToCache) {
+  read(0, 100);
+  const auto lat = read(4, 100);  // ctx 4 = socket 1
+  EXPECT_EQ(mh_.counters().c2c_cross_socket, 1u);
+  EXPECT_GE(lat, spec_.latency.c2c_cross_socket);
+  // Both sockets now hold the line.
+  EXPECT_TRUE(mh_.l3_holds(0, 100));
+  EXPECT_TRUE(mh_.l3_holds(1, 100));
+}
+
+TEST_F(HierarchyTest, DirtyLineServedFromOwningCore) {
+  write(0, 100);  // core 0 has it modified
+  EXPECT_EQ(mh_.dirty_owner_of(100), 0);
+  read(2, 100);   // core 1, same socket: must fetch from core 0
+  EXPECT_EQ(mh_.counters().c2c_same_socket, 1u);
+  EXPECT_EQ(mh_.dirty_owner_of(100), -1);  // written back, now shared
+}
+
+TEST_F(HierarchyTest, WriteInvalidatesOtherCopies) {
+  read(0, 100);
+  read(2, 100);
+  read(4, 100);  // three cores share the line (two sockets)
+  EXPECT_TRUE(mh_.core_holds(0, 100));
+  EXPECT_TRUE(mh_.core_holds(1, 100));
+  EXPECT_TRUE(mh_.core_holds(2, 100));
+
+  write(0, 100);
+  EXPECT_GE(mh_.counters().invalidations, 2u);
+  EXPECT_TRUE(mh_.core_holds(0, 100));
+  EXPECT_FALSE(mh_.core_holds(1, 100));
+  EXPECT_FALSE(mh_.core_holds(2, 100));
+  EXPECT_FALSE(mh_.l3_holds(1, 100));  // remote L3 copy killed too
+  EXPECT_EQ(mh_.dirty_owner_of(100), 0);
+
+  // The invalidated core misses on its next access (invalidation miss).
+  const auto before = mh_.counters().l2_misses;
+  read(2, 100);
+  EXPECT_EQ(mh_.counters().l2_misses, before + 1);
+}
+
+TEST_F(HierarchyTest, WriteUpgradeOnOwnDirtyLineIsCheap) {
+  write(0, 100);
+  const auto lat = write(0, 100);
+  EXPECT_EQ(lat, spec_.latency.l1_hit);  // no coherence action needed
+}
+
+TEST_F(HierarchyTest, InvariantsHoldUnderRandomTraffic) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const auto ctx = static_cast<arch::ContextId>(rng.below(8));
+    const std::uint64_t line = rng.below(512);
+    const bool is_write = rng.chance(0.3);
+    const auto home = static_cast<std::uint32_t>(line % 2);
+    mh_.access(ctx, line, is_write, home, now_ += 10);
+  }
+  EXPECT_EQ(mh_.check_invariants(), 0u);
+}
+
+TEST_F(HierarchyTest, DirectoryShrinksWhenLinesEvicted) {
+  // Touch far more lines than the caches hold; untracked entries must be
+  // erased, keeping the directory no larger than total cache capacity.
+  for (std::uint64_t line = 0; line < 4096; ++line) read(0, line);
+  const std::uint64_t total_lines =
+      2 * (spec_.l1.num_lines() + spec_.l2.num_lines()) +
+      2 * spec_.l3.num_lines();
+  EXPECT_LE(mh_.directory_size(), total_lines);
+  EXPECT_EQ(mh_.check_invariants(), 0u);
+}
+
+TEST_F(HierarchyTest, QueueingDelaysBackToBackDramBursts) {
+  // Two accesses at the same instant: the second queues behind the first.
+  const auto first = mh_.access(0, 1000, false, 0, /*now=*/0);
+  const auto second = mh_.access(2, 2000, false, 0, /*now=*/0);
+  EXPECT_GT(second, first);
+  EXPECT_GT(mh_.dram_queue_cycles(), 0u);
+}
+
+TEST_F(HierarchyTest, NoQueueingWhenWellSpaced) {
+  (void)mh_.access(0, 1000, false, 0, 0);
+  (void)mh_.access(2, 2000, false, 0, 1000000);
+  EXPECT_EQ(mh_.dram_queue_cycles(), 0u);
+}
+
+TEST_F(HierarchyTest, LinkQueueCountsCrossSocketBursts) {
+  read(0, 100);
+  // Cross-socket fetch bursts at the same time stamp.
+  (void)mh_.access(4, 100, false, 0, now_);
+  read(0, 200);
+  (void)mh_.access(6, 200, false, 0, now_);
+  EXPECT_GE(mh_.counters().c2c_cross_socket, 2u);
+}
+
+TEST_F(HierarchyTest, CountersSumConsistently) {
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    mh_.access(static_cast<arch::ContextId>(rng.below(8)), rng.below(256),
+               rng.chance(0.25), 0, now_ += 50);
+  }
+  const auto& c = mh_.counters();
+  EXPECT_EQ(c.accesses(), 5000u);
+  EXPECT_EQ(c.l1_hits + c.l1_misses, c.accesses());
+  EXPECT_EQ(c.l2_hits + c.l2_misses, c.l1_misses);
+  EXPECT_EQ(c.l3_hits + c.l3_misses, c.l2_misses);
+  EXPECT_EQ(c.c2c_cross_socket + c.dram_total(), c.l3_misses);
+}
+
+}  // namespace
+}  // namespace spcd::sim

@@ -1,0 +1,50 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace spcd::util {
+namespace {
+
+TEST(EnvTest, U64FallbackWhenUnset) {
+  ::unsetenv("SPCD_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("SPCD_TEST_ENV_U64", 7), 7u);
+}
+
+TEST(EnvTest, U64ParsesValue) {
+  ::setenv("SPCD_TEST_ENV_U64", "1234", 1);
+  EXPECT_EQ(env_u64("SPCD_TEST_ENV_U64", 7), 1234u);
+  ::unsetenv("SPCD_TEST_ENV_U64");
+}
+
+TEST(EnvTest, U64RejectsGarbage) {
+  ::setenv("SPCD_TEST_ENV_U64", "12abc", 1);
+  EXPECT_EQ(env_u64("SPCD_TEST_ENV_U64", 7), 7u);
+  ::setenv("SPCD_TEST_ENV_U64", "", 1);
+  EXPECT_EQ(env_u64("SPCD_TEST_ENV_U64", 7), 7u);
+  ::unsetenv("SPCD_TEST_ENV_U64");
+}
+
+TEST(EnvTest, DoubleParsesValue) {
+  ::setenv("SPCD_TEST_ENV_D", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("SPCD_TEST_ENV_D", 1.0), 0.25);
+  ::unsetenv("SPCD_TEST_ENV_D");
+}
+
+TEST(EnvTest, DoubleRejectsGarbage) {
+  ::setenv("SPCD_TEST_ENV_D", "abc", 1);
+  EXPECT_DOUBLE_EQ(env_double("SPCD_TEST_ENV_D", 1.5), 1.5);
+  ::unsetenv("SPCD_TEST_ENV_D");
+}
+
+TEST(EnvTest, StringFallbackAndValue) {
+  ::unsetenv("SPCD_TEST_ENV_S");
+  EXPECT_EQ(env_string("SPCD_TEST_ENV_S", "dft"), "dft");
+  ::setenv("SPCD_TEST_ENV_S", "hello", 1);
+  EXPECT_EQ(env_string("SPCD_TEST_ENV_S", "dft"), "hello");
+  ::unsetenv("SPCD_TEST_ENV_S");
+}
+
+}  // namespace
+}  // namespace spcd::util

@@ -1,0 +1,59 @@
+#include "util/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spcd::util {
+namespace {
+
+TEST(HeatmapTest, ZeroMatrixIsAllLightest) {
+  std::vector<double> m(4 * 4, 0.0);
+  HeatmapOptions opts;
+  const std::string out = render_heatmap(m, 4, opts);
+  for (char dark : {'@', '%', '#'}) {
+    EXPECT_EQ(out.find(dark), std::string::npos);
+  }
+}
+
+TEST(HeatmapTest, MaxCellGetsDarkestGlyph) {
+  std::vector<double> m(3 * 3, 0.0);
+  m[1 * 3 + 2] = 100.0;
+  const std::string out = render_heatmap(m, 3);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(HeatmapTest, FixedScaleRespectsGivenMax) {
+  std::vector<double> m(2 * 2, 50.0);
+  HeatmapOptions opts;
+  opts.auto_scale = false;
+  opts.fixed_max = 100.0;
+  const std::string out = render_heatmap(m, 2, opts);
+  // 50/100 with a 10-glyph ramp lands mid-ramp, not at '@'.
+  EXPECT_EQ(out.find('@'), std::string::npos);
+}
+
+TEST(HeatmapTest, RowCountMatches) {
+  std::vector<double> m(8 * 8, 1.0);
+  const std::string out = render_heatmap(m, 8);
+  std::size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  // 8 data rows + at least one label row.
+  EXPECT_GE(lines, 9u);
+}
+
+TEST(HeatmapTest, U64OverloadMatchesDouble) {
+  std::vector<std::uint64_t> mi{0, 10, 10, 0};
+  std::vector<double> md{0.0, 10.0, 10.0, 0.0};
+  EXPECT_EQ(render_heatmap_u64(mi, 2), render_heatmap(md, 2));
+}
+
+TEST(HeatmapDeathTest, WrongSizeAborts) {
+  std::vector<double> m(5, 0.0);
+  EXPECT_DEATH((void)render_heatmap(m, 3), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::util

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace spcd::util {
+namespace {
+
+TEST(LogTest, LevelCanBeChangedAtRuntime) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(LogTest, MacrosCompileAndRespectLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  // These must not crash and must not evaluate side effects eagerly when
+  // filtered... (the level check happens before formatting).
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  SPCD_LOG_DEBUG("hidden %d", count());
+  EXPECT_EQ(evaluations, 0);  // filtered: argument not evaluated
+  set_log_level(before);
+}
+
+TEST(ContractsTest, PassingConditionsAreSilent) {
+  SPCD_EXPECTS(1 + 1 == 2);
+  SPCD_ENSURES(true);
+  SPCD_ASSERT(42 > 0);
+  SUCCEED();
+}
+
+TEST(ContractsDeathTest, EachKindReportsItsName) {
+  EXPECT_DEATH(SPCD_EXPECTS(false), "Precondition");
+  EXPECT_DEATH(SPCD_ENSURES(false), "Postcondition");
+  EXPECT_DEATH(SPCD_ASSERT(false), "Invariant");
+}
+
+TEST(UnitsTest, SizeConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(UnitsTest, CycleTimeConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(2'000'000'000ULL, 2e9), 1.0);
+  EXPECT_EQ(seconds_to_cycles(1.0, 2e9), 2'000'000'000ULL);
+  EXPECT_EQ(milliseconds_to_cycles(0.25, 2e9), 500'000ULL);
+}
+
+TEST(UnitsTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(log2_exact(1ULL << 40), 40u);
+}
+
+}  // namespace
+}  // namespace spcd::util

@@ -1,0 +1,129 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace spcd::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, Reproducible) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, ReseedResetsStream) {
+  Xoshiro256 a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Xoshiro256Test, BelowStaysInBounds) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound) << "bound=" << bound;
+    }
+  }
+}
+
+TEST(Xoshiro256Test, BelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256Test, RangeInclusive) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values of a tiny range get hit
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(31);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, ChanceMatchesProbability) {
+  Xoshiro256 rng(77);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(DeriveSeedTest, ChildStreamsDiffer) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  const auto other_parent = derive_seed(43, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, other_parent);
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  Xoshiro256 rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(ShuffleTest, DifferentSeedsGiveDifferentOrders) {
+  std::vector<int> a(32), b(32);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Xoshiro256 ra(1), rb(2);
+  shuffle(a.begin(), a.end(), ra);
+  shuffle(b.begin(), b.end(), rb);
+  EXPECT_NE(a, b);
+}
+
+TEST(ShuffleTest, EmptyAndSingletonAreNoops) {
+  Xoshiro256 rng(1);
+  std::vector<int> empty;
+  shuffle(empty.begin(), empty.end(), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one[0], 7);
+}
+
+}  // namespace
+}  // namespace spcd::util

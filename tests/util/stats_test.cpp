@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spcd::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, ShiftInvariantVariance) {
+  RunningStats a, b;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform();
+    a.add(x);
+    b.add(x + 1e9);  // catastrophic for naive sum-of-squares
+  }
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-6);
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(9), 2.262, 1e-3);   // the paper's n=10 case
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_EQ(student_t_975(0), 0.0);
+}
+
+TEST(StudentTTest, DecreasesTowardNormal) {
+  double prev = student_t_975(1);
+  for (std::size_t dof = 2; dof <= 200; ++dof) {
+    const double t = student_t_975(dof);
+    EXPECT_LE(t, prev + 1e-9) << "dof=" << dof;
+    prev = t;
+  }
+  EXPECT_NEAR(student_t_975(1000), 1.96, 0.01);
+}
+
+TEST(MeanCiTest, EmptySample) {
+  const auto ci = mean_ci95({});
+  EXPECT_EQ(ci.n, 0u);
+  EXPECT_EQ(ci.mean, 0.0);
+  EXPECT_EQ(ci.ci95, 0.0);
+}
+
+TEST(MeanCiTest, IdenticalSamplesHaveZeroWidth) {
+  std::vector<double> s(10, 3.5);
+  const auto ci = mean_ci95(s);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_DOUBLE_EQ(ci.ci95, 0.0);
+}
+
+TEST(MeanCiTest, TenSamplesMatchHandComputation) {
+  // mean 5.5, sd = sqrt(sum (x-5.5)^2 / 9); 1..10 -> var = 82.5/9
+  std::vector<double> s{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto ci = mean_ci95(s);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.5);
+  const double sd = std::sqrt(82.5 / 9.0);
+  EXPECT_NEAR(ci.ci95, 2.262 * sd / std::sqrt(10.0), 1e-3);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectAnticorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSampleGivesZero) {
+  std::vector<double> a{1, 1, 1, 1};
+  std::vector<double> b{1, 2, 3, 4};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(PearsonTest, IndependentStreamsNearZero) {
+  Xoshiro256 ra(1), rb(2);
+  std::vector<double> a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = ra.uniform();
+    b[i] = rb.uniform();
+  }
+  EXPECT_NEAR(pearson(a, b), 0.0, 0.05);
+}
+
+TEST(MeanOfTest, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  std::vector<double> v{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 3.0);
+}
+
+TEST(GeomeanTest, Basics) {
+  EXPECT_EQ(geomean_of({}), 0.0);
+  std::vector<double> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean_of(v), 2.0);
+  std::vector<double> same{3.0, 3.0, 3.0};
+  EXPECT_NEAR(geomean_of(same), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spcd::util

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spcd::util {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("a       1"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTableTest, MissingCellsRenderEmpty) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorEmitsRule) {
+  TextTable t;
+  t.header({"header"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  const std::string out = t.render();
+  // header rule + explicit separator
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("---"); pos != std::string::npos;
+       pos = out.find("---", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvSkipsSeparators) {
+  TextTable t;
+  t.header({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  EXPECT_EQ(t.to_csv(), "a\n1\n2\n");
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+TEST(FormatTest, PercentDeltaShowsSign) {
+  EXPECT_EQ(fmt_percent_delta(0.833, 1), "-16.7%");
+  EXPECT_EQ(fmt_percent_delta(1.046, 1), "+4.6%");
+  EXPECT_EQ(fmt_percent_delta(1.0, 1), "+0.0%");
+}
+
+TEST(FormatTest, MeanCi) {
+  EXPECT_EQ(fmt_mean_ci(12.345, 0.567, 2), "12.35 ± 0.57");
+}
+
+TEST(FormatTest, Thousands) {
+  EXPECT_EQ(fmt_thousands(0), "0");
+  EXPECT_EQ(fmt_thousands(999), "999");
+  EXPECT_EQ(fmt_thousands(1000), "1,000");
+  EXPECT_EQ(fmt_thousands(177500), "177,500");
+  EXPECT_EQ(fmt_thousands(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace spcd::util

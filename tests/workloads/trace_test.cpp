@@ -1,0 +1,107 @@
+#include "workloads/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/policy.hpp"
+#include "sim/machine.hpp"
+#include "workloads/npb.hpp"
+
+namespace spcd::workloads {
+namespace {
+
+// Op lacks operator==; compare field-wise.
+void expect_op_eq(const sim::Op& a, const sim::Op& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.write, b.write);
+  EXPECT_EQ(a.insns, b.insns);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.vaddr, b.vaddr);
+}
+
+Trace small_trace() {
+  auto wl = make_nas("cg", /*seed=*/5, /*scale=*/0.05);
+  return Trace::record(*wl);
+}
+
+TEST(TraceTest, RecordCapturesEveryThread) {
+  const Trace trace = small_trace();
+  EXPECT_EQ(trace.num_threads(), 32u);
+  EXPECT_GT(trace.total_ops(), 0u);
+  for (std::uint32_t t = 0; t < trace.num_threads(); ++t) {
+    EXPECT_FALSE(trace.ops_of(t).empty());
+  }
+}
+
+TEST(TraceTest, RecordingIsDeterministic) {
+  auto a = small_trace();
+  auto b = small_trace();
+  ASSERT_EQ(a.num_threads(), b.num_threads());
+  ASSERT_EQ(a.total_ops(), b.total_ops());
+  for (std::uint32_t t = 0; t < a.num_threads(); ++t) {
+    ASSERT_EQ(a.ops_of(t).size(), b.ops_of(t).size());
+    for (std::size_t i = 0; i < a.ops_of(t).size(); ++i) {
+      expect_op_eq(a.ops_of(t)[i], b.ops_of(t)[i]);
+    }
+  }
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const Trace original = small_trace();
+  std::stringstream buffer;
+  original.save(buffer);
+  const Trace restored = Trace::load(buffer);
+  ASSERT_EQ(restored.num_threads(), original.num_threads());
+  ASSERT_EQ(restored.total_ops(), original.total_ops());
+  for (std::uint32_t t = 0; t < original.num_threads(); ++t) {
+    for (std::size_t i = 0; i < original.ops_of(t).size(); ++i) {
+      expect_op_eq(restored.ops_of(t)[i], original.ops_of(t)[i]);
+    }
+  }
+}
+
+TEST(TraceTest, LoadRejectsGarbage) {
+  std::stringstream buffer("not a trace at all");
+  EXPECT_DEATH((void)Trace::load(buffer), "Precondition");
+}
+
+TEST(TraceReplayTest, ReplayMatchesOriginalExecution) {
+  // Replaying the recorded trace must produce exactly the same simulated
+  // execution as the original workload (same seeds).
+  auto original = make_nas("cg", 5, 0.05);
+  Trace trace = Trace::record(*original);
+
+  auto run = [](sim::Workload& wl) {
+    sim::Machine machine(arch::dual_xeon_e5_2650());
+    auto as = machine.make_address_space();
+    sim::Engine engine(machine, as, wl,
+                       core::os_spread_placement(machine.topology(),
+                                                 wl.num_threads()));
+    engine.run();
+    return std::make_tuple(engine.finish_time(),
+                           engine.counters().instructions,
+                           engine.counters().l2_misses);
+  };
+
+  auto fresh = make_nas("cg", 5, 0.05);
+  TraceReplay replay(std::move(trace));
+  EXPECT_EQ(run(*fresh), run(replay));
+}
+
+TEST(TraceReplayTest, ReplayWorksUnderDifferentMappings) {
+  auto original = make_nas("cg", 5, 0.05);
+  TraceReplay replay(Trace::record(*original), "cg-replay");
+  EXPECT_EQ(replay.name(), "cg-replay");
+
+  sim::Machine machine(arch::dual_xeon_e5_2650());
+  auto as = machine.make_address_space();
+  sim::Engine engine(machine, as, replay,
+                     core::compact_placement(machine.topology(), 32));
+  engine.run();
+  EXPECT_GT(engine.finish_time(), 0u);
+  EXPECT_FALSE(engine.timed_out());
+}
+
+}  // namespace
+}  // namespace spcd::workloads
