@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_mapping.dir/ablation_data_mapping.cpp.o"
+  "CMakeFiles/ablation_data_mapping.dir/ablation_data_mapping.cpp.o.d"
+  "ablation_data_mapping"
+  "ablation_data_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fault_rate.cpp" "bench/CMakeFiles/ablation_fault_rate.dir/ablation_fault_rate.cpp.o" "gcc" "bench/CMakeFiles/ablation_fault_rate.dir/ablation_fault_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/spcd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/spcd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spcd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spcd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/spcd_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault_rate.dir/ablation_fault_rate.cpp.o"
+  "CMakeFiles/ablation_fault_rate.dir/ablation_fault_rate.cpp.o.d"
+  "ablation_fault_rate"
+  "ablation_fault_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prodcons_matrices.dir/fig06_prodcons_matrices.cpp.o"
+  "CMakeFiles/fig06_prodcons_matrices.dir/fig06_prodcons_matrices.cpp.o.d"
+  "fig06_prodcons_matrices"
+  "fig06_prodcons_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prodcons_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_nas_matrices.dir/fig07_nas_matrices.cpp.o"
+  "CMakeFiles/fig07_nas_matrices.dir/fig07_nas_matrices.cpp.o.d"
+  "fig07_nas_matrices"
+  "fig07_nas_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nas_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

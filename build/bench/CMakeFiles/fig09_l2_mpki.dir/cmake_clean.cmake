@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_l2_mpki.dir/fig09_l2_mpki.cpp.o"
+  "CMakeFiles/fig09_l2_mpki.dir/fig09_l2_mpki.cpp.o.d"
+  "fig09_l2_mpki"
+  "fig09_l2_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_l2_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

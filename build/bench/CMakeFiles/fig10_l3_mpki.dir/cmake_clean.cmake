@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_l3_mpki.dir/fig10_l3_mpki.cpp.o"
+  "CMakeFiles/fig10_l3_mpki.dir/fig10_l3_mpki.cpp.o.d"
+  "fig10_l3_mpki"
+  "fig10_l3_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_l3_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_proc_epi.dir/fig14_proc_epi.cpp.o"
+  "CMakeFiles/fig14_proc_epi.dir/fig14_proc_epi.cpp.o.d"
+  "fig14_proc_epi"
+  "fig14_proc_epi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_proc_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

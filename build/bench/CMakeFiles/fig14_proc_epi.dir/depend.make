@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_proc_epi.
+# This may be replaced when dependencies are built.

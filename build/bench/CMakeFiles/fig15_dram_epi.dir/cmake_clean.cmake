@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dram_epi.dir/fig15_dram_epi.cpp.o"
+  "CMakeFiles/fig15_dram_epi.dir/fig15_dram_epi.cpp.o.d"
+  "fig15_dram_epi"
+  "fig15_dram_epi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dram_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_matching.dir/micro_matching.cpp.o"
+  "CMakeFiles/micro_matching.dir/micro_matching.cpp.o.d"
+  "micro_matching"
+  "micro_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sharing_table.dir/micro_sharing_table.cpp.o"
+  "CMakeFiles/micro_sharing_table.dir/micro_sharing_table.cpp.o.d"
+  "micro_sharing_table"
+  "micro_sharing_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sharing_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_bench_common.dir/pipeline.cpp.o"
+  "CMakeFiles/spcd_bench_common.dir/pipeline.cpp.o.d"
+  "libspcd_bench_common.a"
+  "libspcd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

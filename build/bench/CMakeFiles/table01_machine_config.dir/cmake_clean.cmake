@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_machine_config.dir/table01_machine_config.cpp.o"
+  "CMakeFiles/table01_machine_config.dir/table01_machine_config.cpp.o.d"
+  "table01_machine_config"
+  "table01_machine_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_machine_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_absolute_results.dir/table02_absolute_results.cpp.o"
+  "CMakeFiles/table02_absolute_results.dir/table02_absolute_results.cpp.o.d"
+  "table02_absolute_results"
+  "table02_absolute_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_absolute_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

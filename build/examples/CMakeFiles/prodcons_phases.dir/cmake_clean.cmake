@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodcons_phases.dir/prodcons_phases.cpp.o"
+  "CMakeFiles/prodcons_phases.dir/prodcons_phases.cpp.o.d"
+  "prodcons_phases"
+  "prodcons_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodcons_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

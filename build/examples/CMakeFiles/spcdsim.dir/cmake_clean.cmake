@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcdsim.dir/spcdsim.cpp.o"
+  "CMakeFiles/spcdsim.dir/spcdsim.cpp.o.d"
+  "spcdsim"
+  "spcdsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcdsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

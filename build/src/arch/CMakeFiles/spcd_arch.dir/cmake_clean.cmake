@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_arch.dir/machine_spec.cpp.o"
+  "CMakeFiles/spcd_arch.dir/machine_spec.cpp.o.d"
+  "CMakeFiles/spcd_arch.dir/topology.cpp.o"
+  "CMakeFiles/spcd_arch.dir/topology.cpp.o.d"
+  "libspcd_arch.a"
+  "libspcd_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

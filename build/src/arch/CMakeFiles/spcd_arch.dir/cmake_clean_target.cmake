@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspcd_arch.a"
+)

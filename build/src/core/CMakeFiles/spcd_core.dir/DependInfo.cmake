@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_filter.cpp" "src/core/CMakeFiles/spcd_core.dir/comm_filter.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/comm_filter.cpp.o.d"
+  "/root/repo/src/core/comm_matrix.cpp" "src/core/CMakeFiles/spcd_core.dir/comm_matrix.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/comm_matrix.cpp.o.d"
+  "/root/repo/src/core/data_mapper.cpp" "src/core/CMakeFiles/spcd_core.dir/data_mapper.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/data_mapper.cpp.o.d"
+  "/root/repo/src/core/fault_injector.cpp" "src/core/CMakeFiles/spcd_core.dir/fault_injector.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "src/core/CMakeFiles/spcd_core.dir/mapper.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/spcd_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/matching.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/spcd_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/os_scheduler.cpp" "src/core/CMakeFiles/spcd_core.dir/os_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/os_scheduler.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/spcd_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/spcd_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/spcd_detector.cpp" "src/core/CMakeFiles/spcd_core.dir/spcd_detector.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/spcd_detector.cpp.o.d"
+  "/root/repo/src/core/spcd_kernel.cpp" "src/core/CMakeFiles/spcd_core.dir/spcd_kernel.cpp.o" "gcc" "src/core/CMakeFiles/spcd_core.dir/spcd_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spcd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spcd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/spcd_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

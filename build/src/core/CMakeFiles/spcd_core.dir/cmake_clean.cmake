@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_core.dir/comm_filter.cpp.o"
+  "CMakeFiles/spcd_core.dir/comm_filter.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/comm_matrix.cpp.o"
+  "CMakeFiles/spcd_core.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/data_mapper.cpp.o"
+  "CMakeFiles/spcd_core.dir/data_mapper.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/fault_injector.cpp.o"
+  "CMakeFiles/spcd_core.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/mapper.cpp.o"
+  "CMakeFiles/spcd_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/matching.cpp.o"
+  "CMakeFiles/spcd_core.dir/matching.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/oracle.cpp.o"
+  "CMakeFiles/spcd_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/os_scheduler.cpp.o"
+  "CMakeFiles/spcd_core.dir/os_scheduler.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/policy.cpp.o"
+  "CMakeFiles/spcd_core.dir/policy.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/runner.cpp.o"
+  "CMakeFiles/spcd_core.dir/runner.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/spcd_detector.cpp.o"
+  "CMakeFiles/spcd_core.dir/spcd_detector.cpp.o.d"
+  "CMakeFiles/spcd_core.dir/spcd_kernel.cpp.o"
+  "CMakeFiles/spcd_core.dir/spcd_kernel.cpp.o.d"
+  "libspcd_core.a"
+  "libspcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/spcd_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/spcd_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/frame_allocator.cpp" "src/mem/CMakeFiles/spcd_mem.dir/frame_allocator.cpp.o" "gcc" "src/mem/CMakeFiles/spcd_mem.dir/frame_allocator.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/spcd_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/spcd_mem.dir/page_table.cpp.o.d"
+  "/root/repo/src/mem/sharing_table.cpp" "src/mem/CMakeFiles/spcd_mem.dir/sharing_table.cpp.o" "gcc" "src/mem/CMakeFiles/spcd_mem.dir/sharing_table.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/mem/CMakeFiles/spcd_mem.dir/tlb.cpp.o" "gcc" "src/mem/CMakeFiles/spcd_mem.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spcd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/spcd_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_mem.dir/address_space.cpp.o"
+  "CMakeFiles/spcd_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/spcd_mem.dir/frame_allocator.cpp.o"
+  "CMakeFiles/spcd_mem.dir/frame_allocator.cpp.o.d"
+  "CMakeFiles/spcd_mem.dir/page_table.cpp.o"
+  "CMakeFiles/spcd_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/spcd_mem.dir/sharing_table.cpp.o"
+  "CMakeFiles/spcd_mem.dir/sharing_table.cpp.o.d"
+  "CMakeFiles/spcd_mem.dir/tlb.cpp.o"
+  "CMakeFiles/spcd_mem.dir/tlb.cpp.o.d"
+  "libspcd_mem.a"
+  "libspcd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/spcd_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/spcd_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/spcd_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/spcd_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/spcd_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/spcd_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/spcd_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/spcd_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_hierarchy.cpp" "src/sim/CMakeFiles/spcd_sim.dir/memory_hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/spcd_sim.dir/memory_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/spcd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/spcd_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

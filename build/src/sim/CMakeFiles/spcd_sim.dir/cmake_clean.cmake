@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_sim.dir/cache.cpp.o"
+  "CMakeFiles/spcd_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/spcd_sim.dir/energy.cpp.o"
+  "CMakeFiles/spcd_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/spcd_sim.dir/engine.cpp.o"
+  "CMakeFiles/spcd_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/spcd_sim.dir/machine.cpp.o"
+  "CMakeFiles/spcd_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/spcd_sim.dir/memory_hierarchy.cpp.o"
+  "CMakeFiles/spcd_sim.dir/memory_hierarchy.cpp.o.d"
+  "libspcd_sim.a"
+  "libspcd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

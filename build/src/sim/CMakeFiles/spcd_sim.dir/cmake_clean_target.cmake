@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspcd_sim.a"
+)

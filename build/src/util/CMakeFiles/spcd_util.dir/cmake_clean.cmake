@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_util.dir/env.cpp.o"
+  "CMakeFiles/spcd_util.dir/env.cpp.o.d"
+  "CMakeFiles/spcd_util.dir/heatmap.cpp.o"
+  "CMakeFiles/spcd_util.dir/heatmap.cpp.o.d"
+  "CMakeFiles/spcd_util.dir/log.cpp.o"
+  "CMakeFiles/spcd_util.dir/log.cpp.o.d"
+  "CMakeFiles/spcd_util.dir/rng.cpp.o"
+  "CMakeFiles/spcd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/spcd_util.dir/stats.cpp.o"
+  "CMakeFiles/spcd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/spcd_util.dir/table.cpp.o"
+  "CMakeFiles/spcd_util.dir/table.cpp.o.d"
+  "libspcd_util.a"
+  "libspcd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

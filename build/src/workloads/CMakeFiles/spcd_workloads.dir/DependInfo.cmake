@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alltoall_kernel.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/alltoall_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/alltoall_kernel.cpp.o.d"
+  "/root/repo/src/workloads/datacube_kernel.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/datacube_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/datacube_kernel.cpp.o.d"
+  "/root/repo/src/workloads/domain_kernel.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/domain_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/domain_kernel.cpp.o.d"
+  "/root/repo/src/workloads/npb.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/npb.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/npb.cpp.o.d"
+  "/root/repo/src/workloads/private_kernel.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/private_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/private_kernel.cpp.o.d"
+  "/root/repo/src/workloads/prodcons.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/prodcons.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/prodcons.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/spcd_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/spcd_workloads.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spcd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spcd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spcd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/spcd_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

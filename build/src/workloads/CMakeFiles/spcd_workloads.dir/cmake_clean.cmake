@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcd_workloads.dir/alltoall_kernel.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/alltoall_kernel.cpp.o.d"
+  "CMakeFiles/spcd_workloads.dir/datacube_kernel.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/datacube_kernel.cpp.o.d"
+  "CMakeFiles/spcd_workloads.dir/domain_kernel.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/domain_kernel.cpp.o.d"
+  "CMakeFiles/spcd_workloads.dir/npb.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/npb.cpp.o.d"
+  "CMakeFiles/spcd_workloads.dir/private_kernel.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/private_kernel.cpp.o.d"
+  "CMakeFiles/spcd_workloads.dir/prodcons.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/prodcons.cpp.o.d"
+  "CMakeFiles/spcd_workloads.dir/trace.cpp.o"
+  "CMakeFiles/spcd_workloads.dir/trace.cpp.o.d"
+  "libspcd_workloads.a"
+  "libspcd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

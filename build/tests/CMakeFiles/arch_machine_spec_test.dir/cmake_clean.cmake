@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_machine_spec_test.dir/arch/machine_spec_test.cpp.o"
+  "CMakeFiles/arch_machine_spec_test.dir/arch/machine_spec_test.cpp.o.d"
+  "arch_machine_spec_test"
+  "arch_machine_spec_test.pdb"
+  "arch_machine_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_machine_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_topology_test.dir/arch/topology_test.cpp.o"
+  "CMakeFiles/arch_topology_test.dir/arch/topology_test.cpp.o.d"
+  "arch_topology_test"
+  "arch_topology_test.pdb"
+  "arch_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_data_mapper_test.dir/core/data_mapper_test.cpp.o"
+  "CMakeFiles/core_data_mapper_test.dir/core/data_mapper_test.cpp.o.d"
+  "core_data_mapper_test"
+  "core_data_mapper_test.pdb"
+  "core_data_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_data_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fault_injector_test.dir/core/fault_injector_test.cpp.o"
+  "CMakeFiles/core_fault_injector_test.dir/core/fault_injector_test.cpp.o.d"
+  "core_fault_injector_test"
+  "core_fault_injector_test.pdb"
+  "core_fault_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fault_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mapper_test.dir/core/mapper_test.cpp.o"
+  "CMakeFiles/core_mapper_test.dir/core/mapper_test.cpp.o.d"
+  "core_mapper_test"
+  "core_mapper_test.pdb"
+  "core_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

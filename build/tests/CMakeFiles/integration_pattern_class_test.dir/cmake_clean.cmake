@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_pattern_class_test.dir/integration/pattern_class_test.cpp.o"
+  "CMakeFiles/integration_pattern_class_test.dir/integration/pattern_class_test.cpp.o.d"
+  "integration_pattern_class_test"
+  "integration_pattern_class_test.pdb"
+  "integration_pattern_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_pattern_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

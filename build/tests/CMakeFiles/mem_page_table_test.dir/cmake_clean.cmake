@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_page_table_test.dir/mem/page_table_test.cpp.o"
+  "CMakeFiles/mem_page_table_test.dir/mem/page_table_test.cpp.o.d"
+  "mem_page_table_test"
+  "mem_page_table_test.pdb"
+  "mem_page_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tlb_test.dir/mem/tlb_test.cpp.o"
+  "CMakeFiles/mem_tlb_test.dir/mem/tlb_test.cpp.o.d"
+  "mem_tlb_test"
+  "mem_tlb_test.pdb"
+  "mem_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_heatmap_test.dir/util/heatmap_test.cpp.o"
+  "CMakeFiles/util_heatmap_test.dir/util/heatmap_test.cpp.o.d"
+  "util_heatmap_test"
+  "util_heatmap_test.pdb"
+  "util_heatmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_heatmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

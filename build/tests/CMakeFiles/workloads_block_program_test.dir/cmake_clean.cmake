@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_block_program_test.dir/workloads/block_program_test.cpp.o"
+  "CMakeFiles/workloads_block_program_test.dir/workloads/block_program_test.cpp.o.d"
+  "workloads_block_program_test"
+  "workloads_block_program_test.pdb"
+  "workloads_block_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_block_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
