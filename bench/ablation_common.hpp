@@ -6,9 +6,12 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/runner.hpp"
 #include "util/env.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/npb.hpp"
 
 namespace spcd::bench {
@@ -54,6 +57,21 @@ inline AblationPoint run_ablation_point(const std::string& bench_name,
     }
   }
   return p;
+}
+
+/// One cell of an ablation sweep: a benchmark name and the SPCD
+/// configuration to evaluate it with.
+using AblationCell = std::pair<std::string, core::SpcdConfig>;
+
+/// Run a sweep of ablation cells on a SPCD_JOBS-sized thread pool and
+/// return the points in input order. Each cell uses its own Runner, so
+/// results are identical to running the cells one by one.
+inline std::vector<AblationPoint> run_ablation_grid(
+    const std::vector<AblationCell>& cells) {
+  util::ThreadPool pool;
+  return util::parallel_map(pool, cells, [](const AblationCell& cell) {
+    return run_ablation_point(cell.first, cell.second);
+  });
 }
 
 }  // namespace spcd::bench

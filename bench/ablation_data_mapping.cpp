@@ -17,13 +17,20 @@ int main() {
 
   util::TextTable table;
   table.header({"bench", "spcd [ms]", "spcd+data [ms]", "delta"});
-  for (const char* name : {"dc", "ua", "sp", "bt"}) {
+  const char* names[] = {"dc", "ua", "sp", "bt"};
+  std::vector<bench::AblationCell> cells;
+  for (const char* name : names) {
     core::SpcdConfig plain;
     core::SpcdConfig with_data = plain;
     with_data.enable_data_mapping = true;
-    const auto a = bench::run_ablation_point(name, plain);
-    const auto b = bench::run_ablation_point(name, with_data);
-    table.row({name, util::fmt_double(a.exec_seconds * 1e3, 2),
+    cells.emplace_back(name, plain);
+    cells.emplace_back(name, with_data);
+  }
+  const auto points = bench::run_ablation_grid(cells);
+  for (std::size_t i = 0; i < cells.size(); i += 2) {
+    const bench::AblationPoint& a = points[i];
+    const bench::AblationPoint& b = points[i + 1];
+    table.row({cells[i].first, util::fmt_double(a.exec_seconds * 1e3, 2),
                util::fmt_double(b.exec_seconds * 1e3, 2),
                util::fmt_percent_delta(b.exec_seconds / a.exec_seconds)});
   }

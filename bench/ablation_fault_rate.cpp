@@ -21,12 +21,18 @@ int main() {
   };
   const Point sweep[] = {{0.0, 0.02}, {0.0, 0.10},  {0.005, 0.10},
                          {0.02, 0.10}, {0.04, 0.10}, {0.08, 0.10}};
+  std::vector<bench::AblationCell> cells;
   for (const auto& point : sweep) {
     core::SpcdConfig config;
     config.extra_fault_ratio = point.ratio;
     config.min_sample_frac = point.floor;
     if (point.floor == 0.0) config.min_pages_floor = 0;
-    const auto r = bench::run_ablation_point("sp", config);
+    cells.emplace_back("sp", config);
+  }
+  const auto points = bench::run_ablation_grid(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Point& point = sweep[i];
+    const bench::AblationPoint& r = points[i];
     table.row({util::fmt_double(point.floor, 3),
                util::fmt_double(point.ratio * 100.0, 0) + "%",
                util::fmt_double(r.injected_ratio * 100.0, 1) + "%",

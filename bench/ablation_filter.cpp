@@ -14,7 +14,9 @@ int main() {
   util::TextTable table;
   table.header({"threshold", "migration events", "map ovh%", "time [ms]"});
   // 33 > thread count: the filter can never trigger.
-  for (const std::uint32_t threshold : {1u, 2u, 4u, 16u, 32u, 33u}) {
+  const std::uint32_t thresholds[] = {1u, 2u, 4u, 16u, 32u, 33u};
+  std::vector<bench::AblationCell> cells;
+  for (const std::uint32_t threshold : thresholds) {
     core::SpcdConfig config;
     config.filter_threshold = threshold;
     // Isolate the filter: disable the evidence gate, the gain gate and the
@@ -23,7 +25,12 @@ int main() {
     config.min_matrix_total = 1;
     config.mapping_gain_threshold = 1.0;
     config.move_penalty_frac = 0.0;
-    const auto r = bench::run_ablation_point("sp", config);
+    cells.emplace_back("sp", config);
+  }
+  const auto points = bench::run_ablation_grid(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::uint32_t threshold = thresholds[i];
+    const bench::AblationPoint& r = points[i];
     table.row({std::to_string(threshold),
                std::to_string(r.migration_events),
                util::fmt_double(r.mapping_overhead * 100.0, 3),

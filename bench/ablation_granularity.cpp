@@ -17,10 +17,17 @@ int main() {
   table.header({"granularity", "accuracy", "events", "coverage @256k",
                 "time [ms]"});
   const unsigned shifts[] = {6, 9, 12, 14, 16, 21};
+  std::vector<bench::AblationCell> cells;
   for (const unsigned shift : shifts) {
     core::SpcdConfig config;
     config.table.granularity_shift = shift;
-    const auto r = bench::run_ablation_point("sp", config);
+    cells.emplace_back("sp", config);
+  }
+  const auto points = bench::run_ablation_grid(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const unsigned shift = shifts[i];
+    const core::SpcdConfig& config = cells[i].second;
+    const bench::AblationPoint& r = points[i];
     const std::uint64_t gran = 1ULL << shift;
     const std::uint64_t coverage = config.table.num_entries * gran;
     const std::string gran_str =

@@ -4,12 +4,14 @@
 // phase pollute the matrix after a phase change; a finite window keeps the
 // detected pattern aligned with the *current* phase.
 #include <cstdio>
+#include <vector>
 
 #include "core/os_scheduler.hpp"
 #include "core/policy.hpp"
 #include "core/spcd_kernel.hpp"
 #include "sim/machine.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/prodcons.hpp"
 
 namespace {
@@ -84,10 +86,13 @@ int main() {
 
   util::TextTable table;
   table.header({"window [ms]", "events", "phase-2 purity"});
-  const util::Cycles windows[] = {0, 400'000, 2'000'000, 10'000'000,
-                                  50'000'000};
-  for (const auto w : windows) {
-    const auto r = run_with_window(w);
+  const std::vector<util::Cycles> windows = {0, 400'000, 2'000'000,
+                                             10'000'000, 50'000'000};
+  util::ThreadPool pool;
+  const auto results = util::parallel_map(pool, windows, run_with_window);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const util::Cycles w = windows[i];
+    const WindowResult& r = results[i];
     table.row({w == 0 ? "off" : util::fmt_double(
                                     static_cast<double>(w) / 2e6, 1),
                std::to_string(r.events),

@@ -1,5 +1,7 @@
 #include "bench/pipeline.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -7,6 +9,7 @@
 
 #include "util/env.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/npb.hpp"
 
 namespace spcd::bench {
@@ -75,6 +78,24 @@ bool load_cache(PipelineResults& out) {
 
 void save_cache(const PipelineResults& results) {
   std::ofstream out(cache_path());
+  out << serialize_cache(results);
+}
+
+}  // namespace
+
+const std::vector<core::RunMetrics>& PipelineResults::runs(
+    const std::string& bench, core::MappingPolicy policy) const {
+  return results.at(bench).at(policy);
+}
+
+std::uint32_t configured_reps() {
+  return static_cast<std::uint32_t>(util::env_u64("SPCD_REPS", 10));
+}
+
+double configured_scale() { return util::env_double("SPCD_SCALE", 1.0); }
+
+std::string serialize_cache(const PipelineResults& results) {
+  std::ostringstream out;
   out << "spcd-cache v" << kCacheVersion << " reps=" << results.repetitions
       << " scale=" << results.scale << "\n";
   char buf[512];
@@ -97,42 +118,85 @@ void save_cache(const PipelineResults& results) {
       }
     }
   }
+  return std::move(out).str();
 }
 
-PipelineResults compute() {
+PipelineResults compute_pipeline(const PipelineOptions& options) {
   PipelineResults out;
-  out.repetitions = configured_reps();
-  out.scale = configured_scale();
+  out.repetitions = options.repetitions;
+  out.scale = options.scale;
 
   core::RunnerConfig config;
   config.repetitions = out.repetitions;
   core::Runner runner(config);
 
-  for (const auto& info : workloads::nas_benchmarks()) {
-    const auto factory = workloads::nas_factory(info.name, out.scale);
+  // One factory per benchmark; factories are stateless and shared across
+  // cells. Pre-size every result slot so concurrent cells write disjoint
+  // memory and serialization order never depends on completion order.
+  struct Cell {
+    const std::string* bench;
+    const core::WorkloadFactory* factory;
+    core::MappingPolicy policy;
+    std::uint32_t rep;
+    core::RunMetrics* slot;
+  };
+  std::vector<core::WorkloadFactory> factories;
+  const auto& benchmarks = workloads::nas_benchmarks();
+  factories.reserve(benchmarks.size());
+  std::vector<Cell> cells;
+  cells.reserve(benchmarks.size() * 4 * out.repetitions);
+  for (const auto& info : benchmarks) {
+    factories.push_back(workloads::nas_factory(info.name, out.scale));
     for (const auto policy : kPolicies) {
-      std::fprintf(stderr, "[pipeline] %s / %-6s (%u reps)...\n",
-                   info.name.c_str(), core::to_string(policy),
-                   out.repetitions);
-      out.results[info.name][policy] =
-          runner.run_policy(info.name, factory, policy);
+      auto& slots = out.results[info.name][policy];
+      slots.assign(out.repetitions, core::RunMetrics{});
+      for (std::uint32_t rep = 0; rep < out.repetitions; ++rep) {
+        cells.push_back(Cell{&info.name, &factories.back(), policy, rep,
+                             &slots[rep]});
+      }
     }
+  }
+
+  util::ThreadPool pool(options.jobs);
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> running{0};
+  const auto t_start = std::chrono::steady_clock::now();
+  for (const Cell& cell : cells) {
+    pool.submit([&, cell] {
+      running.fetch_add(1, std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      *cell.slot =
+          runner.run_once(*cell.bench, *cell.factory, cell.policy, cell.rep);
+      const double cell_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      const std::size_t in_flight =
+          running.fetch_sub(1, std::memory_order_relaxed);
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.progress) {
+        std::fprintf(stderr,
+                     "[pipeline] %3zu/%zu %s/%-6s rep %u  %6.2fs  "
+                     "(jobs=%u, in-flight=%zu)\n",
+                     done, cells.size(), cell.bench->c_str(),
+                     core::to_string(cell.policy), cell.rep, cell_seconds,
+                     pool.size(), in_flight);
+      }
+    });
+  }
+  pool.wait();
+  if (options.progress) {
+    const double total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    std::fprintf(stderr,
+                 "[pipeline] %zu cells in %.2fs wall (jobs=%u)\n",
+                 cells.size(), total_seconds, pool.size());
   }
   return out;
 }
-
-}  // namespace
-
-const std::vector<core::RunMetrics>& PipelineResults::runs(
-    const std::string& bench, core::MappingPolicy policy) const {
-  return results.at(bench).at(policy);
-}
-
-std::uint32_t configured_reps() {
-  return static_cast<std::uint32_t>(util::env_u64("SPCD_REPS", 10));
-}
-
-double configured_scale() { return util::env_double("SPCD_SCALE", 1.0); }
 
 const PipelineResults& pipeline_results() {
   static const PipelineResults results = [] {
@@ -144,7 +208,10 @@ const PipelineResults& pipeline_results() {
                    cache_path().c_str());
       return r;
     }
-    r = compute();
+    PipelineOptions options;
+    options.repetitions = r.repetitions;
+    options.scale = r.scale;
+    r = compute_pipeline(options);
     save_cache(r);
     std::fprintf(stderr, "[pipeline] results cached to %s\n",
                  cache_path().c_str());

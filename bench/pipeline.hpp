@@ -4,10 +4,18 @@
 // the per-run metrics in a text file next to the binaries; every bench
 // binary then renders its own figure from the cache.
 //
+// The grid is computed in parallel: every (benchmark, policy, repetition)
+// cell is an independent job on a util::ThreadPool. Each cell's RNG
+// streams are derived from (benchmark, policy, repetition) alone (see
+// core::Runner::cell_seed), and cells land in pre-sized slots serialized
+// in canonical order, so the cache file is byte-identical for any job
+// count — SPCD_JOBS=1 reproduces the serial path exactly.
+//
 // Environment knobs:
 //   SPCD_REPS   repetitions per configuration (default 10, like the paper)
 //   SPCD_SCALE  workload length multiplier    (default 1.0)
 //   SPCD_CACHE  cache file path (default ./spcd_results.cache)
+//   SPCD_JOBS   worker threads (default hardware concurrency, 1 = serial)
 #pragma once
 
 #include <map>
@@ -34,6 +42,22 @@ struct PipelineResults {
 std::uint32_t configured_reps();
 /// Workload scale from SPCD_SCALE (default 1.0).
 double configured_scale();
+
+struct PipelineOptions {
+  std::uint32_t repetitions = 10;
+  double scale = 1.0;
+  std::uint32_t jobs = 0;  ///< 0 = SPCD_JOBS / hardware concurrency
+  bool progress = true;    ///< per-cell progress lines on stderr
+};
+
+/// Run the full experiment grid (no cache involved). Deterministic in
+/// `jobs`: any worker count produces bit-identical results.
+PipelineResults compute_pipeline(const PipelineOptions& options);
+
+/// Canonical v3 cache serialization (header + one line per run, benchmarks
+/// and policies in sorted order, repetitions in order). Two PipelineResults
+/// with equal metrics serialize to equal bytes.
+std::string serialize_cache(const PipelineResults& results);
 
 /// Load the pipeline results from cache, or compute and cache them.
 /// Prints progress to stderr while computing.

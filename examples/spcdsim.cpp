@@ -8,6 +8,7 @@
 //     --bench <bt|cg|dc|ep|ft|is|lu|mg|sp|ua|prodcons>   (default sp)
 //     --policy <os|random|oracle|spcd>                   (default spcd)
 //     --reps <n>            repetitions                  (default 3)
+//     --jobs <n>            worker threads, 1 = serial   (default SPCD_JOBS)
 //     --scale <f>           workload length multiplier   (default 1.0)
 //     --granularity <log2>  detection granularity shift  (default 12)
 //     --fault-ratio <f>     extra-fault target ratio     (default 0.10)
@@ -28,9 +29,10 @@ namespace {
 
 const char* kUsage =
     "usage: spcdsim [--bench NAME] [--policy os|random|oracle|spcd]\n"
-    "               [--reps N] [--scale F] [--granularity SHIFT]\n"
-    "               [--fault-ratio F] [--window CYCLES]\n"
-    "               [--no-migration] [--data-mapping] [--matrix]\n";
+    "               [--reps N] [--jobs N] [--scale F]\n"
+    "               [--granularity SHIFT] [--fault-ratio F]\n"
+    "               [--window CYCLES] [--no-migration] [--data-mapping]\n"
+    "               [--matrix]\n";
 
 }  // namespace
 
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
       policy_name = value();
     } else if (arg == "--reps") {
       reps = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--jobs") {
+      config.jobs = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--scale") {
       scale = std::atof(value());
     } else if (arg == "--granularity") {

@@ -1,5 +1,7 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
+
 #include "core/oracle.hpp"
 #include "core/spcd_kernel.hpp"
 #include "sim/energy.hpp"
@@ -7,10 +9,17 @@
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spcd::core {
 
 namespace {
+
+// Per-component salts layered on top of cell_seed(): each random stream in
+// a cell is fully determined by (benchmark, policy, repetition).
+constexpr std::uint64_t kRandomPlacementSalt = 0x7a7d;
+constexpr std::uint64_t kOsBalancerSalt = 0xba1a;
+constexpr std::uint64_t kSpcdKernelSalt = 0x5bcd;
 
 std::uint64_t name_hash(const std::string& name) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -25,10 +34,22 @@ std::uint64_t name_hash(const std::string& name) {
 
 Runner::Runner(RunnerConfig config) : config_(std::move(config)) {}
 
+std::uint64_t Runner::cell_seed(const std::string& workload_name,
+                                std::uint32_t repetition) const {
+  return util::derive_seed(config_.base_seed,
+                           name_hash(workload_name) + repetition);
+}
+
 const sim::Placement& Runner::oracle_placement(
     const std::string& workload_name, const WorkloadFactory& factory) {
-  auto it = oracle_cache_.find(workload_name);
-  if (it != oracle_cache_.end()) return it->second.placement;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto [it, inserted] = oracle_cache_.try_emplace(workload_name);
+  if (!inserted) {
+    // Another thread is profiling (or has profiled) this workload.
+    oracle_ready_cv_.wait(lock, [&] { return it->second.ready; });
+    return it->second.placement;
+  }
+  lock.unlock();
 
   SPCD_LOG_INFO("oracle: profiling %s", workload_name.c_str());
   const std::uint64_t seed =
@@ -48,27 +69,31 @@ const sim::Placement& Runner::oracle_placement(
   tracer.install(engine);
   engine.run();
 
-  OracleEntry entry;
-  entry.matrix = tracer.matrix();
-  entry.placement = compute_mapping(tracer.matrix(), machine.topology())
-                        .placement;
-  auto [pos, inserted] =
-      oracle_cache_.emplace(workload_name, std::move(entry));
-  SPCD_ASSERT(inserted);
-  return pos->second.placement;
+  sim::Placement placement =
+      compute_mapping(tracer.matrix(), machine.topology()).placement;
+
+  lock.lock();
+  it->second.matrix = tracer.matrix();
+  it->second.placement = std::move(placement);
+  it->second.ready = true;
+  lock.unlock();
+  oracle_ready_cv_.notify_all();
+  return it->second.placement;
 }
 
 const CommMatrix* Runner::oracle_matrix(
     const std::string& workload_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = oracle_cache_.find(workload_name);
-  return it == oracle_cache_.end() ? nullptr : &it->second.matrix;
+  return it == oracle_cache_.end() || !it->second.ready
+             ? nullptr
+             : &it->second.matrix;
 }
 
 RunMetrics Runner::run_once(const std::string& workload_name,
                             const WorkloadFactory& factory,
                             MappingPolicy policy, std::uint32_t repetition) {
-  const std::uint64_t rep_seed = util::derive_seed(
-      config_.base_seed, name_hash(workload_name) + repetition);
+  const std::uint64_t rep_seed = cell_seed(workload_name, repetition);
 
   sim::Machine machine(config_.machine);
   mem::AddressSpace as = machine.make_address_space();
@@ -83,8 +108,9 @@ RunMetrics Runner::run_once(const std::string& workload_name,
       placement = os_spread_placement(machine.topology(), n);
       break;
     case MappingPolicy::kRandom:
-      placement = random_placement(machine.topology(), n,
-                                   util::derive_seed(rep_seed, 0x7a7d));
+      placement = random_placement(
+          machine.topology(), n,
+          util::derive_seed(rep_seed, kRandomPlacementSalt));
       break;
     case MappingPolicy::kOracle:
       placement = oracle_placement(workload_name, factory);
@@ -97,11 +123,11 @@ RunMetrics Runner::run_once(const std::string& workload_name,
   std::unique_ptr<SpcdKernel> kernel;
   if (policy == MappingPolicy::kOs) {
     balancer = std::make_unique<OsLoadBalancer>(
-        config_.balancer, util::derive_seed(rep_seed, 0xba1a));
+        config_.balancer, util::derive_seed(rep_seed, kOsBalancerSalt));
     balancer->install(engine);
   } else if (policy == MappingPolicy::kSpcd) {
-    kernel = std::make_unique<SpcdKernel>(config_.spcd, n,
-                                          util::derive_seed(rep_seed, 0x5bcd));
+    kernel = std::make_unique<SpcdKernel>(
+        config_.spcd, n, util::derive_seed(rep_seed, kSpcdKernelSalt));
     kernel->install(engine);
   }
 
@@ -136,6 +162,7 @@ RunMetrics Runner::run_once(const std::string& workload_name,
   m.injected_faults = c.injected_faults;
   if (kernel) {
     m.migration_events = kernel->migration_events();
+    std::lock_guard<std::mutex> lock(mu_);
     last_spcd_matrix_ = kernel->matrix();
   }
   return m;
@@ -144,11 +171,17 @@ RunMetrics Runner::run_once(const std::string& workload_name,
 std::vector<RunMetrics> Runner::run_policy(const std::string& workload_name,
                                            const WorkloadFactory& factory,
                                            MappingPolicy policy) {
-  std::vector<RunMetrics> out;
-  out.reserve(config_.repetitions);
+  std::vector<RunMetrics> out(config_.repetitions);
+  const unsigned jobs =
+      config_.jobs != 0 ? config_.jobs : util::configured_jobs();
+  util::ThreadPool pool(std::max(1u, std::min<unsigned>(
+      jobs, config_.repetitions)));
   for (std::uint32_t rep = 0; rep < config_.repetitions; ++rep) {
-    out.push_back(run_once(workload_name, factory, policy, rep));
+    pool.submit([this, &out, &workload_name, &factory, policy, rep] {
+      out[rep] = run_once(workload_name, factory, policy, rep);
+    });
   }
+  pool.wait();
   return out;
 }
 

@@ -6,10 +6,12 @@
 // benchmark suite.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,20 +68,38 @@ struct RunnerConfig {
   sim::EngineConfig engine;
   std::uint32_t repetitions = 10;  ///< the paper runs each experiment 10x
   std::uint64_t base_seed = 0xC0FFEE;
+  /// Worker threads for run_policy(): 0 = the SPCD_JOBS environment knob
+  /// (default hardware concurrency), 1 = serial.
+  std::uint32_t jobs = 0;
 };
 
+/// Runs experiment cells. Thread-safe: concurrent run_once() calls from a
+/// thread pool are supported — the oracle cache is computed once per
+/// workload (concurrent requesters block until it is ready) and every RNG
+/// stream in a cell is derived from cell_seed() plus a per-component salt,
+/// so a cell's results depend only on (benchmark, policy, repetition),
+/// never on scheduling order: parallel and serial runs are bit-identical.
 class Runner {
  public:
   explicit Runner(RunnerConfig config = {});
 
   const RunnerConfig& config() const { return config_; }
 
+  /// The seed from which every random stream of one experiment cell is
+  /// derived. Intentionally policy-independent so the four policies run
+  /// the same workload instance per repetition (paired comparison, like
+  /// the paper); policy-specific streams add a per-policy salt on top.
+  std::uint64_t cell_seed(const std::string& workload_name,
+                          std::uint32_t repetition) const;
+
   /// One execution of `factory`'s workload under `policy`.
   RunMetrics run_once(const std::string& workload_name,
                       const WorkloadFactory& factory, MappingPolicy policy,
                       std::uint32_t repetition);
 
-  /// All repetitions under one policy.
+  /// All repetitions under one policy. Repetitions are dispatched to a
+  /// thread pool of `config().jobs` workers (1 = serial); results are
+  /// always in repetition order.
   std::vector<RunMetrics> run_policy(const std::string& workload_name,
                                      const WorkloadFactory& factory,
                                      MappingPolicy policy);
@@ -93,8 +113,11 @@ class Runner {
   /// oracle_placement() or any kOracle run).
   const CommMatrix* oracle_matrix(const std::string& workload_name) const;
 
-  /// Communication matrix detected by SPCD in the most recent kSpcd run.
+  /// Communication matrix detected by SPCD in the most recent *completed*
+  /// kSpcd run. Read it only after the runs of interest have finished (the
+  /// pointer is unstable while kSpcd runs are in flight).
   const CommMatrix* last_spcd_matrix() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return last_spcd_matrix_ ? &*last_spcd_matrix_ : nullptr;
   }
 
@@ -102,9 +125,15 @@ class Runner {
   struct OracleEntry {
     sim::Placement placement;
     CommMatrix matrix{1};
+    bool ready = false;  ///< profiling run finished, entry is immutable
   };
 
   RunnerConfig config_;
+  // Guards oracle_cache_ and last_spcd_matrix_. Oracle entries are
+  // immutable once ready, and std::map nodes are stable, so references
+  // handed out after that stay valid without the lock.
+  mutable std::mutex mu_;
+  std::condition_variable oracle_ready_cv_;
   std::map<std::string, OracleEntry> oracle_cache_;
   std::optional<CommMatrix> last_spcd_matrix_;
 };

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace spcd::util {
+
+unsigned configured_jobs() {
+  const auto jobs = env_u64("SPCD_JOBS", 0);
+  if (jobs != 0) return static_cast<unsigned>(std::min<std::uint64_t>(
+      jobs, 1024));
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? configured_jobs() : threads) {
+  if (threads_ <= 1) {
+    threads_ = 1;
+    return;  // serial pool: submit() runs jobs inline
+  }
+  workers_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();  // serial path: run in submission order, exceptions propagate
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t ThreadPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unfinished_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --unfinished_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace spcd::util

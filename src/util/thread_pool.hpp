@@ -1,0 +1,83 @@
+// Fixed-size thread pool for the experiment harnesses: the figure pipeline,
+// the ablation sweeps and Runner::run_policy dispatch independent simulation
+// cells to it. Jobs are drained FIFO from a shared queue (cells are coarse —
+// milliseconds to seconds each — so a chunked shared queue beats per-thread
+// deques here).
+//
+// Concurrency is controlled by the SPCD_JOBS environment knob (see
+// configured_jobs()); a pool of size <= 1 executes every job inline in
+// submit(), which reproduces the serial path exactly: no worker threads are
+// created and jobs run in submission order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spcd::util {
+
+/// Worker count requested via SPCD_JOBS: default (unset or 0) is the
+/// hardware concurrency, 1 forces the serial path.
+unsigned configured_jobs();
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses configured_jobs(). A pool of size <= 1 runs jobs
+  /// inline in submit() and never spawns a thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1; 1 means serial/inline execution).
+  unsigned size() const { return threads_; }
+
+  /// Enqueue one job. Serial pools run it before returning (exceptions
+  /// propagate directly); parallel pools hand it to a worker.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished. Rethrows the first
+  /// exception thrown by any job (further exceptions are dropped). The pool
+  /// is reusable afterwards.
+  void wait();
+
+  /// Jobs submitted but not yet finished (queued + running). Approximate by
+  /// nature; meant for progress reporting.
+  std::size_t in_flight() const;
+
+ private:
+  void worker_loop();
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t unfinished_ = 0;  ///< queued + currently running
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Apply `fn` to every element of `items` on `pool`, returning the results
+/// in input order. Blocks until the whole batch is done; rethrows the first
+/// job exception.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<decltype(fn(items[0]))> {
+  std::vector<decltype(fn(items[0]))> out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    pool.submit([&out, &items, &fn, i] { out[i] = fn(items[i]); });
+  }
+  pool.wait();
+  return out;
+}
+
+}  // namespace spcd::util

@@ -23,7 +23,9 @@ TEST(OracleTracerTest, DifferentLinesNoCommunication) {
 TEST(OracleTracerTest, RepeatAccessesAccumulate) {
   OracleTracer tracer(2, 6);
   tracer.observe(0, 0x1000, true, 1);
-  for (int i = 0; i < 10; ++i) tracer.observe(1, 0x1000, false, 2 + i);
+  for (util::Cycles i = 0; i < 10; ++i) {
+    tracer.observe(1, 0x1000, false, 2 + i);
+  }
   EXPECT_EQ(tracer.matrix().at(0, 1), 10u);
 }
 

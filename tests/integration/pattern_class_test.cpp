@@ -79,8 +79,8 @@ TEST_P(PatternClassTest, OracleMatrixMatchesClassification) {
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, PatternClassTest,
     ::testing::ValuesIn(workloads::nas_benchmarks()),
-    [](const ::testing::TestParamInfo<workloads::BenchmarkInfo>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<workloads::BenchmarkInfo>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

@@ -279,7 +279,7 @@ TEST_F(EngineTest, PlacementAffectsSharingLatency) {
   auto make_wl = [] {
     std::vector<std::vector<Op>> scripts(2);
     for (std::uint32_t t = 0; t < 2; ++t) {
-      for (int i = 0; i < 500; ++i) {
+      for (std::uint64_t i = 0; i < 500; ++i) {
         scripts[t].push_back(Op::access(0x5000 + (i % 8) * 64, t == 0, 1, 5));
       }
     }
