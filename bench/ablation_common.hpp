@@ -27,7 +27,7 @@ struct AblationPoint {
 };
 
 inline double ablation_scale() {
-  return util::env_double("SPCD_ABLATION_SCALE", 0.4);
+  return util::env_double_clamped("SPCD_ABLATION_SCALE", 0.4, 1e-4, 1e3);
 }
 
 inline AblationPoint run_ablation_point(const std::string& bench_name,

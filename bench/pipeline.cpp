@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/env.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/npb.hpp"
@@ -35,9 +36,19 @@ std::string cache_path() {
   return util::env_string("SPCD_CACHE", "spcd_results.cache");
 }
 
-bool load_cache(PipelineResults& out) {
-  std::ifstream in(cache_path());
-  if (!in) return false;
+// FNV-1a, the integrity checksum of the cache trailer. Not cryptographic;
+// it only needs to catch truncation and accidental corruption.
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool parse_cache_payload(const std::string& payload, PipelineResults& out) {
+  std::istringstream in(payload);
   int version = 0;
   std::uint32_t reps = 0;
   double scale = 0.0;
@@ -76,9 +87,12 @@ bool load_cache(PipelineResults& out) {
   return true;
 }
 
-void save_cache(const PipelineResults& results) {
-  std::ofstream out(cache_path());
-  out << serialize_cache(results);
+std::string cache_trailer(const std::string& payload) {
+  char trailer[64];
+  std::snprintf(trailer, sizeof trailer, "#crc %016llx %zu\n",
+                static_cast<unsigned long long>(fnv1a(payload)),
+                payload.size());
+  return trailer;
 }
 
 }  // namespace
@@ -89,10 +103,15 @@ const std::vector<core::RunMetrics>& PipelineResults::runs(
 }
 
 std::uint32_t configured_reps() {
-  return static_cast<std::uint32_t>(util::env_u64("SPCD_REPS", 10));
+  // SPCD_REPS=0 would be a zero-sized experiment; clamp to at least 1.
+  return static_cast<std::uint32_t>(
+      util::env_u64_clamped("SPCD_REPS", 10, 1, 1'000'000));
 }
 
-double configured_scale() { return util::env_double("SPCD_SCALE", 1.0); }
+double configured_scale() {
+  // Zero or negative SPCD_SCALE would produce empty workloads.
+  return util::env_double_clamped("SPCD_SCALE", 1.0, 1e-4, 1e3);
+}
 
 std::string serialize_cache(const PipelineResults& results) {
   std::ostringstream out;
@@ -119,6 +138,74 @@ std::string serialize_cache(const PipelineResults& results) {
     }
   }
   return std::move(out).str();
+}
+
+bool save_cache_file(const std::string& path,
+                     const PipelineResults& results) {
+  const std::string payload = serialize_cache(results);
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      SPCD_LOG_WARN("pipeline: cannot open %s for writing",
+                    tmp_path.c_str());
+      return false;
+    }
+    out << payload << cache_trailer(payload);
+    out.flush();
+    if (!out) {
+      SPCD_LOG_WARN("pipeline: short write to %s", tmp_path.c_str());
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+  }
+  // Atomic publish: readers see either the old cache or the complete new
+  // one, never a half-written file.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    SPCD_LOG_WARN("pipeline: cannot rename %s over %s", tmp_path.c_str(),
+                  path.c_str());
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_cache_file(const std::string& path, PipelineResults& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;  // no cache yet: silent, caller computes
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = std::move(buf).str();
+
+  // The trailer is the final line; everything before it is the payload.
+  const std::size_t marker = contents.rfind("#crc ");
+  if (marker == std::string::npos ||
+      (marker != 0 && contents[marker - 1] != '\n')) {
+    SPCD_LOG_WARN("pipeline: cache %s has no integrity trailer; "
+                  "discarding it and recomputing", path.c_str());
+    return false;
+  }
+  unsigned long long crc = 0;
+  std::size_t payload_bytes = 0;
+  if (std::sscanf(contents.c_str() + marker, "#crc %llx %zu", &crc,
+                  &payload_bytes) != 2) {
+    SPCD_LOG_WARN("pipeline: cache %s has a malformed integrity trailer; "
+                  "discarding it and recomputing", path.c_str());
+    return false;
+  }
+  const std::string payload = contents.substr(0, marker);
+  if (payload_bytes != payload.size() || crc != fnv1a(payload)) {
+    SPCD_LOG_WARN("pipeline: cache %s failed its integrity check "
+                  "(truncated or corrupt); discarding it and recomputing",
+                  path.c_str());
+    return false;
+  }
+  PipelineResults parsed;
+  parsed.repetitions = out.repetitions;
+  parsed.scale = out.scale;
+  if (!parse_cache_payload(payload, parsed)) return false;
+  out = std::move(parsed);
+  return true;
 }
 
 PipelineResults compute_pipeline(const PipelineOptions& options) {
@@ -203,7 +290,7 @@ const PipelineResults& pipeline_results() {
     PipelineResults r;
     r.repetitions = configured_reps();
     r.scale = configured_scale();
-    if (load_cache(r)) {
+    if (load_cache_file(cache_path(), r)) {
       std::fprintf(stderr, "[pipeline] loaded cached results from %s\n",
                    cache_path().c_str());
       return r;
@@ -212,7 +299,7 @@ const PipelineResults& pipeline_results() {
     options.repetitions = r.repetitions;
     options.scale = r.scale;
     r = compute_pipeline(options);
-    save_cache(r);
+    save_cache_file(cache_path(), r);
     std::fprintf(stderr, "[pipeline] results cached to %s\n",
                  cache_path().c_str());
     return r;

@@ -59,6 +59,20 @@ PipelineResults compute_pipeline(const PipelineOptions& options);
 /// with equal metrics serialize to equal bytes.
 std::string serialize_cache(const PipelineResults& results);
 
+/// Write `results` to `path` crash-safely: the serialize_cache() payload
+/// plus one trailing "#crc <hex> <payload-bytes>" integrity line is written
+/// to "<path>.tmp" and atomically renamed over `path`, so a crash mid-write
+/// never leaves a half-written cache behind. Returns false (with a logged
+/// warning) when the file cannot be written.
+bool save_cache_file(const std::string& path, const PipelineResults& results);
+
+/// Load a cache written by save_cache_file(). `out.repetitions` and
+/// `out.scale` must be pre-set (the header is checked against them). A
+/// missing file fails silently; a corrupt one — missing/malformed trailer,
+/// checksum or length mismatch (truncation, bit flips), malformed rows, an
+/// incomplete grid — fails with a logged warning, never a partial parse.
+bool load_cache_file(const std::string& path, PipelineResults& out);
+
 /// Load the pipeline results from cache, or compute and cache them.
 /// Prints progress to stderr while computing.
 const PipelineResults& pipeline_results();

@@ -15,11 +15,14 @@
 //     --window <cycles>     temporal window, 0 = off     (default 0)
 //     --no-migration        detect only, never migrate
 //     --data-mapping        enable SPCD page migration
+//     --chaos <intensity>   deterministic perturbations    (default off,
+//                           or the SPCD_CHAOS_* environment knobs)
 //     --matrix              print the detected matrix (spcd only)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "chaos/perturbation.hpp"
 #include "core/runner.hpp"
 #include "util/heatmap.hpp"
 #include "util/table.hpp"
@@ -32,7 +35,7 @@ const char* kUsage =
     "               [--reps N] [--jobs N] [--scale F]\n"
     "               [--granularity SHIFT] [--fault-ratio F]\n"
     "               [--window CYCLES] [--no-migration] [--data-mapping]\n"
-    "               [--matrix]\n";
+    "               [--chaos INTENSITY] [--matrix]\n";
 
 }  // namespace
 
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   bool show_matrix = false;
   core::RunnerConfig config;
+  config.chaos = chaos::config_from_env();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +82,9 @@ int main(int argc, char** argv) {
       config.spcd.enable_migration = false;
     } else if (arg == "--data-mapping") {
       config.spcd.enable_data_mapping = true;
+    } else if (arg == "--chaos") {
+      config.chaos = chaos::PerturbationConfig::at_intensity(
+          std::atof(value()));
     } else if (arg == "--matrix") {
       show_matrix = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -117,6 +124,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     factory = workloads::nas_factory(bench, scale);
+  }
+
+  // Reject bad configurations here with a readable message instead of
+  // letting the kernel constructor throw mid-run.
+  if (const std::string error = config.spcd.validate(); !error.empty()) {
+    std::fprintf(stderr, "invalid SPCD configuration: %s\n", error.c_str());
+    return 2;
+  }
+  if (const std::string error = config.chaos.validate(); !error.empty()) {
+    std::fprintf(stderr, "invalid chaos configuration: %s\n", error.c_str());
+    return 2;
   }
 
   config.repetitions = reps;
@@ -181,6 +199,40 @@ int main(int argc, char** argv) {
     const auto ci = core::aggregate(runs, r.metric);
     t.row({r.label, util::fmt_double(ci.mean, r.precision),
            util::fmt_double(ci.ci95, r.precision)});
+  }
+  if (config.chaos.enabled() && policy == core::MappingPolicy::kSpcd) {
+    const Row chaos_rows[] = {
+        {"perturbations injected",
+         [](const core::RunMetrics& m) {
+           return static_cast<double>(m.perturbations_injected);
+         },
+         1},
+        {"saturation resets",
+         [](const core::RunMetrics& m) {
+           return static_cast<double>(m.saturation_resets);
+         },
+         1},
+        {"migration retries",
+         [](const core::RunMetrics& m) {
+           return static_cast<double>(m.migration_retries);
+         },
+         1},
+        {"migration give-ups",
+         [](const core::RunMetrics& m) {
+           return static_cast<double>(m.migration_giveups);
+         },
+         1},
+        {"overrun skips",
+         [](const core::RunMetrics& m) {
+           return static_cast<double>(m.overrun_skips);
+         },
+         1},
+    };
+    for (const auto& r : chaos_rows) {
+      const auto ci = core::aggregate(runs, r.metric);
+      t.row({r.label, util::fmt_double(ci.mean, r.precision),
+             util::fmt_double(ci.ci95, r.precision)});
+    }
   }
   std::fputs(t.render().c_str(), stdout);
 

@@ -1,15 +1,29 @@
 #include "core/fault_injector.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
 
 namespace spcd::core {
 
-FaultInjector::FaultInjector(const SpcdConfig& config, std::uint64_t seed)
-    : config_(config), rng_(seed) {}
+FaultInjector::FaultInjector(const SpcdConfig& config, std::uint64_t seed,
+                             chaos::PerturbationEngine* chaos)
+    : config_(config), rng_(seed), chaos_(chaos) {}
 
-void FaultInjector::install(sim::Engine& engine) {
-  engine.schedule(engine.now() + config_.injector_period,
-                  [this](sim::Engine& e) { tick(e); });
+void FaultInjector::install(sim::Engine& engine) { schedule_next(engine); }
+
+void FaultInjector::schedule_next(sim::Engine& engine) {
+  util::Cycles delay = config_.injector_period;
+  if (chaos_ != nullptr) delay = chaos_->perturb_period(delay);
+  // The overrun tolerance is anchored to the nominal period: a wake-up
+  // arriving more than overrun_skip_factor periods after the previous
+  // activity missed its deadline.
+  deadline_ = engine.now() +
+              static_cast<util::Cycles>(std::llround(
+                  config_.overrun_skip_factor *
+                  static_cast<double>(config_.injector_period)));
+  engine.schedule(engine.now() + delay, [this](sim::Engine& e) { tick(e); });
 }
 
 std::uint32_t FaultInjector::planned_batch(const mem::AddressSpace& as) const {
@@ -39,22 +53,36 @@ void FaultInjector::tick(sim::Engine& engine) {
   const auto& resident = as.resident_vpns();
   ++wakeups_;
 
-  std::uint32_t batch = planned_batch(as);
-  batch = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-      batch, resident.size()));
-  last_batch_ = batch;
+  // Overrun detection: the daemon woke up so late that injecting the
+  // planned batch now would stack onto the next period's batch. Skip this
+  // beat — a thinner sample beats a bursty one — and count the skip.
+  const bool overran = deadline_ != 0 && engine.now() > deadline_;
 
   util::Cycles cost = config_.injector_wakeup_cost;
-  for (std::uint32_t i = 0; i < batch; ++i) {
-    const std::uint64_t vpn = resident[rng_.below(resident.size())];
-    cost += config_.per_page_injection_cost;
-    if (as.clear_present(vpn)) {
-      ++pages_cleared_;
-      // A cleared present bit is only effective once stale translations are
-      // gone; this is the shootdown the paper's mechanism performs when it
-      // removes the entry from the TLB.
-      engine.counters().tlb_shootdowns +=
-          engine.machine().tlb_shootdown(vpn);
+  if (overran) {
+    ++overrun_skips_;
+    last_batch_ = 0;
+    SPCD_LOG_DEBUG("spcd: injector overran its period at cycle %llu; "
+                   "skipping batch (skip #%u)",
+                   static_cast<unsigned long long>(engine.now()),
+                   overrun_skips_);
+  } else {
+    std::uint32_t batch = planned_batch(as);
+    batch = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        batch, resident.size()));
+    last_batch_ = batch;
+
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      const std::uint64_t vpn = resident[rng_.below(resident.size())];
+      cost += config_.per_page_injection_cost;
+      if (as.clear_present(vpn)) {
+        ++pages_cleared_;
+        // A cleared present bit is only effective once stale translations
+        // are gone; this is the shootdown the paper's mechanism performs
+        // when it removes the entry from the TLB.
+        engine.counters().tlb_shootdowns +=
+            engine.machine().tlb_shootdown(vpn);
+      }
     }
   }
 
@@ -69,10 +97,7 @@ void FaultInjector::tick(sim::Engine& engine) {
     engine.charge_detection(cost / shares, (wakeups_ + i) % n);
   }
 
-  if (engine.active_threads() > 0) {
-    engine.schedule(engine.now() + config_.injector_period,
-                    [this](sim::Engine& e) { tick(e); });
-  }
+  if (engine.active_threads() > 0) schedule_next(engine);
 }
 
 }  // namespace spcd::core

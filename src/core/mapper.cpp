@@ -189,6 +189,16 @@ MappingResult compute_mapping_greedy(const CommMatrix& matrix,
   return compute_with(matrix, topology, merge_round_greedy, {});
 }
 
+std::uint32_t count_moves(const sim::Placement& current,
+                          const sim::Placement& target) {
+  SPCD_EXPECTS(current.size() == target.size());
+  std::uint32_t moves = 0;
+  for (std::size_t tid = 0; tid < current.size(); ++tid) {
+    if (current[tid] != target[tid]) ++moves;
+  }
+  return moves;
+}
+
 double placement_comm_cost(const CommMatrix& matrix,
                            const arch::Topology& topology,
                            const sim::Placement& placement) {

@@ -42,6 +42,11 @@ MappingResult compute_mapping(const CommMatrix& matrix,
 MappingResult compute_mapping_greedy(const CommMatrix& matrix,
                                      const arch::Topology& topology);
 
+/// Number of threads whose context differs between two placements (the
+/// migrations applying `target` over `current` would perform).
+std::uint32_t count_moves(const sim::Placement& current,
+                          const sim::Placement& target);
+
 /// Communication cost of a placement under a matrix: each pair's
 /// communication is weighted by the distance of their contexts (same core
 /// 1x, same socket ~L3/L1 ratio, cross-socket ~interconnect ratio). Lower

@@ -20,6 +20,7 @@ namespace {
 constexpr std::uint64_t kRandomPlacementSalt = 0x7a7d;
 constexpr std::uint64_t kOsBalancerSalt = 0xba1a;
 constexpr std::uint64_t kSpcdKernelSalt = 0x5bcd;
+constexpr std::uint64_t kChaosSalt = 0xc4a0;
 
 std::uint64_t name_hash(const std::string& name) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -120,14 +121,22 @@ RunMetrics Runner::run_once(const std::string& workload_name,
   sim::Engine engine(machine, as, *workload, placement, config_.engine);
 
   std::unique_ptr<OsLoadBalancer> balancer;
+  std::unique_ptr<chaos::PerturbationEngine> chaos_engine;
   std::unique_ptr<SpcdKernel> kernel;
   if (policy == MappingPolicy::kOs) {
     balancer = std::make_unique<OsLoadBalancer>(
         config_.balancer, util::derive_seed(rep_seed, kOsBalancerSalt));
     balancer->install(engine);
   } else if (policy == MappingPolicy::kSpcd) {
+    // A disabled chaos config creates no engine at all: the unperturbed
+    // path is byte-identical to a build without the chaos layer.
+    if (config_.chaos.enabled()) {
+      chaos_engine = std::make_unique<chaos::PerturbationEngine>(
+          config_.chaos, util::derive_seed(rep_seed, kChaosSalt));
+    }
     kernel = std::make_unique<SpcdKernel>(
-        config_.spcd, n, util::derive_seed(rep_seed, kSpcdKernelSalt));
+        config_.spcd, n, util::derive_seed(rep_seed, kSpcdKernelSalt),
+        chaos_engine.get());
     kernel->install(engine);
   }
 
@@ -162,6 +171,13 @@ RunMetrics Runner::run_once(const std::string& workload_name,
   m.injected_faults = c.injected_faults;
   if (kernel) {
     m.migration_events = kernel->migration_events();
+    m.saturation_resets = kernel->detector().saturation_resets();
+    m.migration_retries = kernel->migration_retries();
+    m.migration_giveups = kernel->migration_giveups();
+    m.overrun_skips = kernel->injector().overrun_skips();
+    if (chaos_engine) {
+      m.perturbations_injected = chaos_engine->counters().total();
+    }
     std::lock_guard<std::mutex> lock(mu_);
     last_spcd_matrix_ = kernel->matrix();
   }

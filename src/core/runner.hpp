@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/machine_spec.hpp"
+#include "chaos/perturbation.hpp"
 #include "core/comm_matrix.hpp"
 #include "core/os_scheduler.hpp"
 #include "core/policy.hpp"
@@ -50,6 +51,18 @@ struct RunMetrics {
   std::uint64_t minor_faults = 0;
   std::uint64_t injected_faults = 0;
 
+  // --- graceful-degradation counters (all zero on unperturbed runs) ---
+  /// Sharing-table saturation events handled by aging/reset.
+  std::uint32_t saturation_resets = 0;
+  /// Retry wake-ups taken for failed thread migrations.
+  std::uint32_t migration_retries = 0;
+  /// Migrations abandoned after the retry budget (old mapping kept).
+  std::uint32_t migration_giveups = 0;
+  /// Injector wake-ups that overran their deadline and skipped a batch.
+  std::uint32_t overrun_skips = 0;
+  /// Perturbations the chaos layer injected into this run.
+  std::uint64_t perturbations_injected = 0;
+
   double injected_fault_ratio() const {
     const auto total = minor_faults + injected_faults;
     return total == 0 ? 0.0
@@ -68,6 +81,10 @@ struct RunnerConfig {
   sim::EngineConfig engine;
   std::uint32_t repetitions = 10;  ///< the paper runs each experiment 10x
   std::uint64_t base_seed = 0xC0FFEE;
+  /// Deterministic perturbations applied to kSpcd runs (inert by default;
+  /// each cell's chaos streams are seeded from its cell seed, so runs stay
+  /// bit-identical for any job count).
+  chaos::PerturbationConfig chaos;
   /// Worker threads for run_policy(): 0 = the SPCD_JOBS environment knob
   /// (default hardware concurrency), 1 = serial.
   std::uint32_t jobs = 0;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "mem/sharing_table.hpp"
 #include "util/units.hpp"
@@ -99,6 +100,27 @@ struct SpcdConfig {
   /// to match the paper's evaluation.
   bool enable_data_mapping = false;
 
+  // --- graceful degradation (see DESIGN.md "Perturbation layer") ---
+  /// Failed thread migrations are retried with exponential backoff up to
+  /// this many times, then the old mapping is kept for the failed threads.
+  std::uint32_t migration_max_retries = 3;
+  /// Backoff before the first retry; doubles per attempt.
+  util::Cycles migration_retry_backoff = 250'000;
+  /// Every `saturation_check_faults` detector faults, compare the sharing
+  /// table's collision delta against its access delta; above
+  /// `saturation_collision_ratio` the table is considered saturated and is
+  /// aged (stale entries evicted) or, if nothing is stale, reset. 0
+  /// disables the check. The default ratio never triggers on healthy runs
+  /// (the 256,000-entry table collides on ~0% of accesses).
+  std::uint64_t saturation_check_faults = 256;
+  double saturation_collision_ratio = 0.5;
+  /// Entries whose newest access is older than this are evicted by aging.
+  util::Cycles saturation_age_window = 4'000'000;
+  /// An injector wake-up arriving later than this factor times the period
+  /// since the previous one overran its deadline: it skips its injection
+  /// batch instead of piling a late batch onto the next one.
+  double overrun_skip_factor = 1.5;
+
   // --- overhead cost model (cycles charged to the application) ---
   /// Hash-table update in the fault handler.
   util::Cycles fault_hook_cost = 150;
@@ -111,6 +133,16 @@ struct SpcdConfig {
   /// Mapping: Edmonds is polynomial; modelled as base + c*N^3.
   util::Cycles matching_base_cost = 20'000;
   util::Cycles matching_cost_per_thread_cubed = 8;
+  /// Re-attempting the failed subset of a migration batch.
+  util::Cycles migration_retry_cost = 5'000;
+
+  /// Check the configuration for contradictory settings (injection ratio
+  /// outside (0, 1], a zero injector period, a degenerate granularity,
+  /// ...). Returns an empty string when valid, else a one-line error — a
+  /// recoverable condition for callers like spcdsim, unlike the
+  /// SPCD_EXPECTS contract aborts. SpcdKernel's constructor throws
+  /// std::invalid_argument with this message on an invalid configuration.
+  std::string validate() const;
 };
 
 }  // namespace spcd::core

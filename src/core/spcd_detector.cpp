@@ -1,12 +1,40 @@
 #include "core/spcd_detector.hpp"
 
+#include "util/log.hpp"
+
 namespace spcd::core {
 
-SpcdDetector::SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads)
-    : config_(config), table_(config.table), matrix_(num_threads) {}
+SpcdDetector::SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads,
+                           chaos::PerturbationEngine* chaos)
+    : config_(config),
+      table_(config.table),
+      matrix_(num_threads),
+      chaos_(chaos) {
+  if (chaos_ != nullptr && chaos_->config().forced_collision > 0.0) {
+    table_.set_bucket_hook(
+        [chaos](std::uint64_t num_buckets, std::uint64_t* bucket) {
+          return chaos->redirect_bucket(num_buckets, bucket);
+        });
+  }
+}
 
 util::Cycles SpcdDetector::on_fault(const mem::FaultEvent& event) {
+  // A dropped notification models fault coalescing: the handler ran but the
+  // detection hook never saw the event, so it costs nothing here.
+  if (chaos_ != nullptr && chaos_->drop_fault()) return 0;
+
   ++faults_seen_;
+  record(event);
+  util::Cycles cost = config_.fault_hook_cost;
+  if (chaos_ != nullptr && chaos_->duplicate_fault()) {
+    record(event);
+    cost += config_.fault_hook_cost;
+  }
+  maybe_handle_saturation(event.time);
+  return cost;
+}
+
+void SpcdDetector::record(const mem::FaultEvent& event) {
   const mem::CommunicationEvent comm =
       table_.record_access(event.vaddr, event.tid, event.time);
   for (std::uint32_t i = 0; i < comm.partner_count; ++i) {
@@ -15,7 +43,38 @@ util::Cycles SpcdDetector::on_fault(const mem::FaultEvent& event) {
       ++comm_events_;
     }
   }
-  return config_.fault_hook_cost;
+}
+
+void SpcdDetector::maybe_handle_saturation(util::Cycles now) {
+  if (config_.saturation_check_faults == 0 ||
+      faults_seen_ < last_check_faults_ + config_.saturation_check_faults) {
+    return;
+  }
+  const std::uint64_t accesses = table_.accesses() - last_check_accesses_;
+  const std::uint64_t collisions =
+      table_.collisions() - last_check_collisions_;
+  last_check_faults_ = faults_seen_;
+  last_check_accesses_ = table_.accesses();
+  last_check_collisions_ = table_.collisions();
+  if (accesses == 0 ||
+      static_cast<double>(collisions) <
+          config_.saturation_collision_ratio * static_cast<double>(accesses)) {
+    return;
+  }
+  // Saturated: collisions are evicting live sharer lists faster than they
+  // accumulate communication. Age stale entries first; if every entry is
+  // recent the table is genuinely over-subscribed — reset it wholesale and
+  // let the (cheap) re-detection repopulate it.
+  const std::uint64_t aged =
+      table_.age(now, config_.saturation_age_window);
+  if (aged == 0) table_.reset_entries();
+  ++saturation_resets_;
+  SPCD_LOG_INFO("spcd: sharing table saturated (%llu/%llu collisions in "
+                "window) — %s (reset #%u)",
+                static_cast<unsigned long long>(collisions),
+                static_cast<unsigned long long>(accesses),
+                aged > 0 ? "aged stale entries" : "reset all entries",
+                saturation_resets_);
 }
 
 }  // namespace spcd::core

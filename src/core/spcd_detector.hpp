@@ -2,8 +2,16 @@
 // Figure 2. Every fault on the monitored application records (thread,
 // region) in the sharing table; faults on regions other threads touched
 // recently increment the communication matrix.
+//
+// Robustness: an optional chaos::PerturbationEngine can drop or duplicate
+// fault notifications and force table collisions. The detector degrades
+// gracefully under collision storms — when the table's collision rate over
+// a window of faults exceeds a threshold, it ages stale entries out (or
+// resets the table wholesale) instead of silently letting overwrites
+// corrupt the matrix; each such event is counted as a saturation reset.
 #pragma once
 
+#include "chaos/perturbation.hpp"
 #include "core/comm_matrix.hpp"
 #include "core/spcd_config.hpp"
 #include "mem/address_space.hpp"
@@ -13,7 +21,8 @@ namespace spcd::core {
 
 class SpcdDetector final : public mem::FaultObserver {
  public:
-  SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads);
+  SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads,
+               chaos::PerturbationEngine* chaos = nullptr);
 
   /// FaultObserver: record the faulting access, detect communication, and
   /// report the handler's extra cycles.
@@ -26,12 +35,23 @@ class SpcdDetector final : public mem::FaultObserver {
   std::uint64_t faults_seen() const { return faults_seen_; }
   std::uint64_t communication_events() const { return comm_events_; }
 
+  /// Times the saturation monitor aged or reset the table.
+  std::uint32_t saturation_resets() const { return saturation_resets_; }
+
  private:
+  void record(const mem::FaultEvent& event);
+  void maybe_handle_saturation(util::Cycles now);
+
   SpcdConfig config_;
   mem::SharingTable table_;
   CommMatrix matrix_;
+  chaos::PerturbationEngine* chaos_;
   std::uint64_t faults_seen_ = 0;
   std::uint64_t comm_events_ = 0;
+  std::uint32_t saturation_resets_ = 0;
+  std::uint64_t last_check_faults_ = 0;
+  std::uint64_t last_check_accesses_ = 0;
+  std::uint64_t last_check_collisions_ = 0;
 };
 
 }  // namespace spcd::core

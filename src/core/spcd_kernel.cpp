@@ -1,16 +1,24 @@
 #include "core/spcd_kernel.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace spcd::core {
 
 SpcdKernel::SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
-                       std::uint64_t seed)
+                       std::uint64_t seed, chaos::PerturbationEngine* chaos)
     : config_(config),
-      detector_(config, num_threads),
-      injector_(config, util::derive_seed(seed, 0x1)),
-      filter_(num_threads, config.filter_threshold, config.filter_margin) {}
+      detector_(config, num_threads, chaos),
+      injector_(config, util::derive_seed(seed, 0x1), chaos),
+      filter_(num_threads, config.filter_threshold, config.filter_margin),
+      chaos_(chaos) {
+  if (const std::string error = config.validate(); !error.empty()) {
+    throw std::invalid_argument("SpcdConfig: " + error);
+  }
+}
 
 SpcdKernel::~SpcdKernel() {
   if (hooked_space_ != nullptr) {
@@ -30,6 +38,72 @@ void SpcdKernel::install(sim::Engine& engine) {
   injector_.install(engine);
   engine.schedule(engine.now() + config_.mapping_interval,
                   [this](sim::Engine& e) { mapping_tick(e); });
+}
+
+SpcdKernel::ApplyOutcome SpcdKernel::apply_moves(
+    sim::Engine& engine, const std::vector<sim::ThreadId>& tids,
+    const sim::Placement& target, bool is_retry) {
+  ApplyOutcome outcome;
+  for (const sim::ThreadId tid : tids) {
+    if (is_retry && (engine.thread_finished(tid) ||
+                     engine.placement()[tid] == target[tid])) {
+      continue;
+    }
+    if (chaos_ != nullptr && chaos_->fail_migration()) {
+      outcome.failed.push_back(tid);
+      continue;
+    }
+    util::Cycles delay = 0;
+    if (chaos_ != nullptr && chaos_->delay_migration(&delay)) {
+      // The migration request was accepted but lands late (the real
+      // sched_setaffinity takes effect on a later scheduler tick).
+      const arch::ContextId ctx = target[tid];
+      engine.schedule(engine.now() + delay,
+                      [tid, ctx](sim::Engine& e) {
+                        if (!e.thread_finished(tid) &&
+                            e.placement()[tid] != ctx) {
+                          e.migrate(tid, ctx);
+                        }
+                      });
+      ++outcome.moved;
+      continue;
+    }
+    engine.migrate(tid, target[tid]);
+    ++outcome.moved;
+  }
+  return outcome;
+}
+
+void SpcdKernel::schedule_retry(sim::Engine& engine, sim::Placement target,
+                                std::vector<sim::ThreadId> failed,
+                                std::uint32_t attempt) {
+  if (attempt >= config_.migration_max_retries) {
+    ++migration_giveups_;
+    SPCD_LOG_WARN("spcd: giving up on migrating %zu thread(s) after %u "
+                  "retries; keeping their old mapping",
+                  failed.size(), attempt);
+    return;
+  }
+  // Exponential backoff anchored at the configured base.
+  const util::Cycles backoff = config_.migration_retry_backoff
+                               << std::min<std::uint32_t>(attempt, 31);
+  const std::uint64_t generation = remap_generation_;
+  engine.schedule(
+      engine.now() + backoff,
+      [this, generation, target = std::move(target),
+       failed = std::move(failed), attempt](sim::Engine& e) {
+        // A newer remap decision supersedes this retry.
+        if (generation != remap_generation_) return;
+        ++migration_retries_;
+        const std::uint32_t n = e.num_threads();
+        e.charge_mapping(config_.migration_retry_cost,
+                         static_cast<sim::ThreadId>(migration_retries_ % n));
+        ApplyOutcome outcome =
+            apply_moves(e, failed, target, /*is_retry=*/true);
+        if (!outcome.failed.empty()) {
+          schedule_retry(e, target, std::move(outcome.failed), attempt + 1);
+        }
+      });
 }
 
 void SpcdKernel::mapping_tick(sim::Engine& engine) {
@@ -58,21 +132,29 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
         detector_.matrix(), engine.machine().topology(), engine.placement());
     const double new_cost = placement_comm_cost(
         detector_.matrix(), engine.machine().topology(), mapping.placement);
-    std::uint32_t would_move = 0;
-    for (sim::ThreadId tid = 0; tid < n; ++tid) {
-      if (engine.placement()[tid] != mapping.placement[tid]) ++would_move;
-    }
+    const std::uint32_t would_move =
+        count_moves(engine.placement(), mapping.placement);
     const double penalty = config_.move_penalty_frac *
                            static_cast<double>(total) *
                            static_cast<double>(would_move);
-    std::uint32_t moved = 0;
+    ApplyOutcome outcome;
     if (new_cost + penalty <= config_.mapping_gain_threshold * current_cost) {
+      // A fresh remap decision: any retry still pending for the previous
+      // target placement is obsolete.
+      ++remap_generation_;
+      std::vector<sim::ThreadId> movers;
+      movers.reserve(would_move);
       for (sim::ThreadId tid = 0; tid < n; ++tid) {
         if (engine.placement()[tid] != mapping.placement[tid]) {
-          engine.migrate(tid, mapping.placement[tid]);
-          migrated = true;
-          ++moved;
+          movers.push_back(tid);
         }
+      }
+      outcome = apply_moves(engine, movers, mapping.placement,
+                            /*is_retry=*/false);
+      migrated = outcome.moved > 0;
+      if (!outcome.failed.empty()) {
+        schedule_retry(engine, mapping.placement,
+                       std::move(outcome.failed), 0);
       }
     }
     if (migrated) {
@@ -90,7 +172,7 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
           "filter changes %u, matrix total %llu, band adjacency %u/%u, "
           "cost ratio %.3f)",
           migration_events_, static_cast<unsigned long long>(engine.now()),
-          moved, filter_.last_changes(),
+          outcome.moved, filter_.last_changes(),
           static_cast<unsigned long long>(detector_.matrix().total()),
           band_adj, n - 1, new_cost / current_cost);
     }

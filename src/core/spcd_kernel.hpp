@@ -4,10 +4,19 @@
 // mechanism end to end; the overhead of each half is charged to the
 // application and accounted separately (detection vs mapping), matching
 // the paper's Figure 16 breakdown.
+//
+// Robustness: the constructor validates the configuration (recoverable
+// std::invalid_argument, not a contract abort), and an optional
+// chaos::PerturbationEngine can make thread migrations fail or land late.
+// Failed migrations are retried with exponential backoff up to
+// migration_max_retries; exhausted retries fall back to keeping the old
+// mapping for the affected threads. Every degradation is counted.
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "chaos/perturbation.hpp"
 #include "core/comm_filter.hpp"
 #include "core/data_mapper.hpp"
 #include "core/fault_injector.hpp"
@@ -20,8 +29,10 @@ namespace spcd::core {
 
 class SpcdKernel {
  public:
+  /// Throws std::invalid_argument when `config.validate()` fails. `chaos`
+  /// (optional, non-owning, may be nullptr) must outlive the kernel.
   SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
-             std::uint64_t seed);
+             std::uint64_t seed, chaos::PerturbationEngine* chaos = nullptr);
   ~SpcdKernel();
 
   SpcdKernel(const SpcdKernel&) = delete;
@@ -41,6 +52,13 @@ class SpcdKernel {
   /// (Table II "Number of migrations").
   std::uint32_t migration_events() const { return migration_events_; }
 
+  /// Retry wake-ups taken for migrations that failed (chaos or otherwise).
+  std::uint32_t migration_retries() const { return migration_retries_; }
+
+  /// Migrations abandoned after exhausting the retry budget (the affected
+  /// threads keep their old context).
+  std::uint32_t migration_giveups() const { return migration_giveups_; }
+
   /// Pages moved by the data-mapping extension (0 unless enabled).
   std::uint64_t pages_migrated() const {
     return data_mapper_ ? data_mapper_->pages_migrated() : 0;
@@ -49,12 +67,35 @@ class SpcdKernel {
  private:
   void mapping_tick(sim::Engine& engine);
 
+  struct ApplyOutcome {
+    std::uint32_t moved = 0;  ///< migrations applied (or scheduled late)
+    std::vector<sim::ThreadId> failed;
+  };
+
+  /// Move every `tids` thread to its slot in `target`, consulting the
+  /// chaos layer for failures and delays. A retry re-checks each thread
+  /// (it may have finished or been placed by a delayed move meanwhile);
+  /// the immediate path trusts the caller's fresh mover list so its move
+  /// accounting matches the paper-faithful path exactly.
+  ApplyOutcome apply_moves(sim::Engine& engine,
+                           const std::vector<sim::ThreadId>& tids,
+                           const sim::Placement& target, bool is_retry);
+  void schedule_retry(sim::Engine& engine, sim::Placement target,
+                      std::vector<sim::ThreadId> failed,
+                      std::uint32_t attempt);
+
   SpcdConfig config_;
   SpcdDetector detector_;
   FaultInjector injector_;
   CommFilter filter_;
+  chaos::PerturbationEngine* chaos_;
   std::unique_ptr<DataMapper> data_mapper_;
   std::uint32_t migration_events_ = 0;
+  std::uint32_t migration_retries_ = 0;
+  std::uint32_t migration_giveups_ = 0;
+  /// Bumped per remap decision; pending retries from an older decision are
+  /// stale and drop themselves.
+  std::uint64_t remap_generation_ = 0;
   std::uint64_t last_remap_total_ = 0;
   bool mapped_once_ = false;
   mem::AddressSpace* hooked_space_ = nullptr;

@@ -1,5 +1,7 @@
 #include "mem/sharing_table.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace spcd::mem {
@@ -81,7 +83,8 @@ CommunicationEvent SharingTable::record_access(std::uint64_t vaddr,
                                                util::Cycles now) {
   ++accesses_;
   const std::uint64_t region = region_of(vaddr);
-  const std::uint64_t bucket = bucket_of(region);
+  std::uint64_t bucket = bucket_of(region);
+  if (bucket_hook_) (void)bucket_hook_(table_.size(), &bucket);
   Entry& head = table_[bucket];
 
   if (config_.collision_policy == CollisionPolicy::kOverwrite ||
@@ -104,6 +107,39 @@ std::uint64_t SharingTable::memory_bytes() const {
   std::uint64_t bytes = table_.size() * sizeof(Entry);
   for (const auto& chain : overflow_) bytes += chain.size() * sizeof(Entry);
   return bytes;
+}
+
+std::uint64_t SharingTable::age(util::Cycles now, util::Cycles window) {
+  const util::Cycles cutoff = now > window ? now - window : 0;
+  std::uint64_t evicted = 0;
+  auto is_stale = [&](const Entry& e) {
+    if (e.region == Entry::kEmpty) return false;
+    util::Cycles newest = 0;
+    for (std::uint32_t i = 0; i < e.sharer_count; ++i) {
+      newest = std::max(newest, e.sharers[i].last_access);
+    }
+    return newest < cutoff;
+  };
+  for (Entry& e : table_) {
+    if (is_stale(e)) {
+      e = Entry{};
+      ++evicted;
+    }
+  }
+  for (auto& chain : overflow_) {
+    const auto stale_begin =
+        std::remove_if(chain.begin(), chain.end(), is_stale);
+    evicted += static_cast<std::uint64_t>(chain.end() - stale_begin);
+    chain.erase(stale_begin, chain.end());
+  }
+  occupied_ -= evicted;
+  return evicted;
+}
+
+void SharingTable::reset_entries() {
+  for (auto& e : table_) e = Entry{};
+  for (auto& chain : overflow_) chain.clear();
+  occupied_ = 0;
 }
 
 void SharingTable::clear() {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/address_space.hpp"
@@ -69,6 +70,23 @@ class SharingTable {
   /// Approximate memory footprint of the table in bytes.
   std::uint64_t memory_bytes() const;
 
+  /// Optional perturbation hook: may replace an access's bucket before the
+  /// lookup (the chaos layer uses this to force collisions and saturation
+  /// deterministically). Returns true when *bucket was replaced. An unset
+  /// hook costs one branch per access.
+  using BucketHook =
+      std::function<bool(std::uint64_t num_buckets, std::uint64_t* bucket)>;
+  void set_bucket_hook(BucketHook hook) { bucket_hook_ = std::move(hook); }
+
+  /// Graceful degradation for a saturated table: evict entries whose most
+  /// recent access is older than `now - window` (and stale whole overflow
+  /// chains in chained mode). Returns the number of entries evicted.
+  std::uint64_t age(util::Cycles now, util::Cycles window);
+
+  /// Drop every entry but keep the cumulative statistics (unlike clear()),
+  /// so collision-rate monitoring across the reset stays monotonic.
+  void reset_entries();
+
   // --- statistics ---
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t occupied() const { return occupied_; }
@@ -98,6 +116,7 @@ class SharingTable {
   std::vector<Entry> table_;
   // Chained mode keeps per-bucket overflow lists (ablation only).
   std::vector<std::vector<Entry>> overflow_;
+  BucketHook bucket_hook_;
 
   std::uint64_t collisions_ = 0;
   std::uint64_t occupied_ = 0;

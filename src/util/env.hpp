@@ -7,11 +7,24 @@
 
 namespace spcd::util {
 
-/// Integer environment variable with a default; invalid values fall back.
+/// Integer environment variable with a default; malformed or negative
+/// values fall back.
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 
 /// Floating-point environment variable with a default.
 double env_double(const char* name, double fallback);
+
+/// Like env_u64, but hardened: a malformed value falls back and an
+/// out-of-range value is clamped to [lo, hi] — both with a one-line
+/// warning, never silently. The fallback itself is returned untouched when
+/// the variable is unset (it may deliberately lie outside [lo, hi] as a
+/// "not configured" sentinel).
+std::uint64_t env_u64_clamped(const char* name, std::uint64_t fallback,
+                              std::uint64_t lo, std::uint64_t hi);
+
+/// Floating-point analogue of env_u64_clamped. NaN counts as malformed.
+double env_double_clamped(const char* name, double fallback, double lo,
+                          double hi);
 
 /// String environment variable with a default.
 std::string env_string(const char* name, const std::string& fallback);

@@ -7,9 +7,11 @@
 namespace spcd::util {
 
 unsigned configured_jobs() {
-  const auto jobs = env_u64("SPCD_JOBS", 0);
-  if (jobs != 0) return static_cast<unsigned>(std::min<std::uint64_t>(
-      jobs, 1024));
+  // Unset -> fallback 0 -> hardware concurrency. SPCD_JOBS=0 (a zero-sized
+  // pool) or garbage is rejected with a warning instead of silently
+  // spawning nothing.
+  const auto jobs = env_u64_clamped("SPCD_JOBS", 0, 1, 1024);
+  if (jobs != 0) return static_cast<unsigned>(jobs);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

@@ -1,0 +1,175 @@
+// Crash-safety and integrity of the results cache: save_cache_file writes
+// tmp+rename with a checksum trailer, load_cache_file verifies it, and any
+// corruption (truncation, bit flips, missing trailer) is rejected cleanly
+// so the pipeline recomputes instead of parsing garbage.
+#include "bench/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/npb.hpp"
+
+namespace spcd::bench {
+namespace {
+
+PipelineResults make_results() {
+  PipelineResults r;
+  r.repetitions = 1;
+  r.scale = 0.5;
+  const core::MappingPolicy policies[] = {
+      core::MappingPolicy::kOs, core::MappingPolicy::kRandom,
+      core::MappingPolicy::kOracle, core::MappingPolicy::kSpcd};
+  std::uint64_t salt = 1;
+  for (const auto& info : workloads::nas_benchmarks()) {
+    for (const auto policy : policies) {
+      core::RunMetrics m;
+      m.exec_seconds = 0.001 * static_cast<double>(salt);
+      m.instructions = 1000 * salt;
+      m.l2_mpki = 0.25 * static_cast<double>(salt);
+      m.c2c_transactions = 7 * salt;
+      m.migration_events = static_cast<std::uint32_t>(salt % 5);
+      m.minor_faults = 13 * salt;
+      m.injected_faults = 3 * salt;
+      ++salt;
+      r.results[info.name][policy] = {m};
+    }
+  }
+  return r;
+}
+
+std::string path_in_tmp(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+PipelineResults fresh_shell() {
+  PipelineResults r;
+  r.repetitions = 1;
+  r.scale = 0.5;
+  return r;
+}
+
+TEST(CacheIntegrityTest, SaveLoadRoundTripsExactly) {
+  const PipelineResults original = make_results();
+  const std::string path = path_in_tmp("cache_roundtrip");
+  ASSERT_TRUE(save_cache_file(path, original));
+
+  PipelineResults loaded = fresh_shell();
+  ASSERT_TRUE(load_cache_file(path, loaded));
+  EXPECT_EQ(serialize_cache(loaded), serialize_cache(original));
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, SaveLeavesNoTmpFileBehind) {
+  const std::string path = path_in_tmp("cache_no_tmp");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, FileIsPayloadPlusOneTrailerLine) {
+  // The payload bytes on disk are exactly serialize_cache() — the trailer
+  // is the only file-level addition, keeping the v3 format intact.
+  const PipelineResults original = make_results();
+  const std::string path = path_in_tmp("cache_layout");
+  ASSERT_TRUE(save_cache_file(path, original));
+  const std::string contents = read_file(path);
+  const std::string payload = serialize_cache(original);
+  ASSERT_GT(contents.size(), payload.size());
+  EXPECT_EQ(contents.substr(0, payload.size()), payload);
+  EXPECT_EQ(contents.substr(payload.size(), 5), "#crc ");
+  EXPECT_EQ(contents.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, MissingFileFailsSilently) {
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path_in_tmp("cache_does_not_exist"), shell));
+}
+
+TEST(CacheIntegrityTest, TruncatedCacheIsRejected) {
+  const std::string path = path_in_tmp("cache_truncated");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  const std::string contents = read_file(path);
+
+  // Truncation inside the payload (the trailer line is lost entirely).
+  write_file(path, contents.substr(0, contents.size() / 2));
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+
+  // Truncation that cuts rows but keeps a stale trailer.
+  const std::size_t marker = contents.rfind("#crc ");
+  ASSERT_NE(marker, std::string::npos);
+  write_file(path, contents.substr(0, marker / 2) + contents.substr(marker));
+  shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, BitFlipIsRejected) {
+  const std::string path = path_in_tmp("cache_bitflip");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  std::string contents = read_file(path);
+  contents[contents.size() / 3] ^= 0x01;
+  write_file(path, contents);
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, MissingTrailerIsRejected) {
+  // A legacy cache (pure payload, no trailer) must be discarded for
+  // recompute, not half-trusted.
+  const std::string path = path_in_tmp("cache_no_trailer");
+  write_file(path, serialize_cache(make_results()));
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, StaleParametersAreRejected) {
+  const std::string path = path_in_tmp("cache_stale");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  PipelineResults shell = fresh_shell();
+  shell.repetitions = 2;  // cache was written with 1
+  EXPECT_FALSE(load_cache_file(path, shell));
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrityTest, SaveOverwritesAnExistingCacheAtomically) {
+  const std::string path = path_in_tmp("cache_overwrite");
+  PipelineResults first = make_results();
+  ASSERT_TRUE(save_cache_file(path, first));
+
+  PipelineResults second = make_results();
+  second.results.begin()->second.begin()->second[0].instructions = 999'999;
+  ASSERT_TRUE(save_cache_file(path, second));
+
+  PipelineResults loaded = fresh_shell();
+  ASSERT_TRUE(load_cache_file(path, loaded));
+  EXPECT_EQ(serialize_cache(loaded), serialize_cache(second));
+  EXPECT_NE(serialize_cache(loaded), serialize_cache(first));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spcd::bench

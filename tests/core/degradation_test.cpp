@@ -1,0 +1,231 @@
+// The graceful-degradation paths of the SPCD stack under deterministic
+// perturbations: sharing-table saturation handled by aging/reset, injector
+// deadline overruns handled by skipping a batch, and failed migrations
+// handled by bounded retry with fallback to the old mapping. Each path is
+// driven by a chaos::PerturbationEngine with the relevant probability at 1
+// so the degradation fires deterministically.
+#include <gtest/gtest.h>
+
+#include "chaos/perturbation.hpp"
+#include "core/fault_injector.hpp"
+#include "core/runner.hpp"
+#include "core/spcd_detector.hpp"
+#include "sim/machine.hpp"
+#include "workloads/npb.hpp"
+
+namespace spcd::core {
+namespace {
+
+mem::FaultEvent fault(std::uint64_t vaddr, std::uint32_t tid,
+                      util::Cycles time) {
+  mem::FaultEvent e;
+  e.vaddr = vaddr;
+  e.vpn = vaddr >> 12;
+  e.tid = tid;
+  e.time = time;
+  e.kind = mem::FaultKind::kFirstTouch;
+  return e;
+}
+
+TEST(DegradationTest, DroppedFaultsNeverReachTheDetector) {
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.drop_fault = 1.0;
+  chaos::PerturbationEngine chaos(chaos_config, 1);
+  SpcdDetector detector(SpcdConfig{}, 2, &chaos);
+  for (util::Cycles i = 0; i < 10; ++i) {
+    EXPECT_EQ(detector.on_fault(fault(0x1000, 0, 100 + i)), 0u);
+  }
+  EXPECT_EQ(detector.faults_seen(), 0u);
+  EXPECT_EQ(detector.matrix().total(), 0u);
+  EXPECT_EQ(chaos.counters().faults_dropped, 10u);
+}
+
+TEST(DegradationTest, DuplicatedFaultsDoubleRecordAndCost) {
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.duplicate_fault = 1.0;
+  chaos::PerturbationEngine chaos(chaos_config, 1);
+  SpcdConfig config;
+  SpcdDetector detector(config, 2, &chaos);
+  EXPECT_EQ(detector.on_fault(fault(0x1000, 0, 100)),
+            2 * config.fault_hook_cost);
+  // The duplicated delivery of thread 1's fault observes thread 0 twice.
+  detector.on_fault(fault(0x1000, 1, 200));
+  EXPECT_EQ(detector.matrix().at(0, 1), 2u);
+  EXPECT_EQ(chaos.counters().faults_duplicated, 2u);
+}
+
+TEST(DegradationTest, CollisionStormTriggersSaturationReset) {
+  // Funnel every sharing-table access into a single bucket of a tiny
+  // table: the collision/access ratio hits 100% and the saturation monitor
+  // must age or reset the table instead of letting overwrites silently
+  // degrade the matrix.
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.forced_collision = 1.0;
+  chaos_config.collision_buckets = 1;
+  chaos::PerturbationEngine chaos(chaos_config, 1);
+
+  SpcdConfig config;
+  config.table.num_entries = 32;
+  config.saturation_check_faults = 16;
+  config.saturation_collision_ratio = 0.5;
+  SpcdDetector detector(config, 4, &chaos);
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    // Distinct regions from rotating threads: every access overwrites the
+    // hot bucket (a collision), never finding its own region.
+    detector.on_fault(fault(0x100000ULL + i * 0x1000, i % 4, 100 + i));
+  }
+  EXPECT_GT(detector.saturation_resets(), 0u);
+  EXPECT_GT(chaos.counters().collisions_forced, 0u);
+  // The detector keeps working after the reset.
+  detector.on_fault(fault(0x900000, 0, 10'000));
+  detector.on_fault(fault(0x900000, 1, 10'001));
+  EXPECT_GT(detector.matrix().at(0, 1), 0u);
+}
+
+TEST(DegradationTest, HealthyRunsNeverSaturate) {
+  SpcdConfig config;
+  config.saturation_check_faults = 16;
+  SpcdDetector detector(config, 4);  // default 256k-entry table, no chaos
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    detector.on_fault(fault(0x100000ULL + i * 0x1000, i % 4, 100 + i));
+  }
+  EXPECT_EQ(detector.saturation_resets(), 0u);
+}
+
+/// Threads looping over private page ranges, long enough for several
+/// injector periods (same shape as the fault-injector unit tests).
+class PageLooper final : public sim::Workload {
+ public:
+  std::string name() const override { return "page-looper"; }
+  std::uint32_t num_threads() const override { return 4; }
+  std::unique_ptr<sim::ThreadProgram> make_thread(std::uint32_t tid,
+                                                  std::uint64_t) override {
+    class P final : public sim::ThreadProgram {
+     public:
+      explicit P(std::uint32_t tid) : base_(0x100000ULL + tid * 0x100000ULL) {}
+      sim::Op next() override {
+        if (count_ >= 40'000) return sim::Op::finish();
+        const std::uint64_t addr = base_ + (count_ % 200) * 4096;
+        ++count_;
+        return sim::Op::access(addr, false, 1, 300);
+      }
+
+     private:
+      std::uint64_t base_;
+      std::uint32_t count_ = 0;
+    };
+    return std::make_unique<P>(tid);
+  }
+};
+
+TEST(DegradationTest, InjectorOverrunsSkipTheirBatch) {
+  // Every wake-up overruns its deadline (the perturbed period is 2.5x the
+  // nominal one, the deadline 1.5x): the injector must skip every batch
+  // instead of injecting late bursts.
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.overrun = 1.0;
+  chaos::PerturbationEngine chaos(chaos_config, 9);
+
+  sim::Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  PageLooper wl;
+  sim::Engine engine(machine, as, wl, {0, 2, 4, 6});
+
+  SpcdConfig config;
+  config.injector_period = 100'000;
+  FaultInjector injector(config, 42, &chaos);
+  injector.install(engine);
+  engine.run();
+
+  EXPECT_GT(injector.wakeups(), 3u);
+  EXPECT_EQ(injector.overrun_skips(), injector.wakeups());
+  EXPECT_EQ(as.injected_faults(), 0u);
+}
+
+TEST(DegradationTest, JitteredWakeupsAreNotMistakenForOverruns) {
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.wakeup_jitter = 0.45;  // max jitter < overrun_skip_factor - 1
+  chaos::PerturbationEngine chaos(chaos_config, 9);
+
+  sim::Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  PageLooper wl;
+  sim::Engine engine(machine, as, wl, {0, 2, 4, 6});
+
+  SpcdConfig config;
+  config.injector_period = 100'000;
+  FaultInjector injector(config, 42, &chaos);
+  injector.install(engine);
+  engine.run();
+
+  EXPECT_GT(injector.wakeups(), 3u);
+  EXPECT_EQ(injector.overrun_skips(), 0u);
+  EXPECT_GT(as.injected_faults(), 0u);
+}
+
+RunMetrics run_sp(const chaos::PerturbationConfig& chaos_config) {
+  RunnerConfig config;
+  config.repetitions = 1;
+  config.chaos = chaos_config;
+  Runner runner(config);
+  return runner.run_once("sp", workloads::nas_factory("sp", 0.3),
+                         MappingPolicy::kSpcd, 0);
+}
+
+TEST(DegradationTest, FailedMigrationsRetryThenFallBackToOldMapping) {
+  // Every sched_setaffinity fails: the kernel must retry with backoff,
+  // exhaust its budget, give up, and keep running on the old mapping.
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.migration_fail = 1.0;
+  const RunMetrics m = run_sp(chaos_config);
+  EXPECT_EQ(m.migration_events, 0u);
+  EXPECT_GT(m.migration_retries, 0u);
+  EXPECT_GT(m.migration_giveups, 0u);
+  EXPECT_GT(m.exec_seconds, 0.0);
+
+  // The unperturbed run does migrate, so the failure path above was real.
+  const RunMetrics baseline = run_sp(chaos::PerturbationConfig{});
+  EXPECT_GT(baseline.migration_events, 0u);
+  EXPECT_EQ(baseline.migration_retries, 0u);
+  EXPECT_EQ(baseline.migration_giveups, 0u);
+}
+
+TEST(DegradationTest, DelayedMigrationsStillLand) {
+  chaos::PerturbationConfig chaos_config;
+  chaos_config.migration_delay = 1.0;
+  const RunMetrics m = run_sp(chaos_config);
+  EXPECT_GT(m.migration_events, 0u);
+  EXPECT_EQ(m.migration_giveups, 0u);
+  EXPECT_GT(m.perturbations_injected, 0u);
+}
+
+TEST(DegradationTest, IntensityZeroMatchesTheUnperturbedRunExactly) {
+  // The zero-cost-default guarantee: a chaos config at intensity 0 builds
+  // no engine, draws no randomness, and reproduces the unperturbed run
+  // bit for bit.
+  const RunMetrics plain = run_sp(chaos::PerturbationConfig{});
+  const RunMetrics zero = run_sp(chaos::PerturbationConfig::at_intensity(0.0));
+  EXPECT_EQ(plain.exec_seconds, zero.exec_seconds);
+  EXPECT_EQ(plain.instructions, zero.instructions);
+  EXPECT_EQ(plain.l2_mpki, zero.l2_mpki);
+  EXPECT_EQ(plain.l3_mpki, zero.l3_mpki);
+  EXPECT_EQ(plain.c2c_transactions, zero.c2c_transactions);
+  EXPECT_EQ(plain.invalidations, zero.invalidations);
+  EXPECT_EQ(plain.dram_accesses, zero.dram_accesses);
+  EXPECT_EQ(plain.package_joules, zero.package_joules);
+  EXPECT_EQ(plain.dram_joules, zero.dram_joules);
+  EXPECT_EQ(plain.detection_overhead, zero.detection_overhead);
+  EXPECT_EQ(plain.mapping_overhead, zero.mapping_overhead);
+  EXPECT_EQ(plain.migration_events, zero.migration_events);
+  EXPECT_EQ(plain.minor_faults, zero.minor_faults);
+  EXPECT_EQ(plain.injected_faults, zero.injected_faults);
+  EXPECT_EQ(zero.saturation_resets, 0u);
+  EXPECT_EQ(zero.migration_retries, 0u);
+  EXPECT_EQ(zero.migration_giveups, 0u);
+  EXPECT_EQ(zero.overrun_skips, 0u);
+  EXPECT_EQ(zero.perturbations_injected, 0u);
+}
+
+}  // namespace
+}  // namespace spcd::core

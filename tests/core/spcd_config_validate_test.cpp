@@ -1,0 +1,90 @@
+#include "core/spcd_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/spcd_kernel.hpp"
+
+namespace spcd::core {
+namespace {
+
+TEST(SpcdConfigValidateTest, DefaultConfigurationIsValid) {
+  EXPECT_EQ(SpcdConfig{}.validate(), "");
+}
+
+TEST(SpcdConfigValidateTest, RejectsEachBadKnob) {
+  struct Case {
+    const char* label;
+    void (*mutate)(SpcdConfig&);
+  };
+  const Case cases[] = {
+      {"zero fault ratio",
+       [](SpcdConfig& c) { c.extra_fault_ratio = 0.0; }},
+      {"fault ratio above 1",
+       [](SpcdConfig& c) { c.extra_fault_ratio = 1.5; }},
+      {"zero injector period",
+       [](SpcdConfig& c) { c.injector_period = 0; }},
+      {"zero mapping interval",
+       [](SpcdConfig& c) { c.mapping_interval = 0; }},
+      {"empty sharing table",
+       [](SpcdConfig& c) { c.table.num_entries = 0; }},
+      {"sub-byte granularity",
+       [](SpcdConfig& c) { c.table.granularity_shift = 0; }},
+      {"absurd granularity",
+       [](SpcdConfig& c) { c.table.granularity_shift = 37; }},
+      {"single-sharer table",
+       [](SpcdConfig& c) { c.table.max_sharers = 1; }},
+      {"negative sample floor",
+       [](SpcdConfig& c) { c.min_sample_frac = -0.1; }},
+      {"negative startup boost",
+       [](SpcdConfig& c) { c.startup_boost = -1.0; }},
+      {"zero gain threshold",
+       [](SpcdConfig& c) { c.mapping_gain_threshold = 0.0; }},
+      {"negative move penalty",
+       [](SpcdConfig& c) { c.move_penalty_frac = -0.5; }},
+      {"zero filter threshold",
+       [](SpcdConfig& c) { c.filter_threshold = 0; }},
+      {"flapping filter margin",
+       [](SpcdConfig& c) { c.filter_margin = 0.5; }},
+      {"negative refine growth",
+       [](SpcdConfig& c) { c.refine_growth = -1.0; }},
+      {"zero saturation ratio",
+       [](SpcdConfig& c) { c.saturation_collision_ratio = 0.0; }},
+      {"overrun factor at 1",
+       [](SpcdConfig& c) { c.overrun_skip_factor = 1.0; }},
+      {"unbounded retries",
+       [](SpcdConfig& c) { c.migration_max_retries = 33; }},
+      {"zero retry backoff",
+       [](SpcdConfig& c) { c.migration_retry_backoff = 0; }},
+  };
+  for (const Case& c : cases) {
+    SpcdConfig config;
+    c.mutate(config);
+    EXPECT_NE(config.validate(), "") << c.label;
+  }
+}
+
+TEST(SpcdConfigValidateTest, DisablingRetriesAllowsZeroBackoff) {
+  SpcdConfig config;
+  config.migration_max_retries = 0;
+  config.migration_retry_backoff = 0;
+  EXPECT_EQ(config.validate(), "");
+}
+
+TEST(SpcdConfigValidateTest, KernelConstructorThrowsRecoverably) {
+  SpcdConfig bad;
+  bad.injector_period = 0;
+  EXPECT_THROW(SpcdKernel(bad, 4, /*seed=*/1), std::invalid_argument);
+  try {
+    SpcdKernel kernel(bad, 4, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("injector_period"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW(SpcdKernel(SpcdConfig{}, 4, 1));
+}
+
+}  // namespace
+}  // namespace spcd::core
