@@ -8,7 +8,8 @@
 //
 // Environment knobs (on top of the usual SPCD_ABLATION_SCALE):
 //   SPCD_ROBUSTNESS_BENCHES  comma-separated NAS benchmarks (default cg,mg,sp)
-//   SPCD_ROBUSTNESS_CSV      output CSV path (default ablation_robustness.csv)
+//   SPCD_ROBUSTNESS_CSV      output CSV path (default ablation_robustness.csv
+//                            inside SPCD_OUT_DIR)
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -109,8 +110,8 @@ int main() {
   table.header({"bench", "intensity", "OS [ms]", "SPCD [ms]", "gain%",
                 "accuracy", "migr", "sat.rst", "retry", "giveup", "skip",
                 "perturb"});
-  const std::string csv_path = util::env_string("SPCD_ROBUSTNESS_CSV",
-                                                "ablation_robustness.csv");
+  const std::string csv_path = util::out_path(util::env_string(
+      "SPCD_ROBUSTNESS_CSV", "ablation_robustness.csv"));
   std::string csv =
       "bench,intensity,os_ms,spcd_ms,gain_pct,accuracy,migration_events,"
       "saturation_resets,migration_retries,migration_giveups,overrun_skips,"

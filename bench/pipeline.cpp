@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/export.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -247,9 +248,11 @@ PipelineResults compute_pipeline(const PipelineOptions& options) {
   util::ThreadPool pool(options.jobs);
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> running{0};
+  std::vector<double> cell_wall_seconds(cells.size(), 0.0);
   const auto t_start = std::chrono::steady_clock::now();
-  for (const Cell& cell : cells) {
-    pool.submit([&, cell] {
+  for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+    const Cell& cell = cells[idx];
+    pool.submit([&, cell, idx] {
       running.fetch_add(1, std::memory_order_relaxed);
       const auto t0 = std::chrono::steady_clock::now();
       *cell.slot =
@@ -258,6 +261,7 @@ PipelineResults compute_pipeline(const PipelineOptions& options) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         t0)
               .count();
+      cell_wall_seconds[idx] = cell_seconds;
       const std::size_t in_flight =
           running.fetch_sub(1, std::memory_order_relaxed);
       const std::size_t done =
@@ -281,6 +285,48 @@ PipelineResults compute_pipeline(const PipelineOptions& options) {
     std::fprintf(stderr,
                  "[pipeline] %zu cells in %.2fs wall (jobs=%u)\n",
                  cells.size(), total_seconds, pool.size());
+  }
+  if (config.trace.enabled) {
+    // SPCD_TRACE=1: publish the merged per-cell captures (deterministic,
+    // sim-time) and the per-cell wall timings (explicitly wall-clock, so
+    // *not* deterministic) into SPCD_OUT_DIR.
+    std::vector<obs::CaptureRef> captures;
+    captures.reserve(cells.size());
+    for (const Cell& cell : cells) {
+      if (cell.slot->obs == nullptr) continue;
+      captures.push_back(obs::CaptureRef{
+          *cell.bench + "/" + core::to_string(cell.policy) + " rep " +
+              std::to_string(cell.rep),
+          cell.slot->obs.get()});
+    }
+    const std::string trace_path = util::out_path("pipeline_trace.json");
+    if (std::ofstream trace(trace_path, std::ios::binary | std::ios::trunc);
+        trace && (trace << obs::export_chrome_trace(captures)).flush()) {
+      std::fprintf(stderr, "[pipeline] trace written to %s\n",
+                   trace_path.c_str());
+    } else {
+      SPCD_LOG_WARN("pipeline: cannot write trace to %s",
+                    trace_path.c_str());
+    }
+    const std::string timing_path = util::out_path("pipeline_cells.csv");
+    if (std::ofstream timing(timing_path,
+                             std::ios::binary | std::ios::trunc);
+        timing) {
+      timing << "bench,policy,rep,wall_seconds\n";
+      char buf[160];
+      for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        const Cell& cell = cells[idx];
+        std::snprintf(buf, sizeof buf, "%s,%s,%u,%.6f\n",
+                      cell.bench->c_str(), core::to_string(cell.policy),
+                      cell.rep, cell_wall_seconds[idx]);
+        timing << buf;
+      }
+      std::fprintf(stderr, "[pipeline] cell timings written to %s\n",
+                   timing_path.c_str());
+    } else {
+      SPCD_LOG_WARN("pipeline: cannot write cell timings to %s",
+                    timing_path.c_str());
+    }
   }
   return out;
 }
@@ -340,15 +386,17 @@ void print_normalized_figure(const std::string& title,
   }
   std::fputs(table.render().c_str(), stdout);
 
-  // Also export machine-readable data next to the cache (figNN.csv).
+  // Also export machine-readable data (figNN.csv) into SPCD_OUT_DIR
+  // (default: the working directory) instead of littering the source tree.
   std::string csv_name = "fig.csv";
   if (title.size() >= 9 && title.rfind("Figure ", 0) == 0) {
     csv_name = "fig" + title.substr(7, title.find(':') - 7) + ".csv";
   }
-  std::ofstream csv(csv_name);
+  const std::string csv_path = util::out_path(csv_name);
+  std::ofstream csv(csv_path);
   if (csv) {
     csv << table.to_csv();
-    std::printf("\n(csv written to %s)\n", csv_name.c_str());
+    std::printf("\n(csv written to %s)\n", csv_path.c_str());
   }
 }
 

@@ -18,12 +18,24 @@
 //     --chaos <intensity>   deterministic perturbations    (default off,
 //                           or the SPCD_CHAOS_* environment knobs)
 //     --matrix              print the detected matrix (spcd only)
+//     --trace-out <file>    write a Chrome trace_event JSON (sim-time
+//                           events; open in chrome://tracing or Perfetto)
+//     --metrics-out <file>  write the machine-readable metrics JSON
+//
+// Exit codes follow the SpcdConfig::validate() contract: any malformed
+// command line — unknown flag, missing or non-numeric value, unknown
+// bench/policy, invalid configuration — prints the offending input plus
+// the usage text and exits 2; --help exits 0.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "chaos/perturbation.hpp"
+#include "core/metrics_export.hpp"
 #include "core/runner.hpp"
+#include "obs/export.hpp"
 #include "util/heatmap.hpp"
 #include "util/table.hpp"
 #include "workloads/npb.hpp"
@@ -35,7 +47,43 @@ const char* kUsage =
     "               [--reps N] [--jobs N] [--scale F]\n"
     "               [--granularity SHIFT] [--fault-ratio F]\n"
     "               [--window CYCLES] [--no-migration] [--data-mapping]\n"
-    "               [--chaos INTENSITY] [--matrix]\n";
+    "               [--chaos INTENSITY] [--matrix]\n"
+    "               [--trace-out FILE] [--metrics-out FILE]\n";
+
+[[noreturn]] void usage_error(const char* fmt, const char* what) {
+  std::fprintf(stderr, fmt, what);
+  std::fputs(kUsage, stderr);
+  std::exit(2);
+}
+
+/// Strict numeric parsing: spcdsim rejects "--reps x" instead of silently
+/// running with atoi's 0, matching the validate() contract for bad input.
+std::uint64_t parse_u64_flag(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (*text == '\0' || *text == '-' || end == text || *end != '\0') {
+    usage_error("%s is not a non-negative integer\n",
+                (flag + "=" + text).c_str());
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double_flag(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (*text == '\0' || end == text || *end != '\0') {
+    usage_error("%s is not a number\n", (flag + "=" + text).c_str());
+  }
+  return v;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  out.flush();
+  return static_cast<bool>(out);
+}
 
 }  // namespace
 
@@ -47,6 +95,8 @@ int main(int argc, char** argv) {
   std::uint32_t reps = 3;
   double scale = 1.0;
   bool show_matrix = false;
+  std::string trace_out;
+  std::string metrics_out;
   core::RunnerConfig config;
   config.chaos = chaos::config_from_env();
 
@@ -54,9 +104,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n%s", arg.c_str(),
-                     kUsage);
-        std::exit(2);
+        usage_error("missing value for %s\n", arg.c_str());
       }
       return argv[++i];
     };
@@ -65,35 +113,43 @@ int main(int argc, char** argv) {
     } else if (arg == "--policy") {
       policy_name = value();
     } else if (arg == "--reps") {
-      reps = static_cast<std::uint32_t>(std::atoi(value()));
+      reps = static_cast<std::uint32_t>(parse_u64_flag(arg, value()));
     } else if (arg == "--jobs") {
-      config.jobs = static_cast<std::uint32_t>(std::atoi(value()));
+      config.jobs = static_cast<std::uint32_t>(parse_u64_flag(arg, value()));
     } else if (arg == "--scale") {
-      scale = std::atof(value());
+      scale = parse_double_flag(arg, value());
     } else if (arg == "--granularity") {
       config.spcd.table.granularity_shift =
-          static_cast<unsigned>(std::atoi(value()));
+          static_cast<unsigned>(parse_u64_flag(arg, value()));
     } else if (arg == "--fault-ratio") {
-      config.spcd.extra_fault_ratio = std::atof(value());
+      config.spcd.extra_fault_ratio = parse_double_flag(arg, value());
     } else if (arg == "--window") {
       config.spcd.table.time_window =
-          static_cast<util::Cycles>(std::atoll(value()));
+          static_cast<util::Cycles>(parse_u64_flag(arg, value()));
     } else if (arg == "--no-migration") {
       config.spcd.enable_migration = false;
     } else if (arg == "--data-mapping") {
       config.spcd.enable_data_mapping = true;
     } else if (arg == "--chaos") {
       config.chaos = chaos::PerturbationConfig::at_intensity(
-          std::atof(value()));
+          parse_double_flag(arg, value()));
     } else if (arg == "--matrix") {
       show_matrix = true;
+    } else if (arg == "--trace-out") {
+      trace_out = value();
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
     } else {
-      std::fprintf(stderr, "unknown option %s\n%s", arg.c_str(), kUsage);
-      return 2;
+      usage_error("unknown option %s\n", arg.c_str());
     }
+  }
+
+  // Exporting implies capturing: the SPCD_TRACE knob need not be set too.
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    config.trace.enabled = true;
   }
 
   core::MappingPolicy policy;
@@ -106,9 +162,7 @@ int main(int argc, char** argv) {
   } else if (policy_name == "spcd") {
     policy = core::MappingPolicy::kSpcd;
   } else {
-    std::fprintf(stderr, "unknown policy %s\n%s", policy_name.c_str(),
-                 kUsage);
-    return 2;
+    usage_error("unknown policy %s\n", policy_name.c_str());
   }
 
   core::WorkloadFactory factory;
@@ -120,8 +174,7 @@ int main(int argc, char** argv) {
     try {
       (void)workloads::make_nas(bench, 0, scale);  // validate the name
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
-      return 2;
+      usage_error("%s\n", e.what());
     }
     factory = workloads::nas_factory(bench, scale);
   }
@@ -201,40 +254,45 @@ int main(int argc, char** argv) {
            util::fmt_double(ci.ci95, r.precision)});
   }
   if (config.chaos.enabled() && policy == core::MappingPolicy::kSpcd) {
-    const Row chaos_rows[] = {
-        {"perturbations injected",
-         [](const core::RunMetrics& m) {
-           return static_cast<double>(m.perturbations_injected);
-         },
-         1},
-        {"saturation resets",
-         [](const core::RunMetrics& m) {
-           return static_cast<double>(m.saturation_resets);
-         },
-         1},
-        {"migration retries",
-         [](const core::RunMetrics& m) {
-           return static_cast<double>(m.migration_retries);
-         },
-         1},
-        {"migration give-ups",
-         [](const core::RunMetrics& m) {
-           return static_cast<double>(m.migration_giveups);
-         },
-         1},
-        {"overrun skips",
-         [](const core::RunMetrics& m) {
-           return static_cast<double>(m.overrun_skips);
-         },
-         1},
-    };
-    for (const auto& r : chaos_rows) {
-      const auto ci = core::aggregate(runs, r.metric);
-      t.row({r.label, util::fmt_double(ci.mean, r.precision),
-             util::fmt_double(ci.ci95, r.precision)});
+    // The degradation counters come from the shared descriptor table, so
+    // this table, the robustness ablation and the JSON exporter can never
+    // drift apart.
+    for (const auto& d : core::degradation_metric_descriptors()) {
+      const auto ci = core::aggregate(runs, d.get);
+      t.row({d.name, util::fmt_double(ci.mean, 1),
+             util::fmt_double(ci.ci95, 1)});
     }
   }
   std::fputs(t.render().c_str(), stdout);
+
+  if (!trace_out.empty()) {
+    std::vector<obs::CaptureRef> captures;
+    captures.reserve(runs.size());
+    for (std::size_t rep = 0; rep < runs.size(); ++rep) {
+      captures.push_back(obs::CaptureRef{
+          bench + "/" + policy_name + " rep " + std::to_string(rep),
+          runs[rep].obs.get()});
+    }
+    const std::string trace = obs::export_chrome_trace(captures);
+    if (write_file(trace_out, trace)) {
+      std::printf("\n(trace written to %s — open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    const std::string json = core::metrics_json(bench, policy_name, runs);
+    if (write_file(metrics_out, json)) {
+      std::printf("(metrics written to %s)\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
 
   if (show_matrix && policy == core::MappingPolicy::kSpcd) {
     if (const core::CommMatrix* m = runner.last_spcd_matrix()) {

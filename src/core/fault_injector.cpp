@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace spcd::core {
@@ -84,6 +85,19 @@ void FaultInjector::tick(sim::Engine& engine) {
             engine.machine().tlb_shootdown(vpn);
       }
     }
+  }
+
+  // One instant per wake-up (batch size + overrun flag = the feedback
+  // controller's visible state) and the injection-volume time series.
+  obs::trace_instant("injector", overran ? "overrun_skip" : "wakeup",
+                     engine.now(), {"batch", last_batch_},
+                     {"wakeup", wakeups_});
+  obs::trace_counter("injector", "pages_cleared", engine.now(),
+                     pages_cleared_);
+  if (obs::Session* s = obs::current_session()) {
+    s->metrics()
+        .histogram("injector.batch_pages", obs::Histogram::pow2_buckets(13))
+        .observe(static_cast<double>(last_batch_));
   }
 
   // The kernel thread preempts whichever contexts it runs on; spread each

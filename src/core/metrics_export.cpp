@@ -1,0 +1,110 @@
+#include "core/metrics_export.hpp"
+
+#include "obs/json.hpp"
+
+namespace spcd::core {
+
+namespace {
+
+double as_double(std::uint64_t v) { return static_cast<double>(v); }
+
+const std::vector<MetricDescriptor> kDegradation = {
+    {"saturation_resets", true,
+     [](const RunMetrics& m) { return as_double(m.saturation_resets); }},
+    {"migration_retries", true,
+     [](const RunMetrics& m) { return as_double(m.migration_retries); }},
+    {"migration_giveups", true,
+     [](const RunMetrics& m) { return as_double(m.migration_giveups); }},
+    {"overrun_skips", true,
+     [](const RunMetrics& m) { return as_double(m.overrun_skips); }},
+    {"perturbations_injected", true,
+     [](const RunMetrics& m) { return as_double(m.perturbations_injected); }},
+};
+
+std::vector<MetricDescriptor> make_all() {
+  std::vector<MetricDescriptor> all = {
+      {"exec_seconds", false,
+       [](const RunMetrics& m) { return m.exec_seconds; }},
+      {"instructions", true,
+       [](const RunMetrics& m) { return as_double(m.instructions); }},
+      {"l2_mpki", false, [](const RunMetrics& m) { return m.l2_mpki; }},
+      {"l3_mpki", false, [](const RunMetrics& m) { return m.l3_mpki; }},
+      {"c2c_transactions", true,
+       [](const RunMetrics& m) { return as_double(m.c2c_transactions); }},
+      {"invalidations", true,
+       [](const RunMetrics& m) { return as_double(m.invalidations); }},
+      {"dram_accesses", true,
+       [](const RunMetrics& m) { return as_double(m.dram_accesses); }},
+      {"package_joules", false,
+       [](const RunMetrics& m) { return m.package_joules; }},
+      {"dram_joules", false,
+       [](const RunMetrics& m) { return m.dram_joules; }},
+      {"package_epi_nj", false,
+       [](const RunMetrics& m) { return m.package_epi_nj; }},
+      {"dram_epi_nj", false,
+       [](const RunMetrics& m) { return m.dram_epi_nj; }},
+      {"detection_overhead", false,
+       [](const RunMetrics& m) { return m.detection_overhead; }},
+      {"mapping_overhead", false,
+       [](const RunMetrics& m) { return m.mapping_overhead; }},
+      {"migration_events", true,
+       [](const RunMetrics& m) { return as_double(m.migration_events); }},
+      {"minor_faults", true,
+       [](const RunMetrics& m) { return as_double(m.minor_faults); }},
+      {"injected_faults", true,
+       [](const RunMetrics& m) { return as_double(m.injected_faults); }},
+  };
+  all.insert(all.end(), kDegradation.begin(), kDegradation.end());
+  return all;
+}
+
+}  // namespace
+
+const std::vector<MetricDescriptor>& run_metric_descriptors() {
+  static const std::vector<MetricDescriptor> all = make_all();
+  return all;
+}
+
+const std::vector<MetricDescriptor>& degradation_metric_descriptors() {
+  return kDegradation;
+}
+
+std::string metrics_json(const std::string& benchmark,
+                         const std::string& policy,
+                         const std::vector<RunMetrics>& runs) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("spcd-metrics-v1");
+  w.key("benchmark").value(benchmark);
+  w.key("policy").value(policy);
+  w.key("repetitions").value(static_cast<std::uint64_t>(runs.size()));
+  w.key("runs").begin_array();
+  for (const RunMetrics& m : runs) {
+    w.begin_object();
+    w.key("metrics").begin_object();
+    for (const MetricDescriptor& d : run_metric_descriptors()) {
+      if (d.integer) {
+        w.key(d.name).value(static_cast<std::uint64_t>(d.get(m)));
+      } else {
+        w.key(d.name).value(d.get(m));
+      }
+    }
+    w.end_object();
+    if (m.obs != nullptr) {
+      w.key("registry");
+      m.obs->metrics.write_json(w);
+      w.key("trace").begin_object();
+      w.key("events").value(
+          static_cast<std::uint64_t>(m.obs->events.size()));
+      w.key("recorded").value(m.obs->recorded);
+      w.key("dropped").value(m.obs->dropped);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace spcd::core

@@ -1,0 +1,38 @@
+// The single source of truth for RunMetrics field names, shared by every
+// consumer that renders or serializes run metrics: spcdsim's tables, the
+// robustness ablation, and the machine-readable JSON dump. Adding a field
+// to RunMetrics means adding exactly one descriptor here; the graceful-
+// degradation counters in particular are defined once in this table
+// instead of being re-listed by each harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace spcd::core {
+
+struct MetricDescriptor {
+  const char* name;     ///< stable machine-readable key
+  bool integer;         ///< true: serialize as an integer count
+  double (*get)(const RunMetrics&);
+};
+
+/// Every RunMetrics field, in serialization order (degradation counters
+/// last, mirroring the struct).
+const std::vector<MetricDescriptor>& run_metric_descriptors();
+
+/// The graceful-degradation subset (saturation resets, migration
+/// retries/give-ups, overrun skips, perturbations injected).
+const std::vector<MetricDescriptor>& degradation_metric_descriptors();
+
+/// Machine-readable JSON dump of one policy's repetitions: per-run metric
+/// objects via run_metric_descriptors(), plus — when the run carried an
+/// observability session — its metrics registry and trace accounting.
+/// Deterministic: byte-identical for any SPCD_JOBS value.
+std::string metrics_json(const std::string& benchmark,
+                         const std::string& policy,
+                         const std::vector<RunMetrics>& runs);
+
+}  // namespace spcd::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/metrics_export.hpp"
 #include "core/oracle.hpp"
 #include "core/spcd_kernel.hpp"
 #include "sim/energy.hpp"
@@ -53,6 +54,10 @@ const sim::Placement& Runner::oracle_placement(
   lock.unlock();
 
   SPCD_LOG_INFO("oracle: profiling %s", workload_name.c_str());
+  // The profiling run is shared and computed by whichever cell asks first;
+  // under SPCD_JOBS > 1 that cell is scheduling-dependent, so capturing its
+  // engine events would break trace determinism. Silence capture here.
+  obs::ScopedSession no_capture(nullptr);
   const std::uint64_t seed =
       util::derive_seed(config_.base_seed, name_hash(workload_name));
 
@@ -95,6 +100,15 @@ RunMetrics Runner::run_once(const std::string& workload_name,
                             const WorkloadFactory& factory,
                             MappingPolicy policy, std::uint32_t repetition) {
   const std::uint64_t rep_seed = cell_seed(workload_name, repetition);
+
+  // One observability session per run, bound to this worker thread for the
+  // run's duration. Everything recorded is a function of the cell's
+  // deterministic simulation, so the capture is SPCD_JOBS-invariant.
+  std::unique_ptr<obs::Session> session;
+  if (config_.trace.enabled) {
+    session = std::make_unique<obs::Session>(config_.trace);
+  }
+  obs::ScopedSession scope(session.get());
 
   sim::Machine machine(config_.machine);
   mem::AddressSpace as = machine.make_address_space();
@@ -180,6 +194,21 @@ RunMetrics Runner::run_once(const std::string& workload_name,
     }
     std::lock_guard<std::mutex> lock(mu_);
     last_spcd_matrix_ = kernel->matrix();
+  }
+  if (session) {
+    // Fold the run's headline and degradation counters into the registry
+    // (one definition, in metrics_export.cpp) and attach the capture.
+    obs::MetricsRegistry& reg = session->metrics();
+    for (const MetricDescriptor& d : degradation_metric_descriptors()) {
+      reg.counter(d.name).add(static_cast<std::uint64_t>(d.get(m)));
+    }
+    reg.counter("run.minor_faults").add(m.minor_faults);
+    reg.counter("run.injected_faults").add(m.injected_faults);
+    reg.counter("run.migration_events").add(m.migration_events);
+    reg.gauge("run.exec_seconds").set(m.exec_seconds);
+    reg.gauge("run.detection_overhead").set(m.detection_overhead);
+    reg.gauge("run.mapping_overhead").set(m.mapping_overhead);
+    m.obs = std::make_shared<const obs::RunCapture>(session->capture());
   }
   return m;
 }

@@ -22,6 +22,7 @@
 #include "core/os_scheduler.hpp"
 #include "core/policy.hpp"
 #include "core/spcd_config.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
 #include "util/stats.hpp"
@@ -69,6 +70,11 @@ struct RunMetrics {
                       : static_cast<double>(injected_faults) /
                             static_cast<double>(total);
   }
+
+  /// Observability capture of this run (trace events, metrics registry).
+  /// Null unless the run executed with tracing enabled; never part of the
+  /// cache serialization.
+  std::shared_ptr<const obs::RunCapture> obs;
 };
 
 using WorkloadFactory =
@@ -88,6 +94,10 @@ struct RunnerConfig {
   /// Worker threads for run_policy(): 0 = the SPCD_JOBS environment knob
   /// (default hardware concurrency), 1 = serial.
   std::uint32_t jobs = 0;
+  /// Sim-time tracing (default: the SPCD_TRACE / SPCD_TRACE_BUF knobs).
+  /// When enabled, each run owns an obs::Session whose capture lands in
+  /// RunMetrics::obs; captures are SPCD_JOBS-invariant.
+  obs::TraceConfig trace = obs::TraceConfig::from_env();
 };
 
 /// Runs experiment cells. Thread-safe: concurrent run_once() calls from a

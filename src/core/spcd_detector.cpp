@@ -1,5 +1,6 @@
 #include "core/spcd_detector.hpp"
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace spcd::core {
@@ -24,12 +25,15 @@ util::Cycles SpcdDetector::on_fault(const mem::FaultEvent& event) {
   if (chaos_ != nullptr && chaos_->drop_fault()) return 0;
 
   ++faults_seen_;
+  const std::uint64_t comm_before = comm_events_;
   record(event);
   util::Cycles cost = config_.fault_hook_cost;
   if (chaos_ != nullptr && chaos_->duplicate_fault()) {
     record(event);
     cost += config_.fault_hook_cost;
   }
+  obs::trace_instant("detector", "fault", event.time, {"tid", event.tid},
+                     {"comm", comm_events_ - comm_before});
   maybe_handle_saturation(event.time);
   return cost;
 }
@@ -56,6 +60,12 @@ void SpcdDetector::maybe_handle_saturation(util::Cycles now) {
   last_check_faults_ = faults_seen_;
   last_check_accesses_ = table_.accesses();
   last_check_collisions_ = table_.collisions();
+  // One counter sample per saturation-check window: the detection-side
+  // time series (fault volume, detected communication, table pressure).
+  obs::trace_counter("detector", "faults_seen", now, faults_seen_);
+  obs::trace_counter("detector", "comm_events", now, comm_events_);
+  obs::trace_counter("detector", "table_collisions", now,
+                     table_.collisions());
   if (accesses == 0 ||
       static_cast<double>(collisions) <
           config_.saturation_collision_ratio * static_cast<double>(accesses)) {
@@ -69,6 +79,8 @@ void SpcdDetector::maybe_handle_saturation(util::Cycles now) {
       table_.age(now, config_.saturation_age_window);
   if (aged == 0) table_.reset_entries();
   ++saturation_resets_;
+  obs::trace_instant("detector", "saturation_reset", now, {"aged", aged},
+                     {"collisions", collisions});
   SPCD_LOG_INFO("spcd: sharing table saturated (%llu/%llu collisions in "
                 "window) — %s (reset #%u)",
                 static_cast<unsigned long long>(collisions),

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +80,8 @@ void SpcdKernel::schedule_retry(sim::Engine& engine, sim::Placement target,
                                 std::uint32_t attempt) {
   if (attempt >= config_.migration_max_retries) {
     ++migration_giveups_;
+    obs::trace_instant("mapper", "migration_giveup", engine.now(),
+                       {"threads", failed.size()}, {"attempts", attempt});
     SPCD_LOG_WARN("spcd: giving up on migrating %zu thread(s) after %u "
                   "retries; keeping their old mapping",
                   failed.size(), attempt);
@@ -95,6 +98,8 @@ void SpcdKernel::schedule_retry(sim::Engine& engine, sim::Placement target,
         // A newer remap decision supersedes this retry.
         if (generation != remap_generation_) return;
         ++migration_retries_;
+        obs::trace_instant("mapper", "migration_retry", e.now(),
+                           {"attempt", attempt}, {"threads", failed.size()});
         const std::uint32_t n = e.num_threads();
         e.charge_mapping(config_.migration_retry_cost,
                          static_cast<sim::ThreadId>(migration_retries_ % n));
@@ -115,12 +120,23 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
   bool migrated = false;
 
   const std::uint64_t total = detector_.matrix().total();
+  obs::trace_counter("mapper", "matrix_total", engine.now(), total);
   const bool refine =
       mapped_once_ && config_.refine_growth > 0.0 &&
       static_cast<double>(total) >=
           config_.refine_growth * static_cast<double>(last_remap_total_);
+  // The filter only runs once the matrix is warm and migration is on —
+  // identical to the short-circuit it replaced, but with the decision
+  // hoisted so the trigger/suppress verdict can be traced.
+  bool filter_fired = false;
+  if (total >= config_.min_matrix_total && config_.enable_migration) {
+    filter_fired = filter_.should_remap(detector_.matrix());
+    obs::trace_instant("filter", filter_fired ? "trigger" : "suppress",
+                       engine.now(), {"changes", filter_.last_changes()},
+                       {"evaluations", filter_.evaluations()});
+  }
   if (total >= config_.min_matrix_total && config_.enable_migration &&
-      (filter_.should_remap(detector_.matrix()) || refine)) {
+      (filter_fired || refine)) {
     mapped_once_ = true;
     last_remap_total_ = total;
     cost += config_.matching_base_cost +
@@ -152,10 +168,18 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
       outcome = apply_moves(engine, movers, mapping.placement,
                             /*is_retry=*/false);
       migrated = outcome.moved > 0;
+      obs::trace_instant("mapper", "remap", engine.now(),
+                         {"moved", outcome.moved},
+                         {"planned", would_move});
       if (!outcome.failed.empty()) {
         schedule_retry(engine, mapping.placement,
                        std::move(outcome.failed), 0);
       }
+    } else {
+      // The gain gate rejected the computed placement: the migrations'
+      // cache-refill cost would eat the communication win.
+      obs::trace_instant("mapper", "remap_rejected", engine.now(),
+                         {"would_move", would_move});
     }
     if (migrated) {
       ++migration_events_;

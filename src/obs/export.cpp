@@ -1,0 +1,120 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace spcd::obs {
+
+namespace {
+
+constexpr const char* kLanes[] = {"detector", "injector", "filter",
+                                  "mapper",   "engine",   "log"};
+constexpr std::uint32_t kNumLanes =
+    static_cast<std::uint32_t>(sizeof(kLanes) / sizeof(kLanes[0]));
+
+void write_event_args(JsonWriter& w, const TraceEvent& ev) {
+  w.key("args").begin_object();
+  if (ev.kind == EventKind::kCounter) {
+    // Chrome counter tracks are named by their args keys.
+    w.key(ev.arg0.name != nullptr ? ev.arg0.name : "value")
+        .value(ev.arg0.value);
+  } else {
+    if (ev.arg0.name != nullptr) w.key(ev.arg0.name).value(ev.arg0.value);
+    if (ev.arg1.name != nullptr) w.key(ev.arg1.name).value(ev.arg1.value);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::uint32_t category_lane(const char* cat) {
+  for (std::uint32_t i = 0; i < kNumLanes; ++i) {
+    if (cat != nullptr && std::strcmp(cat, kLanes[i]) == 0) return i;
+  }
+  return kNumLanes;  // shared lane for unknown categories
+}
+
+std::string export_chrome_trace(const std::vector<CaptureRef>& captures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (std::size_t pid = 0; pid < captures.size(); ++pid) {
+    const CaptureRef& ref = captures[pid];
+    if (ref.capture == nullptr) continue;
+
+    // Metadata: name the process after the run and each lane after its
+    // subsystem, so the viewer groups events readably.
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(static_cast<std::uint64_t>(pid));
+    w.key("tid").value(std::uint64_t{0});
+    w.key("args").begin_object().key("name").value(ref.label).end_object();
+    w.end_object();
+    for (std::uint32_t lane = 0; lane <= kNumLanes; ++lane) {
+      w.begin_object();
+      w.key("name").value("thread_name");
+      w.key("ph").value("M");
+      w.key("pid").value(static_cast<std::uint64_t>(pid));
+      w.key("tid").value(static_cast<std::uint64_t>(lane));
+      w.key("args").begin_object();
+      w.key("name").value(lane < kNumLanes ? kLanes[lane] : "other");
+      w.end_object();
+      w.end_object();
+    }
+
+    for (const TraceEvent& ev : ref.capture->events) {
+      w.begin_object();
+      w.key("name").value(ev.name);
+      w.key("cat").value(ev.cat);
+      w.key("ph").value(ev.kind == EventKind::kCounter ? "C" : "i");
+      if (ev.kind == EventKind::kInstant) w.key("s").value("p");
+      w.key("ts").value(static_cast<std::uint64_t>(ev.time));
+      w.key("pid").value(static_cast<std::uint64_t>(pid));
+      w.key("tid").value(static_cast<std::uint64_t>(category_lane(ev.cat)));
+      write_event_args(w, ev);
+      w.end_object();
+    }
+    for (const LogRecord& log : ref.capture->logs) {
+      w.begin_object();
+      w.key("name").value("log");
+      w.key("cat").value("log");
+      w.key("ph").value("i");
+      w.key("s").value("p");
+      w.key("ts").value(static_cast<std::uint64_t>(log.time));
+      w.key("pid").value(static_cast<std::uint64_t>(pid));
+      w.key("tid").value(static_cast<std::uint64_t>(category_lane("log")));
+      w.key("args").begin_object();
+      w.key("level").value(log.level);
+      w.key("message").value(log.text);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("clock").value("simulated-cycles");
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string export_counters_csv(const std::vector<CaptureRef>& captures) {
+  std::string out = "run,time_cycles,category,name,value\n";
+  char buf[256];
+  for (const CaptureRef& ref : captures) {
+    if (ref.capture == nullptr) continue;
+    for (const TraceEvent& ev : ref.capture->events) {
+      if (ev.kind != EventKind::kCounter) continue;
+      std::snprintf(buf, sizeof buf, "%s,%llu,%s,%s,%llu\n",
+                    ref.label.c_str(),
+                    static_cast<unsigned long long>(ev.time), ev.cat,
+                    ev.name, static_cast<unsigned long long>(ev.arg0.value));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace spcd::obs

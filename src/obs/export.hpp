@@ -1,0 +1,41 @@
+// Exporters for run captures:
+//   * Chrome trace_event JSON — open in chrome://tracing or
+//     https://ui.perfetto.dev. One "process" (pid) per capture, one
+//     "thread" lane (tid) per instrumented subsystem; timestamps are
+//     simulated cycles (the viewer labels them "us", but only the unit
+//     name differs — ordering and proportions are exact).
+//   * Counter time-series CSV — every kCounter event as one row, ready
+//     for plotting per-epoch series (matrix totals, pages cleared, ...).
+//
+// Both exports are pure functions of the captures, so they inherit the
+// captures' determinism: byte-identical output for any SPCD_JOBS value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace spcd::obs {
+
+/// One capture to export, with the label shown as the process name in the
+/// trace viewer (e.g. "cg/spcd rep 0"). `capture` must outlive the call;
+/// null captures are skipped (a run that was skipped or not traced).
+struct CaptureRef {
+  std::string label;
+  const RunCapture* capture = nullptr;
+};
+
+/// Chrome trace_event JSON ("traceEvents" array plus metadata). Captures
+/// become pids in vector order.
+std::string export_chrome_trace(const std::vector<CaptureRef>& captures);
+
+/// CSV with header "run,time_cycles,category,name,value": one row per
+/// counter event, in capture order then event order.
+std::string export_counters_csv(const std::vector<CaptureRef>& captures);
+
+/// Stable lane id for a subsystem category (detector=0, injector=1, ...,
+/// unknown categories share the last lane). Exposed for tests.
+std::uint32_t category_lane(const char* cat);
+
+}  // namespace spcd::obs

@@ -1,0 +1,135 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spcd::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) raw(",");
+    has_elem_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  raw("{");
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_elem_.pop_back();
+  raw("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  raw("[");
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_elem_.pop_back();
+  raw("]");
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) raw(",");
+    has_elem_.back() = true;
+  }
+  raw("\"");
+  raw(json_escape(k));
+  raw("\":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  raw("\"");
+  raw(json_escape(s));
+  raw("\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_for_value();
+  raw(b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma_for_value();
+  // JSON has no NaN/Infinity; map them to null so the document stays valid.
+  if (!std::isfinite(d)) {
+    raw("null");
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  raw("null");
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_; }
+
+}  // namespace spcd::obs

@@ -1,0 +1,52 @@
+// Minimal deterministic JSON writer for the observability exporters.
+// Produces byte-stable output: keys are emitted in the order the caller
+// writes them, doubles are formatted with "%.17g" (round-trippable and
+// identical across runs), and strings are escaped per RFC 8259. No
+// parsing, no DOM — the exporters only ever serialize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spcd::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& null();
+
+  /// The serialized document. Call once all containers are closed.
+  std::string str() const;
+
+ private:
+  void comma_for_value();
+  void raw(std::string_view s) { out_.append(s); }
+
+  std::string out_;
+  /// One flag per open container: true once it holds an element.
+  std::vector<bool> has_elem_;
+  bool after_key_ = false;
+};
+
+/// Escape a string for embedding in a JSON document (without the quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace spcd::obs

@@ -1,0 +1,90 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace spcd::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    SPCD_EXPECTS(upper_bounds_[i - 1] < upper_bounds_[i]);
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t bucket = upper_bounds_.size();  // overflow unless a bound fits
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (v <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> Histogram::pow2_buckets(unsigned n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = 1.0;
+  for (unsigned i = 0; i < n; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    if (h.count() > 0) {
+      w.key("min").value(h.min());
+      w.key("max").value(h.max());
+    }
+    w.key("bounds").begin_array();
+    for (const double b : h.upper_bounds()) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (const std::uint64_t c : h.bucket_counts()) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace spcd::obs

@@ -1,0 +1,96 @@
+// Metrics registry: named counters, gauges and histograms that a run's
+// components update while they execute. Each run owns one registry (inside
+// its obs::Session), so values depend only on that run's deterministic
+// simulation — never on wall clock or worker-thread scheduling — and the
+// JSON snapshot is byte-identical for any SPCD_JOBS value.
+//
+// Metric objects returned by the registry are stable references (the
+// registry is node-based); callers may cache them across updates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace spcd::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= upper_bounds[i] (the first bucket that fits wins); anything
+/// larger — including NaN, which compares false against every bound —
+/// lands in the implicit overflow bucket. Bounds must be strictly
+/// increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Min/max are only meaningful when count() > 0.
+  double min() const { return min_; }
+  double max() const { return max_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; size() == upper_bounds().size() + 1, the last
+  /// entry being the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Upper bounds 1, 2, 4, ..., 2^(n-1): a decade-spanning default for
+  /// count-like observations (batch sizes, durations in coarse units).
+  static std::vector<double> pow2_buckets(unsigned n);
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create by name. For histogram(), the bounds apply only on
+  /// creation; later lookups with the same name return the existing
+  /// instance unchanged.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Serialize as one JSON object value (counters/gauges/histograms
+  /// sub-objects, names in sorted order) into an open writer position.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace spcd::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace spcd::sim {
@@ -113,6 +114,7 @@ void Engine::finish_thread(ThreadId tid) {
   Thread& t = threads_[tid];
   t.state = ThreadState::kFinished;
   finish_time_ = std::max(finish_time_, t.time);
+  obs::trace_instant("engine", "thread_finish", t.time, {"tid", tid});
   const arch::ContextId ctx = placement_[tid];
   ctx_thread_[ctx] = kNoThread;
   --core_active_[machine_.topology().core_of(ctx)];
@@ -131,6 +133,11 @@ void Engine::maybe_release_barrier() {
     }
   }
   release += config_.barrier_cost;
+  // A barrier release is the engine-level phase boundary: every runnable
+  // thread synchronizes here, so per-phase behavior changes show up as
+  // between-release deltas in the trace.
+  obs::trace_instant("engine", "barrier_release", release,
+                     {"waiting", barrier_waiting_});
   PerfCounters& c = counters();
   for (ThreadId tid = 0; tid < threads_.size(); ++tid) {
     Thread& t = threads_[tid];
@@ -170,6 +177,8 @@ void Engine::migrate(ThreadId tid, arch::ContextId new_ctx) {
   ctx_thread_[new_ctx] = tid;
   charge_thread(tid, cost);
   ++c.thread_migrations;
+  obs::trace_instant("engine", "migrate", now_, {"tid", tid},
+                     {"ctx", new_ctx});
 }
 
 bool Engine::thread_finished(ThreadId tid) const {
@@ -258,6 +267,8 @@ void Engine::run() {
       }
     }
   }
+  obs::trace_instant("engine", "run_end", finish_time_,
+                     {"timed_out", timed_out_ ? 1u : 0u});
 }
 
 }  // namespace spcd::sim

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "util/log.hpp"
 
@@ -101,6 +103,24 @@ std::string env_string(const char* name, const std::string& fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return v;
+}
+
+std::string out_dir() {
+  const std::string dir = env_string("SPCD_OUT_DIR", ".");
+  if (dir == ".") return dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    SPCD_LOG_WARN("SPCD_OUT_DIR=%s cannot be created (%s); writing to .",
+                  dir.c_str(), ec.message().c_str());
+    return ".";
+  }
+  return dir;
+}
+
+std::string out_path(const std::string& filename) {
+  if (!filename.empty() && filename.front() == '/') return filename;
+  return out_dir() + "/" + filename;
 }
 
 }  // namespace spcd::util

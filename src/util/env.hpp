@@ -29,4 +29,14 @@ double env_double_clamped(const char* name, double fallback, double lo,
 /// String environment variable with a default.
 std::string env_string(const char* name, const std::string& fallback);
 
+/// Output directory for generated artifacts (figure CSVs, traces, metric
+/// dumps): SPCD_OUT_DIR, default "." — created on first use. Falls back to
+/// "." with a warning when the directory cannot be created.
+std::string out_dir();
+
+/// `out_dir() + "/" + filename` — the canonical place to write an
+/// artifact. `filename` is used verbatim when it is already an absolute
+/// path (explicit CLI paths win over the knob).
+std::string out_path(const std::string& filename);
+
 }  // namespace spcd::util

@@ -20,6 +20,7 @@ LogLevel initial_level() {
 }
 
 LogLevel g_level = initial_level();
+LogSink g_sink = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -37,6 +38,8 @@ LogLevel log_level() { return g_level; }
 
 void set_log_level(LogLevel level) { g_level = level; }
 
+void set_log_sink(LogSink sink) { g_sink = sink; }
+
 namespace detail {
 
 void log_line(LogLevel level, const char* fmt, ...) {
@@ -46,6 +49,7 @@ void log_line(LogLevel level, const char* fmt, ...) {
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
   std::fprintf(stderr, "[spcd %-5s] %s\n", level_name(level), buf);
+  if (g_sink != nullptr) g_sink(level_name(level), buf);
 }
 
 }  // namespace detail

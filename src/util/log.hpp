@@ -15,6 +15,14 @@ LogLevel log_level();
 /// Override the level programmatically (mainly for tests).
 void set_log_level(LogLevel level);
 
+/// Optional secondary sink: every emitted line (already level-filtered and
+/// formatted, without the "[spcd LEVEL]" prefix) is also forwarded here.
+/// The observability layer installs a sink that records log lines into the
+/// current run's trace; stderr output is unchanged. The sink may be called
+/// concurrently from pipeline worker threads and must be thread-safe.
+using LogSink = void (*)(const char* level, const char* text);
+void set_log_sink(LogSink sink);
+
 namespace detail {
 void log_line(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -1,0 +1,229 @@
+#include <cctype>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace spcd::obs {
+namespace {
+
+// Minimal recursive-descent JSON validator: enough to prove the exporters
+// emit well-formed documents without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) ==
+                   std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control characters are not allowed
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+RunCapture sample_capture() {
+  TraceConfig config;
+  config.buffer_events = 64;
+  Session session(config);
+  session.record(EventKind::kInstant, "detector", "fault", 10,
+                 {"tid", 3}, {"comm", 1});
+  session.record(EventKind::kCounter, "mapper", "matrix_total", 20,
+                 {"value", 250}, {});
+  session.record(EventKind::kInstant, "weird-cat", "mystery", 30, {}, {});
+  session.log("WARN", "some \"quoted\" text\nwith a newline");
+  return session.capture();
+}
+
+TEST(JsonEscapeTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").begin_array().value(std::uint64_t{1}).value(std::uint64_t{2})
+      .end_array();
+  w.key("b").begin_object().key("c").value(true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":[1,2],\"b\":{\"c\":true}}");
+}
+
+TEST(CategoryLaneTest, KnownLanesAreStableAndUnknownShared) {
+  EXPECT_EQ(category_lane("detector"), 0u);
+  EXPECT_EQ(category_lane("injector"), 1u);
+  EXPECT_EQ(category_lane("filter"), 2u);
+  EXPECT_EQ(category_lane("mapper"), 3u);
+  EXPECT_EQ(category_lane("engine"), 4u);
+  EXPECT_EQ(category_lane("log"), 5u);
+  EXPECT_EQ(category_lane("weird-cat"), 6u);
+  EXPECT_EQ(category_lane(nullptr), 6u);
+}
+
+TEST(ChromeTraceExportTest, ProducesWellFormedJson) {
+  const RunCapture cap = sample_capture();
+  const std::string json =
+      export_chrome_trace({CaptureRef{"cg/spcd rep 0", &cap}});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Structure spot checks: instants, counters, metadata and the log line.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"cg/spcd rep 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"matrix_total\""), std::string::npos);
+  EXPECT_NE(json.find("some \\\"quoted\\\" text"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, NullAndEmptyCapturesAreHandled) {
+  const std::string empty = export_chrome_trace({});
+  EXPECT_TRUE(JsonChecker(empty).valid()) << empty;
+  EXPECT_NE(empty.find("\"traceEvents\":[]"), std::string::npos);
+
+  const std::string skipped =
+      export_chrome_trace({CaptureRef{"untraced", nullptr}});
+  EXPECT_TRUE(JsonChecker(skipped).valid()) << skipped;
+  EXPECT_NE(skipped.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, IsDeterministic) {
+  const RunCapture cap = sample_capture();
+  const std::vector<CaptureRef> refs{CaptureRef{"r0", &cap},
+                                     CaptureRef{"r1", &cap}};
+  EXPECT_EQ(export_chrome_trace(refs), export_chrome_trace(refs));
+}
+
+TEST(CountersCsvExportTest, OneRowPerCounterEvent) {
+  const RunCapture cap = sample_capture();
+  const std::string csv =
+      export_counters_csv({CaptureRef{"cg/spcd rep 0", &cap}});
+  EXPECT_EQ(csv,
+            "run,time_cycles,category,name,value\n"
+            "cg/spcd rep 0,20,mapper,matrix_total,250\n");
+}
+
+}  // namespace
+}  // namespace spcd::obs

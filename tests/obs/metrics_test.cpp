@@ -1,0 +1,117 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace spcd::obs {
+namespace {
+
+TEST(CounterTest, AddsWithDefaultIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, KeepsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_EQ(g.value(), -2.5);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.0);   // <= 1 -> bucket 0
+  h.observe(1.0);   // == bound -> bucket 0 (inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(4.01);  // > last bound -> overflow
+  const auto& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 4.01);
+}
+
+TEST(HistogramTest, NegativeAndVerySmallLandInFirstBucket) {
+  Histogram h({1.0, 2.0});
+  h.observe(-100.0);
+  h.observe(1e-300);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.min(), -100.0);
+}
+
+TEST(HistogramTest, NanLandsInOverflowBucket) {
+  Histogram h({1.0, 2.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, Pow2BucketsArePowersOfTwo) {
+  const auto bounds = Histogram::pow2_buckets(5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 1.0);
+  EXPECT_EQ(bounds.back(), 16.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i], 2.0 * bounds[i - 1]);
+  }
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableInstances) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& c = reg.counter("x");
+  c.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  EXPECT_EQ(&reg.counter("x"), &c);
+  EXPECT_FALSE(reg.empty());
+
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  h.observe(1.0);
+  // Later lookups ignore the (different) bounds and return the original.
+  Histogram& again = reg.histogram("h", {100.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+  EXPECT_EQ(again.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z").add(1);
+  reg.counter("a").add(2);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h", {1.0}).observe(3.0);
+
+  JsonWriter w;
+  reg.write_json(w);
+  const std::string json = w.str();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a\":2,\"z\":1},"
+            "\"gauges\":{\"g\":0.5},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,"
+            "\"min\":3,\"max\":3,\"bounds\":[1],\"buckets\":[0,1]}}}");
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramOmitsMinMax) {
+  MetricsRegistry reg;
+  (void)reg.histogram("h", {1.0});
+  JsonWriter w;
+  reg.write_json(w);
+  const std::string json = w.str();
+  EXPECT_EQ(json.find("min"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spcd::obs

@@ -1,0 +1,124 @@
+#include <cstddef>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace spcd::obs {
+namespace {
+
+TraceEvent instant_at(util::Cycles t) {
+  return TraceEvent{t, "test", "ev", EventKind::kInstant, {}, {}};
+}
+
+TEST(TraceBufferTest, HoldsEverythingBelowCapacity) {
+  TraceBuffer buf(8);
+  for (util::Cycles t = 0; t < 5; ++t) buf.record(instant_at(t));
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.recorded(), 5u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, i);
+  }
+}
+
+TEST(TraceBufferTest, WrapOverwritesOldestAndCountsDrops) {
+  TraceBuffer buf(4);
+  for (util::Cycles t = 0; t < 11; ++t) buf.record(instant_at(t));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.recorded(), 11u);
+  EXPECT_EQ(buf.dropped(), 7u);
+  // The newest `capacity` events survive, oldest first.
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, 7 + i);
+  }
+}
+
+TEST(TraceBufferTest, ExactlyFullIsNotADrop) {
+  TraceBuffer buf(4);
+  for (util::Cycles t = 0; t < 4; ++t) buf.record(instant_at(t));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.snapshot().front().time, 0u);
+  // One more event tips it over: exactly one drop.
+  buf.record(instant_at(4));
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_EQ(buf.snapshot().front().time, 1u);
+}
+
+TEST(TraceBufferTest, CapacityOneKeepsOnlyTheNewest) {
+  TraceBuffer buf(1);
+  for (util::Cycles t = 0; t < 3; ++t) buf.record(instant_at(t));
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time, 2u);
+  EXPECT_EQ(buf.dropped(), 2u);
+}
+
+TEST(SessionTest, CaptureReflectsOverflowAccounting) {
+  TraceConfig config;
+  config.enabled = true;
+  config.buffer_events = 64;
+  Session session(config);
+  for (util::Cycles t = 0; t < 100; ++t) {
+    session.record(EventKind::kInstant, "test", "ev", t, {}, {});
+  }
+  const RunCapture cap = session.capture();
+  EXPECT_EQ(cap.events.size(), 64u);
+  EXPECT_EQ(cap.recorded, 100u);
+  EXPECT_EQ(cap.dropped, 36u);
+  EXPECT_EQ(cap.events.front().time, 36u);
+  EXPECT_EQ(cap.events.back().time, 99u);
+}
+
+TEST(SessionTest, LastTimeIsMonotone) {
+  TraceConfig config;
+  config.buffer_events = 64;
+  Session session(config);
+  session.record(EventKind::kInstant, "test", "a", 50, {}, {});
+  session.record(EventKind::kInstant, "test", "b", 20, {}, {});
+  EXPECT_EQ(session.last_time(), 50u);
+}
+
+TEST(ScopedSessionTest, BindsRestoresAndSilences) {
+  EXPECT_EQ(current_session(), nullptr);
+  TraceConfig config;
+  config.buffer_events = 64;
+  Session session(config);
+  {
+    ScopedSession outer(&session);
+    EXPECT_EQ(current_session(), &session);
+    trace_instant("test", "captured", 1);
+    {
+      // nullptr explicitly silences capture (the oracle-profiling rule).
+      ScopedSession inner(nullptr);
+      EXPECT_EQ(current_session(), nullptr);
+      trace_instant("test", "silenced", 2);
+    }
+    EXPECT_EQ(current_session(), &session);
+  }
+  EXPECT_EQ(current_session(), nullptr);
+  const RunCapture cap = session.capture();
+  ASSERT_EQ(cap.events.size(), 1u);
+  EXPECT_STREQ(cap.events[0].name, "captured");
+}
+
+TEST(ScopedSessionTest, TraceHelpersAreNoopsWithoutSession) {
+  ASSERT_EQ(current_session(), nullptr);
+  trace_instant("test", "nobody-listens", 7, {"a", 1});
+  trace_counter("test", "nobody-counts", 8, 42);
+}
+
+TEST(TraceConfigTest, DefaultsAreOffWithSixteenKEvents) {
+  const TraceConfig config;
+  EXPECT_FALSE(config.enabled);
+  EXPECT_EQ(config.buffer_events, std::size_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace spcd::obs
