@@ -50,7 +50,7 @@ inline AblationPoint run_ablation_point(const std::string& bench_name,
   p.mapping_overhead = metrics.mapping_overhead;
   p.migration_events = metrics.migration_events;
   p.injected_ratio = metrics.injected_fault_ratio();
-  if (const core::CommMatrix* detected = runner.last_spcd_matrix()) {
+  if (const auto& detected = metrics.spcd_matrix) {
     p.detected_events = detected->total();
     if (const core::CommMatrix* oracle = runner.oracle_matrix(bench_name)) {
       p.accuracy = detected->correlation(*oracle);

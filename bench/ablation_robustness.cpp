@@ -52,7 +52,7 @@ Point run_cell(const Cell& cell) {
       is_spcd ? core::MappingPolicy::kSpcd : core::MappingPolicy::kOs, 0);
   if (is_spcd) {
     (void)runner.oracle_placement(cell.bench, factory);
-    if (const core::CommMatrix* detected = runner.last_spcd_matrix()) {
+    if (const auto& detected = p.metrics.spcd_matrix) {
       if (const core::CommMatrix* oracle =
               runner.oracle_matrix(cell.bench)) {
         p.accuracy = detected->correlation(*oracle);

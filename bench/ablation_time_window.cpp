@@ -44,11 +44,11 @@ WindowResult run_with_window(util::Cycles window) {
 
   // Snapshot the matrix shortly after the phase switch; measure how much
   // of the *new* communication still points at phase-1 partners.
-  std::optional<core::CommMatrix> at_switch;
+  std::optional<core::CommMatrix::Snapshot> at_switch;
   std::optional<core::CommMatrix> late;
   std::function<void(sim::Engine&)> probe = [&](sim::Engine& e) {
     if (!at_switch) {
-      at_switch = kernel.matrix();
+      at_switch = kernel.matrix().snapshot();
       e.schedule(e.now() + 4'000'000, probe);
     } else if (!late) {
       late = kernel.matrix();
@@ -58,9 +58,9 @@ WindowResult run_with_window(util::Cycles window) {
   engine.schedule(14'000'000, probe);
   engine.run();
   if (!late) late = kernel.matrix();
-  if (!at_switch) at_switch = core::CommMatrix(n);
+  if (!at_switch) at_switch = core::CommMatrix(n).snapshot();
 
-  const core::CommMatrix phase2 = late->diff(*at_switch);
+  const core::CommMatrix phase2 = late->since(*at_switch);
   std::uint64_t matching = 0;
   std::uint64_t total = 0;
   for (std::uint32_t t = 0; t < n; ++t) {

@@ -37,16 +37,16 @@ int main() {
   core::SpcdKernel kernel(config, n, /*seed=*/1);
   kernel.install(engine);
 
-  // Snapshot the matrix periodically; phases are later identified by the
-  // known iteration structure (equal-length phases).
-  struct Snapshot {
+  // Snapshot the matrix periodically (cheap triangle captures); phases are
+  // later identified by the known iteration structure (equal-length phases).
+  struct TimedSnapshot {
     util::Cycles time;
-    core::CommMatrix matrix;
+    core::CommMatrix::Snapshot matrix;
   };
-  std::vector<Snapshot> snapshots;
+  std::vector<TimedSnapshot> snapshots;
   const util::Cycles snap_period = 500'000;
   std::function<void(sim::Engine&)> snap = [&](sim::Engine& e) {
-    snapshots.push_back(Snapshot{e.now(), kernel.matrix()});
+    snapshots.push_back(TimedSnapshot{e.now(), kernel.matrix().snapshot()});
     if (e.active_threads() > 0) e.schedule(e.now() + snap_period, snap);
   };
   engine.schedule(snap_period, snap);
@@ -65,14 +65,14 @@ int main() {
         from_frac * static_cast<double>(total));
     const auto to_time =
         static_cast<util::Cycles>(to_frac * static_cast<double>(total));
-    std::optional<core::CommMatrix> from, to;
+    std::optional<core::CommMatrix::Snapshot> from, to;
     for (const auto& s : snapshots) {
       if (s.time <= from_time) from = s.matrix;
       if (s.time <= to_time) to = s.matrix;
     }
-    if (!to) to = kernel.matrix();
-    if (!from) from = core::CommMatrix(n);
-    return to->diff(*from);
+    if (!to) to = kernel.matrix().snapshot();
+    if (!from) from = core::CommMatrix(n).snapshot();
+    return core::CommMatrix(*to).since(*from);
   };
 
   const double phase_frac = 1.0 / params.phases;

@@ -29,8 +29,10 @@ int main(int argc, char** argv) {
 
   for (const auto& name : names) {
     const auto factory = workloads::nas_factory(name, scale);
-    (void)runner.run_once(name, factory, core::MappingPolicy::kSpcd, 0);
-    const core::CommMatrix* detected = runner.last_spcd_matrix();
+    const auto metrics =
+        runner.run_once(name, factory, core::MappingPolicy::kSpcd, 0);
+    const std::shared_ptr<const core::CommMatrix> detected =
+        metrics.spcd_matrix;
     if (detected == nullptr) continue;
 
     const char* pattern = "?";

@@ -26,13 +26,6 @@ const core::MappingPolicy kPolicies[] = {
     core::MappingPolicy::kOs, core::MappingPolicy::kRandom,
     core::MappingPolicy::kOracle, core::MappingPolicy::kSpcd};
 
-core::MappingPolicy policy_from(const std::string& s) {
-  if (s == "os") return core::MappingPolicy::kOs;
-  if (s == "random") return core::MappingPolicy::kRandom;
-  if (s == "oracle") return core::MappingPolicy::kOracle;
-  return core::MappingPolicy::kSpcd;
-}
-
 std::string cache_path() {
   return util::env_string("SPCD_CACHE", "spcd_results.cache");
 }
@@ -75,7 +68,10 @@ bool parse_cache_payload(const std::string& payload, PipelineResults& out) {
           m.injected_faults)) {
       return false;
     }
-    out.results[bench][policy_from(policy)].push_back(m);
+    const std::optional<core::MappingPolicy> parsed =
+        core::parse_policy(policy);
+    if (!parsed) return false;  // unknown policy: reject the cache
+    out.results[bench][*parsed].push_back(m);
   }
   // Sanity: every benchmark must have every policy with `reps` runs.
   if (out.results.size() != workloads::nas_benchmarks().size()) return false;

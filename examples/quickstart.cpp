@@ -15,7 +15,9 @@
 #include "util/table.hpp"
 #include "workloads/npb.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace spcd;
 
   const std::string bench = argc > 1 ? argv[1] : "sp";
@@ -35,11 +37,15 @@ int main(int argc, char** argv) {
                 "pkg [J]", "DRAM [J]", "migrations"});
 
   std::vector<core::RunMetrics> baseline;
+  std::shared_ptr<const core::CommMatrix> spcd_matrix;
   for (const auto policy :
        {core::MappingPolicy::kOs, core::MappingPolicy::kRandom,
         core::MappingPolicy::kOracle, core::MappingPolicy::kSpcd}) {
     const auto runs = runner.run_policy(bench, factory, policy);
     if (policy == core::MappingPolicy::kOs) baseline = runs;
+    if (policy == core::MappingPolicy::kSpcd && !runs.empty()) {
+      spcd_matrix = runs.back().spcd_matrix;
+    }
 
     const auto time = core::aggregate(
         runs, [](const core::RunMetrics& m) { return m.exec_seconds; });
@@ -67,14 +73,29 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.render().c_str(), stdout);
 
-  if (const core::CommMatrix* matrix = runner.last_spcd_matrix()) {
+  if (spcd_matrix) {
     std::printf("\nCommunication matrix detected by SPCD (last run):\n%s",
-                util::render_heatmap(matrix->as_double(), matrix->size())
+                util::render_heatmap(spcd_matrix->as_double(),
+                                     spcd_matrix->size())
                     .c_str());
     if (const core::CommMatrix* oracle = runner.oracle_matrix(bench)) {
       std::printf("\nPattern accuracy vs. oracle (Pearson): %.3f\n",
-                  matrix->correlation(*oracle));
+                  spcd_matrix->correlation(*oracle));
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const spcd::core::ConfigError& e) {
+    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());  // e.g. unknown benchmark name
+    return 2;
+  }
 }

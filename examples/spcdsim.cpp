@@ -87,7 +87,7 @@ bool write_file(const std::string& path, const std::string& contents) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace spcd;
 
   std::string bench = "sp";
@@ -152,18 +152,12 @@ int main(int argc, char** argv) {
     config.trace.enabled = true;
   }
 
-  core::MappingPolicy policy;
-  if (policy_name == "os") {
-    policy = core::MappingPolicy::kOs;
-  } else if (policy_name == "random") {
-    policy = core::MappingPolicy::kRandom;
-  } else if (policy_name == "oracle") {
-    policy = core::MappingPolicy::kOracle;
-  } else if (policy_name == "spcd") {
-    policy = core::MappingPolicy::kSpcd;
-  } else {
+  const std::optional<core::MappingPolicy> parsed =
+      core::parse_policy(policy_name);
+  if (!parsed) {
     usage_error("unknown policy %s\n", policy_name.c_str());
   }
+  const core::MappingPolicy policy = *parsed;
 
   core::WorkloadFactory factory;
   if (bench == "prodcons") {
@@ -294,11 +288,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (show_matrix && policy == core::MappingPolicy::kSpcd) {
-    if (const core::CommMatrix* m = runner.last_spcd_matrix()) {
+  if (show_matrix && policy == core::MappingPolicy::kSpcd && !runs.empty()) {
+    if (const auto& m = runs.back().spcd_matrix) {
       std::printf("\nDetected communication matrix (last run):\n%s",
                   util::render_heatmap(m->as_double(), m->size()).c_str());
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Backstop for configuration errors that slip past the early validate()
+  // checks (e.g. future config sources): same exit code as usage_error.
+  try {
+    return run(argc, argv);
+  } catch (const spcd::core::ConfigError& e) {
+    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    return 2;
+  }
 }

@@ -1,6 +1,7 @@
 #include "core/mapper.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <span>
 
@@ -13,30 +14,72 @@ namespace {
 
 using Group = std::vector<std::uint32_t>;
 
+/// Preallocated buffers for the merge rounds, reused across rounds so a
+/// mapping computation allocates once, not per round. `weight` memoizes
+/// the pairwise group weights: when groups merge, the new pair weight is
+/// the exact integer sum of the old ones (Eq. 1 is additive over group
+/// members), so no round after the first ever rescans the matrix.
+struct MergeWorkspace {
+  std::vector<std::uint64_t> weight;  ///< g*g pairwise group weights
+  std::vector<std::uint64_t> next;    ///< next round's weights (swapped in)
+  std::vector<std::int64_t> dense;    ///< Edmonds dense input buffer
+  /// Each merged group's source indices in the previous round (second is
+  /// -1 for pass-through groups).
+  std::vector<std::array<std::int32_t, 2>> sources;
+
+  void init(const CommMatrix& matrix) {
+    const std::uint32_t n = matrix.size();
+    weight.assign(static_cast<std::size_t>(n) * n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        const std::uint64_t w = matrix.at(i, j);
+        weight[static_cast<std::size_t>(i) * n + j] = w;
+        weight[static_cast<std::size_t>(j) * n + i] = w;
+      }
+    }
+  }
+
+  /// Fold the previous round's weights into the merged groups recorded in
+  /// `sources` (called after a round built `sources`).
+  void fold_weights(std::size_t old_g) {
+    const std::size_t m = sources.size();
+    next.assign(m * m, 0);
+    for (std::size_t x = 0; x < m; ++x) {
+      for (std::size_t y = x + 1; y < m; ++y) {
+        std::uint64_t w = 0;
+        for (const std::int32_t a : sources[x]) {
+          if (a < 0) continue;
+          for (const std::int32_t b : sources[y]) {
+            if (b < 0) continue;
+            w += weight[static_cast<std::size_t>(a) * old_g +
+                        static_cast<std::size_t>(b)];
+          }
+        }
+        next[x * m + y] = w;
+        next[y * m + x] = w;
+      }
+    }
+    weight.swap(next);
+  }
+};
+
 /// One matching round: pair groups to maximize inter-group communication
 /// (Eq. 1), merging matched pairs. Unmatched groups (odd counts) pass
 /// through unchanged.
-std::vector<Group> merge_round_matched(const CommMatrix& matrix,
+std::vector<Group> merge_round_matched(MergeWorkspace& ws,
                                        const std::vector<Group>& groups) {
   const int g = static_cast<int>(groups.size());
-  std::vector<std::int64_t> weights(static_cast<std::size_t>(g) *
-                                    static_cast<std::size_t>(g));
-  for (int i = 0; i < g; ++i) {
-    for (int j = i + 1; j < g; ++j) {
-      const auto w = static_cast<std::int64_t>(
-          matrix.group_weight(groups[static_cast<std::size_t>(i)],
-                              groups[static_cast<std::size_t>(j)]));
-      weights[static_cast<std::size_t>(i) * static_cast<std::size_t>(g) +
-              static_cast<std::size_t>(j)] = w;
-      weights[static_cast<std::size_t>(j) * static_cast<std::size_t>(g) +
-              static_cast<std::size_t>(i)] = w;
-    }
+  ws.dense.assign(static_cast<std::size_t>(g) * static_cast<std::size_t>(g),
+                  0);
+  for (std::size_t i = 0; i < ws.dense.size(); ++i) {
+    ws.dense[i] = static_cast<std::int64_t>(ws.weight[i]);
   }
   const std::vector<int> mate =
-      max_weight_matching_dense(weights, g, /*max_cardinality=*/true);
+      max_weight_matching_dense(ws.dense, g, /*max_cardinality=*/true);
 
   std::vector<Group> merged;
   merged.reserve((groups.size() + 1) / 2);
+  ws.sources.clear();
   for (int i = 0; i < g; ++i) {
     const int m = mate[static_cast<std::size_t>(i)];
     if (m != -1 && m < i) continue;  // already merged by the lower index
@@ -45,12 +88,14 @@ std::vector<Group> merge_round_matched(const CommMatrix& matrix,
       const Group& other = groups[static_cast<std::size_t>(m)];
       next.insert(next.end(), other.begin(), other.end());
     }
+    ws.sources.push_back({i, m});
     merged.push_back(std::move(next));
   }
+  ws.fold_weights(static_cast<std::size_t>(g));
   return merged;
 }
 
-std::vector<Group> merge_round_greedy(const CommMatrix& matrix,
+std::vector<Group> merge_round_greedy(MergeWorkspace& ws,
                                       const std::vector<Group>& groups) {
   const std::size_t g = groups.size();
   std::vector<bool> used(g, false);
@@ -62,7 +107,7 @@ std::vector<Group> merge_round_greedy(const CommMatrix& matrix,
   pairs.reserve(g * g / 2);
   for (std::size_t i = 0; i < g; ++i) {
     for (std::size_t j = i + 1; j < g; ++j) {
-      pairs.push_back(Pair{matrix.group_weight(groups[i], groups[j]), i, j});
+      pairs.push_back(Pair{ws.weight[i * g + j], i, j});
     }
   }
   std::stable_sort(pairs.begin(), pairs.end(),
@@ -71,16 +116,23 @@ std::vector<Group> merge_round_greedy(const CommMatrix& matrix,
                    });
   std::vector<Group> merged;
   merged.reserve((g + 1) / 2);
+  ws.sources.clear();
   for (const auto& p : pairs) {
     if (used[p.i] || used[p.j]) continue;
     used[p.i] = used[p.j] = true;
     Group next = groups[p.i];
     next.insert(next.end(), groups[p.j].begin(), groups[p.j].end());
+    ws.sources.push_back({static_cast<std::int32_t>(p.i),
+                          static_cast<std::int32_t>(p.j)});
     merged.push_back(std::move(next));
   }
   for (std::size_t i = 0; i < g; ++i) {
-    if (!used[i]) merged.push_back(groups[i]);
+    if (!used[i]) {
+      ws.sources.push_back({static_cast<std::int32_t>(i), -1});
+      merged.push_back(groups[i]);
+    }
   }
+  ws.fold_weights(g);
   return merged;
 }
 
@@ -146,9 +198,11 @@ MappingResult compute_with(const CommMatrix& matrix,
   groups.reserve(n);
   for (std::uint32_t t = 0; t < n; ++t) groups.push_back(Group{t});
 
+  MergeWorkspace ws;
+  ws.init(matrix);
   MappingResult result;
   while (groups.size() > 1) {
-    groups = merge(matrix, groups);
+    groups = merge(ws, groups);
     ++result.rounds;
     SPCD_ASSERT(result.rounds <= 64);  // halving must terminate
   }

@@ -16,27 +16,49 @@ class BlossomMatcher {
   BlossomMatcher(int num_vertices, const std::vector<WeightedEdge>& edges,
                  bool max_cardinality)
       : n_(num_vertices), max_cardinality_(max_cardinality) {
-    edges_.reserve(edges.size());
-    // Internally double all weights so every dual update is integral.
+    const int nedge = static_cast<int>(edges.size());
+    // Edges live in parallel arrays (slack() is the hottest load site) with
+    // all weights doubled so every dual update is integral.
+    edge_u_.reserve(edges.size());
+    edge_v_.reserve(edges.size());
+    edge_dw_.reserve(edges.size());
     for (const auto& e : edges) {
       SPCD_EXPECTS(e.u >= 0 && e.u < n_ && e.v >= 0 && e.v < n_);
       SPCD_EXPECTS(e.u != e.v);
-      edges_.push_back(WeightedEdge{e.u, e.v, 2 * e.weight});
+      edge_u_.push_back(e.u);
+      edge_v_.push_back(e.v);
+      edge_dw_.push_back(2 * e.weight);
     }
-    const int nedge = static_cast<int>(edges_.size());
 
     std::int64_t maxweight = 0;
-    for (const auto& e : edges_) maxweight = std::max(maxweight, e.weight);
+    for (const std::int64_t dw : edge_dw_) {
+      maxweight = std::max(maxweight, dw / 2);
+    }
 
     endpoint_.resize(2 * static_cast<std::size_t>(nedge));
     for (int k = 0; k < nedge; ++k) {
-      endpoint_[2 * static_cast<std::size_t>(k)] = edges_[k].u;
-      endpoint_[2 * static_cast<std::size_t>(k) + 1] = edges_[k].v;
+      endpoint_[2 * static_cast<std::size_t>(k)] = edge_u_[k];
+      endpoint_[2 * static_cast<std::size_t>(k) + 1] = edge_v_[k];
     }
-    neighbend_.resize(n_);
+    // Adjacency in CSR form: neighb_flat_[neighb_off_[v]..neighb_off_[v+1])
+    // holds v's incident endpoints in the same order a per-vertex push_back
+    // construction would (edge k appends 2k+1 to u, then 2k to v).
+    neighb_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
     for (int k = 0; k < nedge; ++k) {
-      neighbend_[edges_[k].u].push_back(2 * k + 1);
-      neighbend_[edges_[k].v].push_back(2 * k);
+      ++neighb_off_[static_cast<std::size_t>(edge_u_[k]) + 1];
+      ++neighb_off_[static_cast<std::size_t>(edge_v_[k]) + 1];
+    }
+    for (int v = 0; v < n_; ++v) {
+      neighb_off_[static_cast<std::size_t>(v) + 1] +=
+          neighb_off_[static_cast<std::size_t>(v)];
+    }
+    neighb_flat_.resize(2 * static_cast<std::size_t>(nedge));
+    std::vector<int> cursor(neighb_off_.begin(), neighb_off_.end() - 1);
+    for (int k = 0; k < nedge; ++k) {
+      neighb_flat_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(edge_u_[k])]++)] = 2 * k + 1;
+      neighb_flat_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(edge_v_[k])]++)] = 2 * k;
     }
 
     mate_.assign(n_, -1);
@@ -56,7 +78,7 @@ class BlossomMatcher {
     for (int b = 2 * n_ - 1; b >= n_; --b) unusedblossoms_.push_back(b);
     dualvar_.assign(2 * static_cast<std::size_t>(n_), 0);
     for (int v = 0; v < n_; ++v) dualvar_[v] = maxweight;
-    allowedge_.assign(edges_.size(), false);
+    allowedge_.assign(edge_u_.size(), false);
   }
 
   std::vector<int> solve() {
@@ -83,7 +105,10 @@ class BlossomMatcher {
           queue_.pop_back();
           SPCD_ASSERT(label_[inblossom_[v]] == 1);
 
-          for (const int p : neighbend_[v]) {
+          const int nb_end = neighb_off_[static_cast<std::size_t>(v) + 1];
+          for (int nb = neighb_off_[static_cast<std::size_t>(v)]; nb < nb_end;
+               ++nb) {
+            const int p = neighb_flat_[static_cast<std::size_t>(nb)];
             const int k = p / 2;
             const int w = endpoint_[p];
             if (inblossom_[v] == inblossom_[w]) continue;
@@ -196,14 +221,18 @@ class BlossomMatcher {
           break;  // optimum reached
         } else if (deltatype == 2) {
           allowedge_[static_cast<std::size_t>(deltaedge)] = true;
-          int i = edges_[deltaedge].u;
-          if (label_[inblossom_[i]] == 0) i = edges_[deltaedge].v;
+          int i = edge_u_[static_cast<std::size_t>(deltaedge)];
+          if (label_[inblossom_[i]] == 0) {
+            i = edge_v_[static_cast<std::size_t>(deltaedge)];
+          }
           SPCD_ASSERT(label_[inblossom_[i]] == 1);
           queue_.push_back(i);
         } else if (deltatype == 3) {
           allowedge_[static_cast<std::size_t>(deltaedge)] = true;
-          SPCD_ASSERT(label_[inblossom_[edges_[deltaedge].u]] == 1);
-          queue_.push_back(edges_[deltaedge].u);
+          SPCD_ASSERT(
+              label_[inblossom_[edge_u_[static_cast<std::size_t>(
+                  deltaedge)]]] == 1);
+          queue_.push_back(edge_u_[static_cast<std::size_t>(deltaedge)]);
         } else {
           expand_blossom(deltablossom, false);
         }
@@ -234,7 +263,8 @@ class BlossomMatcher {
 
  private:
   std::int64_t slack(int k) const {
-    return dualvar_[edges_[k].u] + dualvar_[edges_[k].v] - 2 * edges_[k].weight;
+    // edge_dw_ already holds the doubled weight, so no further scaling.
+    return dualvar_[edge_u_[k]] + dualvar_[edge_v_[k]] - edge_dw_[k];
   }
 
   // Python-style index into a child list (negative wraps around).
@@ -262,9 +292,11 @@ class BlossomMatcher {
     labelend_[w] = labelend_[b] = p;
     bestedge_[w] = bestedge_[b] = -1;
     if (t == 1) {
-      std::vector<int> leaves;
-      blossom_leaves(b, leaves);
-      queue_.insert(queue_.end(), leaves.begin(), leaves.end());
+      // Scratch is consumed (appended to queue_) before any call that
+      // could clobber it; the t == 2 recursion below never touches it.
+      label_leaves_.clear();
+      blossom_leaves(b, label_leaves_);
+      queue_.insert(queue_.end(), label_leaves_.begin(), label_leaves_.end());
     } else {
       const int base = blossombase_[b];
       SPCD_ASSERT(mate_[base] >= 0);
@@ -273,7 +305,8 @@ class BlossomMatcher {
   }
 
   int scan_blossom(int v, int w) {
-    std::vector<int> path;
+    std::vector<int>& path = scratch_path_;
+    path.clear();
     int base = -1;
     while (v != -1 || w != -1) {
       int b = inblossom_[v];
@@ -301,8 +334,8 @@ class BlossomMatcher {
   }
 
   void add_blossom(int base, int k) {
-    int v = edges_[k].u;
-    int w = edges_[k].v;
+    int v = edge_u_[static_cast<std::size_t>(k)];
+    int w = edge_v_[static_cast<std::size_t>(k)];
     const int bb = inblossom_[base];
     int bv = inblossom_[v];
     int bw = inblossom_[w];
@@ -352,48 +385,48 @@ class BlossomMatcher {
     labelend_[b] = labelend_[bb];
     dualvar_[b] = 0;
 
-    std::vector<int> leaves;
-    blossom_leaves(b, leaves);
-    for (const int leaf : leaves) {
+    scratch_leaves_.clear();
+    blossom_leaves(b, scratch_leaves_);
+    for (const int leaf : scratch_leaves_) {
       if (label_[inblossom_[leaf]] == 2) queue_.push_back(leaf);
       inblossom_[leaf] = b;
     }
 
-    // Recompute best-edge lists for the new blossom.
-    std::vector<int> bestedgeto(2 * static_cast<std::size_t>(n_), -1);
-    for (const int child : path) {
-      std::vector<std::vector<int>> nblists;
-      if (!has_bestedges_[child]) {
-        std::vector<int> child_leaves;
-        blossom_leaves(child, child_leaves);
-        for (const int leaf : child_leaves) {
-          std::vector<int> ks;
-          ks.reserve(neighbend_[leaf].size());
-          for (const int p : neighbend_[leaf]) ks.push_back(p / 2);
-          nblists.push_back(std::move(ks));
-        }
-      } else {
-        nblists.push_back(blossombestedges_[child]);
+    // Recompute best-edge lists for the new blossom. The candidate edges
+    // are visited in the exact order the old nested-list construction
+    // produced, just without materializing the lists.
+    bestedgeto_.assign(2 * static_cast<std::size_t>(n_), -1);
+    auto consider = [&](int ek) {
+      int i = edge_u_[static_cast<std::size_t>(ek)];
+      int j = edge_v_[static_cast<std::size_t>(ek)];
+      if (inblossom_[j] == b) std::swap(i, j);
+      const int bj = inblossom_[j];
+      if (bj != b && label_[bj] == 1 &&
+          (bestedgeto_[static_cast<std::size_t>(bj)] == -1 ||
+           slack(ek) < slack(bestedgeto_[static_cast<std::size_t>(bj)]))) {
+        bestedgeto_[static_cast<std::size_t>(bj)] = ek;
       }
-      for (const auto& nblist : nblists) {
-        for (const int ek : nblist) {
-          int i = edges_[ek].u;
-          int j = edges_[ek].v;
-          if (inblossom_[j] == b) std::swap(i, j);
-          const int bj = inblossom_[j];
-          if (bj != b && label_[bj] == 1 &&
-              (bestedgeto[static_cast<std::size_t>(bj)] == -1 ||
-               slack(ek) < slack(bestedgeto[static_cast<std::size_t>(bj)]))) {
-            bestedgeto[static_cast<std::size_t>(bj)] = ek;
+    };
+    for (const int child : path) {
+      if (!has_bestedges_[child]) {
+        scratch_leaves_.clear();
+        blossom_leaves(child, scratch_leaves_);
+        for (const int leaf : scratch_leaves_) {
+          const int nb_end = neighb_off_[static_cast<std::size_t>(leaf) + 1];
+          for (int nb = neighb_off_[static_cast<std::size_t>(leaf)];
+               nb < nb_end; ++nb) {
+            consider(neighb_flat_[static_cast<std::size_t>(nb)] / 2);
           }
         }
+      } else {
+        for (const int ek : blossombestedges_[child]) consider(ek);
       }
       blossombestedges_[child].clear();
       has_bestedges_[child] = false;
       bestedge_[child] = -1;
     }
     blossombestedges_[b].clear();
-    for (const int ek : bestedgeto) {
+    for (const int ek : bestedgeto_) {
       if (ek != -1) blossombestedges_[b].push_back(ek);
     }
     has_bestedges_[b] = true;
@@ -413,9 +446,9 @@ class BlossomMatcher {
       } else if (endstage && dualvar_[s] == 0) {
         expand_blossom(s, endstage);
       } else {
-        std::vector<int> leaves;
-        blossom_leaves(s, leaves);
-        for (const int leaf : leaves) inblossom_[leaf] = s;
+        scratch_leaves_.clear();
+        blossom_leaves(s, scratch_leaves_);
+        for (const int leaf : scratch_leaves_) inblossom_[leaf] = s;
       }
     }
     if (!endstage && label_[b] == 2) {
@@ -459,10 +492,10 @@ class BlossomMatcher {
           j += jstep;
           continue;
         }
-        std::vector<int> leaves;
-        blossom_leaves(bv, leaves);
+        scratch_leaves_.clear();
+        blossom_leaves(bv, scratch_leaves_);
         int labelled_leaf = -1;
-        for (const int leaf : leaves) {
+        for (const int leaf : scratch_leaves_) {
           if (label_[leaf] != 0) {
             labelled_leaf = leaf;
             break;
@@ -527,8 +560,8 @@ class BlossomMatcher {
   }
 
   void augment_matching(int k) {
-    const int v = edges_[k].u;
-    const int w = edges_[k].v;
+    const int v = edge_u_[static_cast<std::size_t>(k)];
+    const int w = edge_v_[static_cast<std::size_t>(k)];
     const std::pair<int, int> starts[2] = {{v, 2 * k + 1}, {w, 2 * k}};
     for (const auto& [s0, p0] : starts) {
       int s = s0;
@@ -556,9 +589,12 @@ class BlossomMatcher {
 
   int n_;
   bool max_cardinality_;
-  std::vector<WeightedEdge> edges_;  // weights doubled
+  std::vector<int> edge_u_;           // edge endpoints, SoA
+  std::vector<int> edge_v_;
+  std::vector<std::int64_t> edge_dw_;  // doubled edge weights
   std::vector<int> endpoint_;
-  std::vector<std::vector<int>> neighbend_;
+  std::vector<int> neighb_off_;   // CSR row offsets, size n_+1
+  std::vector<int> neighb_flat_;  // CSR endpoint lists, size 2*nedge
   std::vector<int> mate_;
   std::vector<int> label_;
   std::vector<int> labelend_;
@@ -569,11 +605,20 @@ class BlossomMatcher {
   std::vector<std::vector<int>> blossomendps_;
   std::vector<int> bestedge_;
   std::vector<std::vector<int>> blossombestedges_;
-  std::vector<bool> has_bestedges_;
+  std::vector<unsigned char> has_bestedges_;
   std::vector<int> unusedblossoms_;
   std::vector<std::int64_t> dualvar_;
-  std::vector<bool> allowedge_;
+  // Byte flags, not vector<bool>: allowedge_ is tested per visited endpoint
+  // in the innermost scan and the bit proxy was measurable there.
+  std::vector<unsigned char> allowedge_;
   std::vector<int> queue_;
+  // Reused scratch buffers (the per-call temporaries were a measurable
+  // share of solve time). Every use clears before filling and finishes
+  // with the buffer before any call that could clobber it.
+  std::vector<int> scratch_leaves_;
+  std::vector<int> label_leaves_;
+  std::vector<int> scratch_path_;
+  std::vector<int> bestedgeto_;
 };
 
 }  // namespace

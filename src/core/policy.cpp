@@ -17,6 +17,13 @@ const char* to_string(MappingPolicy policy) {
   return "?";
 }
 
+std::optional<MappingPolicy> parse_policy(std::string_view name) {
+  for (std::size_t i = 0; i < policy_names().size(); ++i) {
+    if (name == policy_names()[i]) return static_cast<MappingPolicy>(i);
+  }
+  return std::nullopt;
+}
+
 sim::Placement os_spread_placement(const arch::Topology& topology,
                                    std::uint32_t num_threads) {
   SPCD_EXPECTS(num_threads <= topology.num_contexts());

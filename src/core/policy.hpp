@@ -8,8 +8,11 @@
 // in spcd_kernel.hpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "arch/topology.hpp"
 #include "sim/engine.hpp"
@@ -19,6 +22,17 @@ namespace spcd::core {
 enum class MappingPolicy : std::uint8_t { kOs, kRandom, kOracle, kSpcd };
 
 const char* to_string(MappingPolicy policy);
+
+/// The accepted policy names, in enum order (so
+/// `policy_names()[static_cast<std::size_t>(p)] == to_string(p)`).
+constexpr std::array<std::string_view, 4> policy_names() {
+  return {"os", "random", "oracle", "spcd"};
+}
+
+/// Parse a policy name as printed by to_string(). Returns std::nullopt for
+/// anything else (CLIs turn that into a usage error, cache readers into a
+/// rejected file).
+std::optional<MappingPolicy> parse_policy(std::string_view name);
 
 /// Linux-like initial placement: spread threads across sockets and cores
 /// first, filling SMT siblings last (thread i and i+1 land on different

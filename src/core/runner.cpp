@@ -192,8 +192,7 @@ RunMetrics Runner::run_once(const std::string& workload_name,
     if (chaos_engine) {
       m.perturbations_injected = chaos_engine->counters().total();
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    last_spcd_matrix_ = kernel->matrix();
+    m.spcd_matrix = std::make_shared<const CommMatrix>(kernel->matrix());
   }
   if (session) {
     // Fold the run's headline and degradation counters into the registry

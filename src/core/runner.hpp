@@ -75,6 +75,10 @@ struct RunMetrics {
   /// Null unless the run executed with tracing enabled; never part of the
   /// cache serialization.
   std::shared_ptr<const obs::RunCapture> obs;
+
+  /// Communication matrix the SPCD kernel detected during this run. Null
+  /// for non-kSpcd policies; never part of the cache serialization.
+  std::shared_ptr<const CommMatrix> spcd_matrix;
 };
 
 using WorkloadFactory =
@@ -140,14 +144,6 @@ class Runner {
   /// oracle_placement() or any kOracle run).
   const CommMatrix* oracle_matrix(const std::string& workload_name) const;
 
-  /// Communication matrix detected by SPCD in the most recent *completed*
-  /// kSpcd run. Read it only after the runs of interest have finished (the
-  /// pointer is unstable while kSpcd runs are in flight).
-  const CommMatrix* last_spcd_matrix() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return last_spcd_matrix_ ? &*last_spcd_matrix_ : nullptr;
-  }
-
  private:
   struct OracleEntry {
     sim::Placement placement;
@@ -156,13 +152,12 @@ class Runner {
   };
 
   RunnerConfig config_;
-  // Guards oracle_cache_ and last_spcd_matrix_. Oracle entries are
-  // immutable once ready, and std::map nodes are stable, so references
-  // handed out after that stay valid without the lock.
+  // Guards oracle_cache_. Oracle entries are immutable once ready, and
+  // std::map nodes are stable, so references handed out after that stay
+  // valid without the lock.
   mutable std::mutex mu_;
   std::condition_variable oracle_ready_cv_;
   std::map<std::string, OracleEntry> oracle_cache_;
-  std::optional<CommMatrix> last_spcd_matrix_;
 };
 
 /// Aggregate one metric over repetitions into mean ± 95% CI.

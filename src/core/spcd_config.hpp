@@ -12,12 +12,22 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "mem/sharing_table.hpp"
 #include "util/units.hpp"
 
 namespace spcd::core {
+
+/// Thrown for an invalid experiment configuration (SpcdConfig and friends)
+/// by constructors that cannot return an error string. Derives from
+/// std::invalid_argument so existing catch sites keep working; CLIs catch
+/// it at top level and exit 2 (the usage-error exit code).
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 struct SpcdConfig {
   /// The sharing hash table (granularity, size, collision policy, window).
@@ -141,7 +151,7 @@ struct SpcdConfig {
   /// ...). Returns an empty string when valid, else a one-line error — a
   /// recoverable condition for callers like spcdsim, unlike the
   /// SPCD_EXPECTS contract aborts. SpcdKernel's constructor throws
-  /// std::invalid_argument with this message on an invalid configuration.
+  /// ConfigError with this message on an invalid configuration.
   std::string validate() const;
 };
 

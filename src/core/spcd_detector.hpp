@@ -3,6 +3,16 @@
 // region) in the sharing table; faults on regions other threads touched
 // recently increment the communication matrix.
 //
+// Hot-path batching: on_fault() no longer walks the sharing table inline.
+// It only draws the chaos decisions, charges the handler cost, and appends
+// the event to a small fixed ring; the table/matrix work is applied when
+// the ring fills, at the kernel's quantum boundary, or lazily by any state
+// accessor. Events drain strictly in arrival order and every chaos RNG
+// stream is per hook family, so the detector state after a drain is
+// bit-identical to unbatched delivery — the batching is observable only as
+// wall-clock time (one cache-warm pass over the table per quantum instead
+// of a dispatch + cold walk per fault).
+//
 // Robustness: an optional chaos::PerturbationEngine can drop or duplicate
 // fault notifications and force table collisions. The detector degrades
 // gracefully under collision storms — when the table's collision rate over
@@ -10,6 +20,9 @@
 // resets the table wholesale) instead of silently letting overwrites
 // corrupt the matrix; each such event is counted as a saturation reset.
 #pragma once
+
+#include <array>
+#include <cstddef>
 
 #include "chaos/perturbation.hpp"
 #include "core/comm_matrix.hpp"
@@ -24,28 +37,66 @@ class SpcdDetector final : public mem::FaultObserver {
   SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads,
                chaos::PerturbationEngine* chaos = nullptr);
 
-  /// FaultObserver: record the faulting access, detect communication, and
-  /// report the handler's extra cycles.
+  /// FaultObserver: charge the handler's extra cycles and enqueue the
+  /// access for batched detection (see header comment).
   util::Cycles on_fault(const mem::FaultEvent& event) override;
 
-  const CommMatrix& matrix() const { return matrix_; }
-  CommMatrix& matrix() { return matrix_; }
-  const mem::SharingTable& table() const { return table_; }
+  /// Apply all pending (ring-buffered) fault events now. Called at quantum
+  /// boundaries by SpcdKernel and implicitly by every accessor below, so
+  /// observers can never see pre-drain state. Logically const: the
+  /// observable state of the detector is defined as the post-drain state.
+  void flush() const;
 
-  std::uint64_t faults_seen() const { return faults_seen_; }
-  std::uint64_t communication_events() const { return comm_events_; }
+  const CommMatrix& matrix() const {
+    flush();
+    return matrix_;
+  }
+  CommMatrix& matrix() {
+    flush();
+    return matrix_;
+  }
+  const mem::SharingTable& table() const {
+    flush();
+    return table_;
+  }
+
+  std::uint64_t faults_seen() const {
+    flush();
+    return faults_seen_;
+  }
+  std::uint64_t communication_events() const {
+    flush();
+    return comm_events_;
+  }
 
   /// Times the saturation monitor aged or reset the table.
-  std::uint32_t saturation_resets() const { return saturation_resets_; }
+  std::uint32_t saturation_resets() const {
+    flush();
+    return saturation_resets_;
+  }
 
  private:
-  void record(const mem::FaultEvent& event);
+  /// One undelivered fault. The chaos duplicate decision is drawn at
+  /// arrival (its RNG stream must advance in fault order); the delivery
+  /// itself is deferred.
+  struct PendingFault {
+    std::uint64_t vaddr = 0;
+    mem::ThreadId tid = 0;
+    util::Cycles time = 0;
+    bool duplicated = false;
+  };
+  static constexpr std::size_t kRingCapacity = 64;
+
+  void drain();
+  void record(const PendingFault& fault);
   void maybe_handle_saturation(util::Cycles now);
 
   SpcdConfig config_;
   mem::SharingTable table_;
   CommMatrix matrix_;
   chaos::PerturbationEngine* chaos_;
+  std::array<PendingFault, kRingCapacity> ring_;
+  std::size_t ring_size_ = 0;
   std::uint64_t faults_seen_ = 0;
   std::uint64_t comm_events_ = 0;
   std::uint32_t saturation_resets_ = 0;

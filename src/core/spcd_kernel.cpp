@@ -17,7 +17,7 @@ SpcdKernel::SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
       filter_(num_threads, config.filter_threshold, config.filter_margin),
       chaos_(chaos) {
   if (const std::string error = config.validate(); !error.empty()) {
-    throw std::invalid_argument("SpcdConfig: " + error);
+    throw ConfigError("SpcdConfig: " + error);
   }
 }
 
@@ -112,6 +112,9 @@ void SpcdKernel::schedule_retry(sim::Engine& engine, sim::Placement target,
 }
 
 void SpcdKernel::mapping_tick(sim::Engine& engine) {
+  // Quantum boundary: deliver all ring-buffered fault events before any
+  // mapping decision reads detector state.
+  detector_.flush();
   const std::uint32_t n = engine.num_threads();
 
   // Filter evaluation is Theta(N^2); its cost is mapping overhead.

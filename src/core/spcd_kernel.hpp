@@ -6,7 +6,7 @@
 // the paper's Figure 16 breakdown.
 //
 // Robustness: the constructor validates the configuration (recoverable
-// std::invalid_argument, not a contract abort), and an optional
+// ConfigError, not a contract abort), and an optional
 // chaos::PerturbationEngine can make thread migrations fail or land late.
 // Failed migrations are retried with exponential backoff up to
 // migration_max_retries; exhausted retries fall back to keeping the old
@@ -29,7 +29,7 @@ namespace spcd::core {
 
 class SpcdKernel {
  public:
-  /// Throws std::invalid_argument when `config.validate()` fails. `chaos`
+  /// Throws ConfigError when `config.validate()` fails. `chaos`
   /// (optional, non-owning, may be nullptr) must outlive the kernel.
   SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
              std::uint64_t seed, chaos::PerturbationEngine* chaos = nullptr);

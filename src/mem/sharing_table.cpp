@@ -20,6 +20,12 @@ SharingTable::SharingTable(const SharingTableConfig& config)
     : config_(config) {
   SPCD_EXPECTS(config.num_entries >= 1);
   SPCD_EXPECTS(config.max_sharers >= 2 && config.max_sharers <= 8);
+  // Lemire's fastmod: for a 32-bit dividend x and divisor N,
+  //   x % N == (uint128(uint64(M * x)) * N) >> 64   with M = 2^64 / N + 1.
+  // bucket_of feeds it the high 32 bits of the hash, so the identity is
+  // exact and the hot path drops its hardware divide.
+  SPCD_EXPECTS(config.num_entries <= (1ULL << 32));
+  bucket_magic_ = ~0ULL / config.num_entries + 1;
   table_.resize(config.num_entries);
   if (config_.collision_policy == CollisionPolicy::kChain) {
     overflow_.resize(config.num_entries);
@@ -27,7 +33,13 @@ SharingTable::SharingTable(const SharingTableConfig& config)
 }
 
 std::uint64_t SharingTable::bucket_of(std::uint64_t region) const {
-  return (hash_64(region) >> 32) % table_.size();
+  const std::uint64_t lowbits = bucket_magic_ * (hash_64(region) >> 32);
+  // High 64 bits of lowbits * num_entries via 32-bit limbs (num_entries
+  // fits 32 bits, so neither partial product nor their sum can overflow).
+  const std::uint64_t n = table_.size();
+  const std::uint64_t hi = lowbits >> 32;
+  const std::uint64_t lo = lowbits & 0xffffffffULL;
+  return (hi * n + ((lo * n) >> 32)) >> 32;
 }
 
 CommunicationEvent SharingTable::touch_entry(Entry& entry,

@@ -65,6 +65,14 @@ class SharingTable {
     return vaddr >> config_.granularity_shift;
   }
 
+  /// Hint that `vaddr`'s bucket will be accessed soon. Purely a cache
+  /// prefetch — no architectural effect. The detector issues these for
+  /// ring-buffered faults a few events ahead of their delivery, hiding the
+  /// table's (deliberately paper-sized, memory-resident) probe latency.
+  void prefetch(std::uint64_t vaddr) const {
+    __builtin_prefetch(&table_[bucket_of(region_of(vaddr))]);
+  }
+
   const SharingTableConfig& config() const { return config_; }
 
   /// Approximate memory footprint of the table in bytes.
@@ -113,6 +121,8 @@ class SharingTable {
                                  ThreadId tid, util::Cycles now);
 
   SharingTableConfig config_;
+  /// ceil(2^64 / num_entries), for divide-free modulo in bucket_of.
+  std::uint64_t bucket_magic_ = 0;
   std::vector<Entry> table_;
   // Chained mode keeps per-bucket overflow lists (ablation only).
   std::vector<std::vector<Entry>> overflow_;

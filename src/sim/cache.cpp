@@ -9,17 +9,23 @@ Cache::Cache(const arch::CacheGeometry& geometry)
     : num_sets_(geometry.num_sets()), ways_(geometry.associativity) {
   SPCD_EXPECTS(geometry.line_bytes > 0);
   SPCD_EXPECTS(geometry.associativity > 0);
+  SPCD_EXPECTS(geometry.associativity <= 32);  // valid_ is a 32-bit mask
   SPCD_EXPECTS(geometry.size_bytes % (geometry.line_bytes *
                                       geometry.associativity) == 0);
   SPCD_EXPECTS(num_sets_ >= 1);
-  ways_store_.resize(num_sets_ * ways_);
+  if ((num_sets_ & (num_sets_ - 1)) == 0) sets_mask_ = num_sets_ - 1;
+  tags_.assign(num_sets_ * ways_, 0);
+  ticks_.assign(num_sets_ * ways_, 0);
+  valid_.assign(num_sets_, 0);
 }
 
 bool Cache::probe(std::uint64_t line) {
-  Way* set = &ways_store_[set_index(line) * ways_];
+  const std::size_t set = set_index(line);
+  const std::uint64_t* tags = &tags_[set * ways_];
+  const std::uint32_t valid = valid_[set];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].tag == line) {
-      set[w].tick = ++tick_;
+    if ((valid & (1u << w)) != 0 && tags[w] == line) {
+      ticks_[set * ways_ + w] = ++tick_;
       return true;
     }
   }
@@ -27,40 +33,47 @@ bool Cache::probe(std::uint64_t line) {
 }
 
 bool Cache::contains(std::uint64_t line) const {
-  const Way* set = &ways_store_[set_index(line) * ways_];
+  const std::size_t set = set_index(line);
+  const std::uint64_t* tags = &tags_[set * ways_];
+  const std::uint32_t valid = valid_[set];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].tag == line) return true;
+    if ((valid & (1u << w)) != 0 && tags[w] == line) return true;
   }
   return false;
 }
 
 Cache::InsertResult Cache::insert(std::uint64_t line) {
-  Way* set = &ways_store_[set_index(line) * ways_];
-  Way* victim = &set[0];
+  const std::size_t set = set_index(line);
+  std::uint64_t* tags = &tags_[set * ways_];
+  std::uint64_t* ticks = &ticks_[set * ways_];
+  const std::uint32_t valid = valid_[set];
+  std::uint32_t victim = 0;
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (!set[w].valid) {
-      victim = &set[w];
+    if ((valid & (1u << w)) == 0) {
+      victim = w;
       break;
     }
-    SPCD_ASSERT(set[w].tag != line);  // caller must probe first
-    if (set[w].tick < victim->tick) victim = &set[w];
+    SPCD_ASSERT(tags[w] != line);  // caller must probe first
+    if (ticks[w] < ticks[victim]) victim = w;
   }
   InsertResult result;
-  if (victim->valid) {
+  if ((valid & (1u << victim)) != 0) {
     result.evicted = true;
-    result.victim = victim->tag;
+    result.victim = tags[victim];
   }
-  victim->tag = line;
-  victim->valid = true;
-  victim->tick = ++tick_;
+  tags[victim] = line;
+  valid_[set] = valid | (1u << victim);
+  ticks[victim] = ++tick_;
   return result;
 }
 
 bool Cache::invalidate(std::uint64_t line) {
-  Way* set = &ways_store_[set_index(line) * ways_];
+  const std::size_t set = set_index(line);
+  const std::uint64_t* tags = &tags_[set * ways_];
+  const std::uint32_t valid = valid_[set];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].tag == line) {
-      set[w].valid = false;
+    if ((valid & (1u << w)) != 0 && tags[w] == line) {
+      valid_[set] = valid & ~(1u << w);
       return true;
     }
   }
@@ -68,7 +81,7 @@ bool Cache::invalidate(std::uint64_t line) {
 }
 
 void Cache::flush() {
-  for (auto& w : ways_store_) w.valid = false;
+  for (auto& v : valid_) v = 0;
 }
 
 }  // namespace spcd::sim

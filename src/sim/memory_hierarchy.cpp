@@ -25,7 +25,9 @@ MemoryHierarchy::MemoryHierarchy(const arch::MachineSpec& spec,
   for (std::uint32_t s = 0; s < topo.num_sockets(); ++s) {
     l3_.emplace_back(spec.l3);
   }
-  directory_.reserve(1 << 20);
+  // The directory grows on demand: sizing it to the working set keeps the
+  // probe footprint cache-resident for small runs (a fixed megabyte-scale
+  // reservation made every probe a cold miss).
   dram_free_at_.assign(topo.num_sockets(), 0);
 }
 
@@ -66,22 +68,24 @@ arch::Proximity MemoryHierarchy::write_upgrade(arch::CoreId keep_core,
 
 void MemoryHierarchy::evict_from_core(arch::CoreId core,
                                       std::uint64_t victim) {
+  // Overlap the victim's directory miss with the L1 invalidation walk.
+  directory_.prefetch(victim);
   // Inclusive private hierarchy: dropping the L2 copy drops the L1 copy.
   l1_[core].invalidate(victim);
-  auto it = directory_.find(victim);
-  SPCD_ASSERT(it != directory_.end());
-  it->second.core_mask &= ~bit(core);
-  if (it->second.dirty_core == static_cast<std::int16_t>(core)) {
-    it->second.dirty_core = -1;  // write-back on eviction
+  LineState* st = directory_.find(victim);
+  SPCD_ASSERT(st != nullptr);
+  st->core_mask &= ~bit(core);
+  if (st->dirty_core == static_cast<std::int16_t>(core)) {
+    st->dirty_core = -1;  // write-back on eviction
   }
   erase_if_untracked(victim);
 }
 
 void MemoryHierarchy::evict_from_l3(arch::SocketId socket,
                                     std::uint64_t victim) {
-  auto it = directory_.find(victim);
-  SPCD_ASSERT(it != directory_.end());
-  LineState& st = it->second;
+  LineState* found = directory_.find(victim);
+  SPCD_ASSERT(found != nullptr);
+  LineState& st = *found;
   // Inclusive L3: every private copy on this socket must go too.
   std::uint32_t mask = st.core_mask;
   while (mask != 0) {
@@ -100,10 +104,9 @@ void MemoryHierarchy::evict_from_l3(arch::SocketId socket,
 }
 
 void MemoryHierarchy::erase_if_untracked(std::uint64_t line) {
-  auto it = directory_.find(line);
-  if (it != directory_.end() && it->second.core_mask == 0 &&
-      it->second.l3_mask == 0) {
-    directory_.erase(it);
+  const LineState* st = directory_.find(line);
+  if (st != nullptr && st->core_mask == 0 && st->l3_mask == 0) {
+    directory_.erase(line);
   }
 }
 
@@ -113,6 +116,14 @@ std::uint32_t MemoryHierarchy::access(arch::ContextId ctx, std::uint64_t line,
   const arch::CoreId core = topo_.core_of(ctx);
   const arch::SocketId socket = topo_.socket_of(ctx);
   const arch::LatencySpec& lat = spec_.latency;
+  // Every structure this access may probe is known now; issuing the loads
+  // together overlaps what would otherwise be a serial chain of cache
+  // misses (the tag stores model realistic sizes, so they don't fit in the
+  // host's caches).
+  l1_[core].prefetch(line);
+  l2_[core].prefetch(line);
+  l3_[socket].prefetch(line);
+  directory_.prefetch(line);
   if (write) {
     ++counters_.writes;
   } else {
@@ -132,11 +143,11 @@ std::uint32_t MemoryHierarchy::access(arch::ContextId ctx, std::uint64_t line,
     ++counters_.l1_hits;
     std::uint32_t latency = lat.l1_hit;
     if (write) {
-      auto it = directory_.find(line);
-      SPCD_ASSERT(it != directory_.end());
-      if (it->second.dirty_core != static_cast<std::int16_t>(core)) {
-        latency = std::max(
-            latency, upgrade_latency(write_upgrade(core, line, it->second)));
+      LineState* st = directory_.find(line);
+      SPCD_ASSERT(st != nullptr);
+      if (st->dirty_core != static_cast<std::int16_t>(core)) {
+        latency = std::max(latency,
+                           upgrade_latency(write_upgrade(core, line, *st)));
       }
     }
     return latency;
@@ -149,11 +160,11 @@ std::uint32_t MemoryHierarchy::access(arch::ContextId ctx, std::uint64_t line,
     l1_[core].insert(line);  // refill L1; victim stays in L2 (inclusion)
     std::uint32_t latency = lat.l2_hit;
     if (write) {
-      auto it = directory_.find(line);
-      SPCD_ASSERT(it != directory_.end());
-      if (it->second.dirty_core != static_cast<std::int16_t>(core)) {
-        latency = std::max(
-            latency, upgrade_latency(write_upgrade(core, line, it->second)));
+      LineState* st = directory_.find(line);
+      SPCD_ASSERT(st != nullptr);
+      if (st->dirty_core != static_cast<std::int16_t>(core)) {
+        latency = std::max(latency,
+                           upgrade_latency(write_upgrade(core, line, *st)));
       }
     }
     return latency;
@@ -225,24 +236,24 @@ std::uint32_t MemoryHierarchy::access(arch::ContextId ctx, std::uint64_t line,
 }
 
 bool MemoryHierarchy::core_holds(arch::CoreId core, std::uint64_t line) const {
-  auto it = directory_.find(line);
-  return it != directory_.end() && (it->second.core_mask & bit(core)) != 0;
+  const LineState* st = directory_.find(line);
+  return st != nullptr && (st->core_mask & bit(core)) != 0;
 }
 
 bool MemoryHierarchy::l3_holds(arch::SocketId socket,
                                std::uint64_t line) const {
-  auto it = directory_.find(line);
-  return it != directory_.end() && (it->second.l3_mask & bit(socket)) != 0;
+  const LineState* st = directory_.find(line);
+  return st != nullptr && (st->l3_mask & bit(socket)) != 0;
 }
 
 std::int32_t MemoryHierarchy::dirty_owner_of(std::uint64_t line) const {
-  auto it = directory_.find(line);
-  return it == directory_.end() ? -1 : it->second.dirty_core;
+  const LineState* st = directory_.find(line);
+  return st == nullptr ? -1 : st->dirty_core;
 }
 
 std::uint64_t MemoryHierarchy::check_invariants() const {
   std::uint64_t violations = 0;
-  for (const auto& [line, st] : directory_) {
+  directory_.for_each([&](std::uint64_t line, const LineState& st) {
     for (arch::CoreId core = 0; core < topo_.num_cores(); ++core) {
       const bool bit_set = (st.core_mask & bit(core)) != 0;
       const bool in_l2 = l2_[core].contains(line);
@@ -264,7 +275,7 @@ std::uint64_t MemoryHierarchy::check_invariants() const {
       ++violations;  // dirty owner must hold the line
     }
     if (st.core_mask == 0 && st.l3_mask == 0) ++violations;  // stale entry
-  }
+  });
   return violations;
 }
 

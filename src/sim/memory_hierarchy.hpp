@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/machine_spec.hpp"
 #include "arch/topology.hpp"
 #include "sim/cache.hpp"
+#include "sim/line_directory.hpp"
 #include "sim/perf_counters.hpp"
 
 namespace spcd::sim {
@@ -95,7 +95,7 @@ class MemoryHierarchy {
   std::vector<Cache> l1_;  ///< per core
   std::vector<Cache> l2_;  ///< per core
   std::vector<Cache> l3_;  ///< per socket
-  std::unordered_map<std::uint64_t, LineState> directory_;
+  LineMap<LineState> directory_;
   PerfCounters counters_;
 
   std::uint64_t link_free_at_ = 0;           ///< inter-socket link server

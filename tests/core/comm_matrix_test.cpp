@@ -2,8 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace spcd::core {
 namespace {
+
+// The pre-optimization partner rule: linear scan of the row, first maximum
+// wins (so ties go to the lowest thread id). The incrementally maintained
+// partner must agree with this at every point in any add() sequence.
+std::int32_t reference_partner(const CommMatrix& m, std::uint32_t t) {
+  std::int32_t best = -1;
+  std::uint64_t best_amount = 0;
+  for (std::uint32_t u = 0; u < m.size(); ++u) {
+    if (u == t) continue;
+    const std::uint64_t v = m.at(t, u);
+    if (v > best_amount) {
+      best_amount = v;
+      best = static_cast<std::int32_t>(u);
+    }
+  }
+  return best;
+}
 
 TEST(CommMatrixTest, StartsEmpty) {
   CommMatrix m(4);
@@ -47,19 +66,96 @@ TEST(CommMatrixTest, ClearResets) {
   m.add(0, 1, 4);
   m.clear();
   EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.partner_of(0), -1);
 }
 
-TEST(CommMatrixTest, DiffIsSaturating) {
-  CommMatrix now(3), earlier(3);
-  earlier.add(0, 1, 5);
-  now.add(0, 1, 8);
-  now.add(1, 2, 2);
-  const CommMatrix d = now.diff(earlier);
+TEST(CommMatrixTest, SinceReturnsDeltaAfterSnapshot) {
+  CommMatrix m(3);
+  m.add(0, 1, 5);
+  const CommMatrix::Snapshot snap = m.snapshot();
+  m.add(0, 1, 3);
+  m.add(1, 2, 2);
+  const CommMatrix d = m.since(snap);
   EXPECT_EQ(d.at(0, 1), 3u);
   EXPECT_EQ(d.at(1, 2), 2u);
-  // Saturation: earlier larger than now yields 0, not wraparound.
-  const CommMatrix d2 = earlier.diff(now);
-  EXPECT_EQ(d2.at(0, 1), 0u);
+  EXPECT_EQ(d.total(), 5u);
+  EXPECT_EQ(d.partner_of(0), 1);
+}
+
+TEST(CommMatrixTest, SinceIsEmptyWhenEpochUnchanged) {
+  CommMatrix m(3);
+  m.add(0, 1, 5);
+  const CommMatrix d = m.since(m.snapshot());
+  EXPECT_EQ(d.total(), 0u);
+}
+
+TEST(CommMatrixTest, SinceSaturatesRatherThanWrapping) {
+  // A snapshot of a *different* (larger) matrix: cells where the snapshot
+  // exceeds the current value clamp to zero instead of wrapping around.
+  CommMatrix now(3), bigger(3);
+  bigger.add(0, 1, 8);
+  now.add(0, 1, 5);
+  now.add(1, 2, 2);
+  const CommMatrix d = now.since(bigger.snapshot());
+  EXPECT_EQ(d.at(0, 1), 0u);
+  EXPECT_EQ(d.at(1, 2), 2u);
+}
+
+TEST(CommMatrixTest, SnapshotRoundTripsThroughRestore) {
+  CommMatrix m(4);
+  m.add(0, 2, 7);
+  m.add(1, 3, 2);
+  m.add(0, 1, 7);
+  const CommMatrix restored{m.snapshot()};
+  EXPECT_EQ(restored.total(), m.total());
+  EXPECT_EQ(restored.epoch(), m.epoch());
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(restored.partner_of(t), m.partner_of(t));
+    for (std::uint32_t u = 0; u < 4; ++u) {
+      EXPECT_EQ(restored.at(t, u), m.at(t, u));
+    }
+  }
+}
+
+TEST(CommMatrixTest, PartnerMatchesLinearScanReference) {
+  std::mt19937 rng(123);
+  constexpr std::uint32_t n = 9;
+  CommMatrix m(n);
+  for (int step = 0; step < 500; ++step) {
+    const auto a = static_cast<std::uint32_t>(rng() % n);
+    const auto b = static_cast<std::uint32_t>(rng() % n);
+    if (a == b) continue;
+    m.add(a, b, rng() % 4);  // zero-amount adds included on purpose
+    for (std::uint32_t t = 0; t < n; ++t) {
+      ASSERT_EQ(m.partner_of(t), reference_partner(m, t))
+          << "thread " << t << " at step " << step;
+    }
+  }
+}
+
+TEST(CommMatrixTest, SinceMatchesElementwiseReference) {
+  std::mt19937 rng(321);
+  constexpr std::uint32_t n = 7;
+  CommMatrix m(n);
+  for (int step = 0; step < 50; ++step) {
+    const auto a = static_cast<std::uint32_t>(rng() % n);
+    const auto b = static_cast<std::uint32_t>(rng() % n);
+    if (a != b) m.add(a, b, 1 + rng() % 5);
+  }
+  const CommMatrix::Snapshot snap = m.snapshot();
+  const CommMatrix before{snap};
+  for (int step = 0; step < 50; ++step) {
+    const auto a = static_cast<std::uint32_t>(rng() % n);
+    const auto b = static_cast<std::uint32_t>(rng() % n);
+    if (a != b) m.add(a, b, 1 + rng() % 5);
+  }
+  const CommMatrix d = m.since(snap);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    for (std::uint32_t u = 0; u < n; ++u) {
+      EXPECT_EQ(d.at(t, u), m.at(t, u) - before.at(t, u));
+    }
+    EXPECT_EQ(d.partner_of(t), reference_partner(d, t));
+  }
 }
 
 TEST(CommMatrixTest, CorrelationOfIdenticalPatternsIsOne) {

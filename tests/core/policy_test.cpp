@@ -25,6 +25,30 @@ TEST(PolicyTest, ToStringNames) {
   EXPECT_STREQ(to_string(MappingPolicy::kSpcd), "spcd");
 }
 
+TEST(PolicyTest, ParsePolicyRoundTrips) {
+  for (const auto policy : {MappingPolicy::kOs, MappingPolicy::kRandom,
+                            MappingPolicy::kOracle, MappingPolicy::kSpcd}) {
+    const auto parsed = parse_policy(to_string(policy));
+    ASSERT_TRUE(parsed.has_value()) << to_string(policy);
+    EXPECT_EQ(*parsed, policy);
+  }
+}
+
+TEST(PolicyTest, ParsePolicyRejectsUnknownNames) {
+  EXPECT_FALSE(parse_policy("").has_value());
+  EXPECT_FALSE(parse_policy("OS").has_value());       // case-sensitive
+  EXPECT_FALSE(parse_policy("spc").has_value());      // no prefix match
+  EXPECT_FALSE(parse_policy("spcd ").has_value());    // no trimming
+  EXPECT_FALSE(parse_policy("linux").has_value());
+}
+
+TEST(PolicyTest, PolicyNamesMatchToStringInEnumOrder) {
+  const auto names = policy_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], to_string(static_cast<MappingPolicy>(i)));
+  }
+}
+
 TEST(PolicyTest, OsSpreadSplitsNeighborsAcrossSockets) {
   const auto topo = xeon();
   const auto p = os_spread_placement(topo, 32);

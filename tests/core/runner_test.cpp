@@ -71,8 +71,8 @@ TEST(RunnerTest, SpcdRunRecordsMatrixAndOverheads) {
   EXPECT_GT(m.injected_faults, 0u);
   EXPECT_GT(m.detection_overhead, 0.0);
   EXPECT_LT(m.detection_overhead, 0.10);
-  ASSERT_NE(runner.last_spcd_matrix(), nullptr);
-  EXPECT_GT(runner.last_spcd_matrix()->total(), 0u);
+  ASSERT_NE(m.spcd_matrix, nullptr);
+  EXPECT_GT(m.spcd_matrix->total(), 0u);
 }
 
 TEST(RunnerTest, RunPolicyReturnsAllRepetitions) {

@@ -75,11 +75,13 @@ TEST(SpcdConfigValidateTest, DisablingRetriesAllowsZeroBackoff) {
 TEST(SpcdConfigValidateTest, KernelConstructorThrowsRecoverably) {
   SpcdConfig bad;
   bad.injector_period = 0;
-  EXPECT_THROW(SpcdKernel(bad, 4, /*seed=*/1), std::invalid_argument);
+  EXPECT_THROW(SpcdKernel(bad, 4, /*seed=*/1), ConfigError);
   try {
     SpcdKernel kernel(bad, 4, 1);
-    FAIL() << "expected std::invalid_argument";
+    FAIL() << "expected ConfigError";
   } catch (const std::invalid_argument& e) {
+    // ConfigError derives from std::invalid_argument, so pre-existing
+    // catch sites keep working.
     EXPECT_NE(std::string(e.what()).find("injector_period"),
               std::string::npos);
   }

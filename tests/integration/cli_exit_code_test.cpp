@@ -1,0 +1,41 @@
+// The CLI error contract: any malformed input — unknown flag or policy,
+// invalid configuration — makes spcdsim exit with code 2 (see ConfigError
+// in core/spcd_config.hpp). The binary path is injected by CMake as
+// SPCDSIM_BINARY.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+int exit_code_of(const std::string& args) {
+  const std::string cmd =
+      std::string(SPCDSIM_BINARY) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  EXPECT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status));
+  return WEXITSTATUS(status);
+}
+
+TEST(CliExitCodeTest, InvalidSpcdConfigExitsTwo) {
+  // extra_fault_ratio must be in (0, 1]: rejected by SpcdConfig::validate()
+  // before any simulation runs.
+  EXPECT_EQ(exit_code_of("--fault-ratio 0"), 2);
+  EXPECT_EQ(exit_code_of("--fault-ratio 1.5"), 2);
+}
+
+TEST(CliExitCodeTest, UnknownPolicyExitsTwo) {
+  EXPECT_EQ(exit_code_of("--policy linux"), 2);
+}
+
+TEST(CliExitCodeTest, UnknownFlagExitsTwo) {
+  EXPECT_EQ(exit_code_of("--frobnicate"), 2);
+}
+
+TEST(CliExitCodeTest, HelpExitsZero) {
+  EXPECT_EQ(exit_code_of("--help"), 0);
+}
+
+}  // namespace
