@@ -1,15 +1,24 @@
 #include "bench/pipeline.hpp"
 
+#include <signal.h>
+
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <sstream>
 
+#include "chaos/perturbation.hpp"
 #include "obs/export.hpp"
 #include "util/env.hpp"
+#include "util/journal.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/npb.hpp"
@@ -32,13 +41,14 @@ std::string cache_path() {
 
 // FNV-1a, the integrity checksum of the cache trailer. Not cryptographic;
 // it only needs to catch truncation and accidental corruption.
-std::uint64_t fnv1a(const std::string& data) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char ch : data) {
-    h ^= static_cast<unsigned char>(ch);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+std::uint64_t fnv1a(const std::string& data) { return util::fnv1a64(data); }
+
+/// Canonical cell identity, used for journal replay matching, supervisor
+/// job names, and quarantine reports.
+std::string cell_name(const std::string& bench, core::MappingPolicy policy,
+                      std::uint32_t rep) {
+  return bench + "/" + core::to_string(policy) + "/rep" +
+         std::to_string(rep);
 }
 
 bool parse_cache_payload(const std::string& payload, PipelineResults& out) {
@@ -56,22 +66,12 @@ bool parse_cache_payload(const std::string& payload, PipelineResults& out) {
   }
   std::string line;
   while (std::getline(in, line)) {
-    std::istringstream ls(line);
-    std::string bench, policy;
+    std::string bench;
+    core::MappingPolicy policy;
+    std::uint32_t rep = 0;
     core::RunMetrics m;
-    std::uint32_t rep;
-    if (!(ls >> bench >> policy >> rep >> m.exec_seconds >> m.instructions >>
-          m.l2_mpki >> m.l3_mpki >> m.c2c_transactions >> m.invalidations >>
-          m.dram_accesses >> m.package_joules >> m.dram_joules >>
-          m.package_epi_nj >> m.dram_epi_nj >> m.detection_overhead >>
-          m.mapping_overhead >> m.migration_events >> m.minor_faults >>
-          m.injected_faults)) {
-      return false;
-    }
-    const std::optional<core::MappingPolicy> parsed =
-        core::parse_policy(policy);
-    if (!parsed) return false;  // unknown policy: reject the cache
-    out.results[bench][*parsed].push_back(m);
+    if (!parse_metrics_row(line, bench, policy, rep, m)) return false;
+    out.results[bench][policy].push_back(m);
   }
   // Sanity: every benchmark must have every policy with `reps` runs.
   if (out.results.size() != workloads::nas_benchmarks().size()) return false;
@@ -92,6 +92,43 @@ std::string cache_trailer(const std::string& payload) {
   return trailer;
 }
 
+// --- graceful shutdown -----------------------------------------------------
+// SIGINT/SIGTERM set a flag; the supervisor's monitor thread polls it and
+// stops dispatching. Nothing async-signal-unsafe happens in the handler.
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void stop_signal_handler(int sig) { g_stop_signal = sig; }
+
+/// Installs the graceful-stop handlers for the duration of a sweep and
+/// restores whatever was there before (so library users and tests are not
+/// left with our handlers).
+class SignalGuard {
+ public:
+  explicit SignalGuard(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_stop_signal = 0;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = stop_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, &old_int_);
+    sigaction(SIGTERM, &sa, &old_term_);
+  }
+  ~SignalGuard() {
+    if (!installed_) return;
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  bool installed_;
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
 }  // namespace
 
 const std::vector<core::RunMetrics>& PipelineResults::runs(
@@ -110,27 +147,89 @@ double configured_scale() {
   return util::env_double_clamped("SPCD_SCALE", 1.0, 1e-4, 1e3);
 }
 
+core::SupervisionCounters PipelineOutcome::counters() const {
+  core::SupervisionCounters c;
+  c.cells_retried = supervision.retried;
+  c.cells_quarantined = supervision.quarantined.size();
+  c.cells_resumed = cells_resumed;
+  c.journal_records = journal_records;
+  c.watchdog_fires = supervision.watchdog_fires;
+  return c;
+}
+
+bool PipelineOutcome::complete() const {
+  return !interrupted && supervision.all_completed();
+}
+
+std::string serialize_metrics_row(const std::string& bench,
+                                  core::MappingPolicy policy,
+                                  std::uint32_t rep,
+                                  const core::RunMetrics& m) {
+  std::string row = bench;
+  row += ' ';
+  row += core::to_string(policy);
+  row += ' ';
+  row += std::to_string(rep);
+  char buf[40];
+  for (const core::MetricDescriptor& d : core::cache_metric_descriptors()) {
+    if (d.integer) {
+      // Counters round-trip exactly up to 2^53 (the double mantissa); the
+      // simulator's counts are orders of magnitude below that.
+      std::snprintf(buf, sizeof buf, " %" PRIu64,
+                    static_cast<std::uint64_t>(d.get(m)));
+    } else {
+      std::snprintf(buf, sizeof buf, " %.9e", d.get(m));
+    }
+    row += buf;
+  }
+  return row;
+}
+
+bool parse_metrics_row(const std::string& row, std::string& bench,
+                       core::MappingPolicy& policy, std::uint32_t& rep,
+                       core::RunMetrics& m) {
+  std::istringstream in(row);
+  std::string policy_name;
+  if (!(in >> bench >> policy_name >> rep)) return false;
+  const std::optional<core::MappingPolicy> parsed =
+      core::parse_policy(policy_name);
+  if (!parsed) return false;
+  policy = *parsed;
+  m = core::RunMetrics{};
+  for (const core::MetricDescriptor& d : core::cache_metric_descriptors()) {
+    if (d.integer) {
+      std::uint64_t v = 0;
+      if (!(in >> v)) return false;
+      d.set_int(m, v);
+    } else {
+      double v = 0.0;
+      if (!(in >> v)) return false;
+      d.set_real(m, v);
+    }
+  }
+  std::string extra;
+  if (in >> extra) return false;  // trailing junk: reject the row
+  return true;
+}
+
+std::string journal_meta(std::uint32_t repetitions, double scale) {
+  std::ostringstream out;
+  out << "cache-v" << kCacheVersion << " reps=" << repetitions
+      << " scale=" << scale;
+  return std::move(out).str();
+}
+
+std::string default_journal_path() { return cache_path() + ".journal"; }
+
 std::string serialize_cache(const PipelineResults& results) {
   std::ostringstream out;
   out << "spcd-cache v" << kCacheVersion << " reps=" << results.repetitions
       << " scale=" << results.scale << "\n";
-  char buf[512];
   for (const auto& [bench, by_policy] : results.results) {
     for (const auto& [policy, runs] : by_policy) {
       std::uint32_t rep = 0;
       for (const auto& m : runs) {
-        std::snprintf(buf, sizeof(buf),
-                      "%s %s %u %.9e %" PRIu64 " %.9e %.9e %" PRIu64
-                      " %" PRIu64 " %" PRIu64 " %.9e %.9e %.9e %.9e %.9e "
-                      "%.9e %u %" PRIu64 " %" PRIu64 "\n",
-                      bench.c_str(), core::to_string(policy), rep++,
-                      m.exec_seconds, m.instructions, m.l2_mpki, m.l3_mpki,
-                      m.c2c_transactions, m.invalidations, m.dram_accesses,
-                      m.package_joules, m.dram_joules, m.package_epi_nj,
-                      m.dram_epi_nj, m.detection_overhead,
-                      m.mapping_overhead, m.migration_events,
-                      m.minor_faults, m.injected_faults);
-        out << buf;
+        out << serialize_metrics_row(bench, policy, rep++, m) << "\n";
       }
     }
   }
@@ -200,28 +299,40 @@ bool load_cache_file(const std::string& path, PipelineResults& out) {
   PipelineResults parsed;
   parsed.repetitions = out.repetitions;
   parsed.scale = out.scale;
-  if (!parse_cache_payload(payload, parsed)) return false;
+  if (!parse_cache_payload(payload, parsed)) {
+    SPCD_LOG_WARN("pipeline: cache %s does not match this experiment "
+                  "(stale header, malformed rows, or an incomplete grid); "
+                  "discarding it and recomputing", path.c_str());
+    return false;
+  }
   out = std::move(parsed);
   return true;
 }
 
-PipelineResults compute_pipeline(const PipelineOptions& options) {
-  PipelineResults out;
+PipelineOutcome run_pipeline_supervised(const PipelineOptions& options) {
+  PipelineOutcome outcome;
+  PipelineResults& out = outcome.results;
   out.repetitions = options.repetitions;
   out.scale = options.scale;
 
   core::RunnerConfig config;
   config.repetitions = out.repetitions;
   core::Runner runner(config);
+  // Worker-level fault injection (SPCD_CHAOS_WORKER_*): applied around the
+  // cell, never inside the simulation, so a successful attempt computes
+  // exactly what an unperturbed run would.
+  const chaos::PerturbationConfig worker_chaos = chaos::config_from_env();
 
   // One factory per benchmark; factories are stateless and shared across
   // cells. Pre-size every result slot so concurrent cells write disjoint
   // memory and serialization order never depends on completion order.
   struct Cell {
+    std::string name;  ///< canonical "<bench>/<policy>/rep<N>" identity
     const std::string* bench;
     const core::WorkloadFactory* factory;
     core::MappingPolicy policy;
     std::uint32_t rep;
+    std::uint64_t seed;  ///< decorrelates worker chaos and backoff jitter
     core::RunMetrics* slot;
   };
   std::vector<core::WorkloadFactory> factories;
@@ -229,65 +340,155 @@ PipelineResults compute_pipeline(const PipelineOptions& options) {
   factories.reserve(benchmarks.size());
   std::vector<Cell> cells;
   cells.reserve(benchmarks.size() * 4 * out.repetitions);
+  std::map<std::string, std::size_t> index;  // cell name -> cells[] index
   for (const auto& info : benchmarks) {
     factories.push_back(workloads::nas_factory(info.name, out.scale));
     for (const auto policy : kPolicies) {
       auto& slots = out.results[info.name][policy];
       slots.assign(out.repetitions, core::RunMetrics{});
       for (std::uint32_t rep = 0; rep < out.repetitions; ++rep) {
-        cells.push_back(Cell{&info.name, &factories.back(), policy, rep,
-                             &slots[rep]});
+        cells.push_back(Cell{
+            cell_name(info.name, policy, rep), &info.name,
+            &factories.back(), policy, rep,
+            util::derive_seed(runner.cell_seed(info.name, rep),
+                              static_cast<std::uint64_t>(policy)),
+            &slots[rep]});
+        index[cells.back().name] = cells.size() - 1;
       }
     }
   }
+  outcome.cells_total = cells.size();
 
-  util::ThreadPool pool(options.jobs);
-  std::atomic<std::size_t> completed{0};
+  // Journal replay: adopt every intact record that names a cell of this
+  // grid, then rotate the journal down to exactly those records so stale
+  // or duplicate tails never accumulate.
+  std::vector<char> done(cells.size(), 0);
+  util::Journal journal;
+  const std::string meta = journal_meta(options.repetitions, options.scale);
+  if (!options.journal_path.empty()) {
+    std::vector<std::string> kept;
+    bool fresh = true;
+    if (options.resume) {
+      util::Journal::LoadResult loaded =
+          util::Journal::load(options.journal_path);
+      if (loaded.valid && loaded.meta == meta) {
+        for (const std::string& record : loaded.records) {
+          std::string bench;
+          core::MappingPolicy policy;
+          std::uint32_t rep = 0;
+          core::RunMetrics m;
+          if (!parse_metrics_row(record, bench, policy, rep, m)) {
+            SPCD_LOG_WARN("pipeline: journal %s has an unparsable record; "
+                          "skipping it", options.journal_path.c_str());
+            continue;
+          }
+          const auto it = index.find(cell_name(bench, policy, rep));
+          if (it == index.end() || done[it->second]) continue;
+          *cells[it->second].slot = m;
+          done[it->second] = 1;
+          kept.push_back(record);
+        }
+        if (loaded.torn_tail) {
+          SPCD_LOG_WARN("pipeline: journal %s had a torn tail; recovered "
+                        "%zu intact record(s)",
+                        options.journal_path.c_str(), kept.size());
+        }
+        fresh = false;
+      } else if (loaded.valid) {
+        SPCD_LOG_WARN("pipeline: journal %s belongs to a different "
+                      "experiment (\"%s\" != \"%s\"); starting fresh",
+                      options.journal_path.c_str(), loaded.meta.c_str(),
+                      meta.c_str());
+      }
+    }
+    outcome.cells_resumed = kept.size();
+    journal = fresh ? util::Journal::create(options.journal_path, meta)
+                    : util::Journal::rotate(options.journal_path, meta,
+                                            kept);
+  }
+  const std::vector<char> resumed = done;  // for the trace export below
+
+  // Dispatch the missing cells under supervision. The journal mutex also
+  // orders the slot write with the journal append, so a journaled record
+  // always describes a fully published result.
+  util::SupervisorConfig sup_config = util::SupervisorConfig::from_env();
+  if (options.handle_signals) {
+    sup_config.stop_poll = [] { return g_stop_signal != 0; };
+  }
+  SignalGuard signal_guard(options.handle_signals);
+  util::Supervisor supervisor(options.jobs, sup_config, config.base_seed);
+  std::mutex journal_mu;
+  std::atomic<std::size_t> completed{outcome.cells_resumed};
   std::atomic<std::size_t> running{0};
   std::vector<double> cell_wall_seconds(cells.size(), 0.0);
   const auto t_start = std::chrono::steady_clock::now();
   for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+    if (done[idx]) continue;
     const Cell& cell = cells[idx];
-    pool.submit([&, cell, idx] {
-      running.fetch_add(1, std::memory_order_relaxed);
-      const auto t0 = std::chrono::steady_clock::now();
-      *cell.slot =
-          runner.run_once(*cell.bench, *cell.factory, cell.policy, cell.rep);
-      const double cell_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        t0)
-              .count();
-      cell_wall_seconds[idx] = cell_seconds;
-      const std::size_t in_flight =
-          running.fetch_sub(1, std::memory_order_relaxed);
-      const std::size_t done =
-          completed.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (options.progress) {
-        std::fprintf(stderr,
-                     "[pipeline] %3zu/%zu %s/%-6s rep %u  %6.2fs  "
-                     "(jobs=%u, in-flight=%zu)\n",
-                     done, cells.size(), cell.bench->c_str(),
-                     core::to_string(cell.policy), cell.rep, cell_seconds,
-                     pool.size(), in_flight);
-      }
-    });
+    supervisor.submit(
+        cell.name, cell.seed,
+        [&, idx, cell](const util::CancelToken& token,
+                       std::uint32_t attempt) {
+          chaos::apply_worker_plan(
+              chaos::worker_plan(worker_chaos, cell.seed, attempt),
+              worker_chaos, token);
+          running.fetch_add(1, std::memory_order_relaxed);
+          const auto t0 = std::chrono::steady_clock::now();
+          core::RunMetrics m = runner.run_once(*cell.bench, *cell.factory,
+                                               cell.policy, cell.rep);
+          const double cell_seconds =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          cell_wall_seconds[idx] = cell_seconds;
+          {
+            std::lock_guard<std::mutex> lock(journal_mu);
+            *cell.slot = std::move(m);
+            if (journal.is_open()) {
+              journal.append(serialize_metrics_row(*cell.bench, cell.policy,
+                                                   cell.rep, *cell.slot));
+            }
+          }
+          const std::size_t in_flight =
+              running.fetch_sub(1, std::memory_order_relaxed);
+          const std::size_t done_count =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (options.progress) {
+            std::fprintf(stderr,
+                         "[pipeline] %3zu/%zu %s/%-6s rep %u  %6.2fs  "
+                         "(jobs=%u, in-flight=%zu)\n",
+                         done_count, cells.size(), cell.bench->c_str(),
+                         core::to_string(cell.policy), cell.rep,
+                         cell_seconds, supervisor.size(), in_flight);
+          }
+        });
   }
-  pool.wait();
+  outcome.supervision = supervisor.wait();
+  outcome.interrupted = outcome.supervision.stopped;
+  journal.sync();
+  outcome.journal_records = journal.records_written();
+
   if (options.progress) {
     const double total_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_start)
             .count();
     std::fprintf(stderr,
-                 "[pipeline] %zu cells in %.2fs wall (jobs=%u)\n",
-                 cells.size(), total_seconds, pool.size());
+                 "[pipeline] %zu cells in %.2fs wall (jobs=%u, resumed=%zu, "
+                 "retried=%" PRIu64 ", quarantined=%zu)\n",
+                 cells.size(), total_seconds, supervisor.size(),
+                 outcome.cells_resumed, outcome.supervision.retried,
+                 outcome.supervision.quarantined.size());
   }
+
   if (config.trace.enabled) {
     // SPCD_TRACE=1: publish the merged per-cell captures (deterministic,
     // sim-time) and the per-cell wall timings (explicitly wall-clock, so
-    // *not* deterministic) into SPCD_OUT_DIR.
+    // *not* deterministic) into SPCD_OUT_DIR. The supervisor contributes
+    // its own capture: harness-health counters plus one event per
+    // resumed/retried/quarantined cell (cells referenced by grid index).
     std::vector<obs::CaptureRef> captures;
-    captures.reserve(cells.size());
+    captures.reserve(cells.size() + 1);
     for (const Cell& cell : cells) {
       if (cell.slot->obs == nullptr) continue;
       captures.push_back(obs::CaptureRef{
@@ -295,6 +496,47 @@ PipelineResults compute_pipeline(const PipelineOptions& options) {
               std::to_string(cell.rep),
           cell.slot->obs.get()});
     }
+    obs::RunCapture sup_capture;
+    {
+      const core::SupervisionCounters sc = outcome.counters();
+      sup_capture.metrics.counter("supervisor.cells_retried")
+          .add(sc.cells_retried);
+      sup_capture.metrics.counter("supervisor.cells_quarantined")
+          .add(sc.cells_quarantined);
+      sup_capture.metrics.counter("supervisor.cells_resumed")
+          .add(sc.cells_resumed);
+      sup_capture.metrics.counter("supervisor.journal_records")
+          .add(sc.journal_records);
+      sup_capture.metrics.counter("supervisor.watchdog_fires")
+          .add(sc.watchdog_fires);
+      util::Cycles t = 0;
+      for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        if (!resumed[idx]) continue;
+        sup_capture.events.push_back(obs::TraceEvent{
+            t++, "supervisor", "cell_resume", obs::EventKind::kInstant,
+            obs::TraceArg{"cell", idx}, obs::TraceArg{}});
+      }
+      for (const util::QuarantinedJob& job :
+           outcome.supervision.recovered) {
+        const auto it = index.find(job.name);
+        sup_capture.events.push_back(obs::TraceEvent{
+            t++, "supervisor", "cell_retry", obs::EventKind::kInstant,
+            obs::TraceArg{"cell",
+                          it != index.end() ? it->second : cells.size()},
+            obs::TraceArg{"attempts", job.attempts}});
+      }
+      for (const util::QuarantinedJob& job :
+           outcome.supervision.quarantined) {
+        const auto it = index.find(job.name);
+        sup_capture.events.push_back(obs::TraceEvent{
+            t++, "supervisor", "cell_quarantine", obs::EventKind::kInstant,
+            obs::TraceArg{"cell",
+                          it != index.end() ? it->second : cells.size()},
+            obs::TraceArg{"attempts", job.attempts}});
+      }
+      sup_capture.recorded = sup_capture.events.size();
+    }
+    captures.push_back(obs::CaptureRef{"supervisor", &sup_capture});
     const std::string trace_path = util::out_path("pipeline_trace.json");
     if (std::ofstream trace(trace_path, std::ios::binary | std::ios::trunc);
         trace && (trace << obs::export_chrome_trace(captures)).flush()) {
@@ -324,7 +566,24 @@ PipelineResults compute_pipeline(const PipelineOptions& options) {
                     timing_path.c_str());
     }
   }
-  return out;
+  return outcome;
+}
+
+PipelineResults compute_pipeline(const PipelineOptions& options) {
+  PipelineOptions opts = options;
+  opts.journal_path.clear();
+  opts.resume = false;
+  opts.handle_signals = false;
+  PipelineOutcome outcome = run_pipeline_supervised(opts);
+  if (!outcome.supervision.quarantined.empty()) {
+    std::vector<util::JobErrors::Entry> entries;
+    entries.reserve(outcome.supervision.quarantined.size());
+    for (const util::QuarantinedJob& job : outcome.supervision.quarantined) {
+      entries.push_back(util::JobErrors::Entry{job.name, job.error, {}});
+    }
+    throw util::JobErrors(std::move(entries));
+  }
+  return std::move(outcome.results);
 }
 
 const PipelineResults& pipeline_results() {
@@ -340,8 +599,34 @@ const PipelineResults& pipeline_results() {
     PipelineOptions options;
     options.repetitions = r.repetitions;
     options.scale = r.scale;
-    r = compute_pipeline(options);
+    options.journal_path = default_journal_path();
+    options.resume = true;  // adopt whatever a crashed sweep left behind
+    options.handle_signals = true;
+    PipelineOutcome outcome = run_pipeline_supervised(options);
+    if (outcome.interrupted) {
+      std::fprintf(stderr,
+                   "[pipeline] interrupted; %" PRIu64 " completed cell(s) "
+                   "journaled to %s — rerun to resume\n",
+                   outcome.journal_records,
+                   options.journal_path.c_str());
+      std::exit(130);
+    }
+    if (!outcome.supervision.all_completed()) {
+      for (const util::QuarantinedJob& job :
+           outcome.supervision.quarantined) {
+        std::fprintf(stderr,
+                     "[pipeline] quarantined: %s after %u attempt(s): %s\n",
+                     job.name.c_str(), job.attempts, job.error.c_str());
+      }
+      std::fprintf(stderr,
+                   "[pipeline] sweep incomplete; completed cells are "
+                   "journaled in %s — rerun to retry the rest\n",
+                   options.journal_path.c_str());
+      std::exit(3);
+    }
+    r = std::move(outcome.results);
     save_cache_file(cache_path(), r);
+    std::remove(options.journal_path.c_str());  // merged into the cache
     std::fprintf(stderr, "[pipeline] results cached to %s\n",
                  cache_path().c_str());
     return r;

@@ -5,24 +5,39 @@
 // binary then renders its own figure from the cache.
 //
 // The grid is computed in parallel: every (benchmark, policy, repetition)
-// cell is an independent job on a util::ThreadPool. Each cell's RNG
-// streams are derived from (benchmark, policy, repetition) alone (see
+// cell is an independent job on a util::Supervisor (a util::ThreadPool with
+// per-cell watchdog, retry and quarantine). Each cell's RNG streams are
+// derived from (benchmark, policy, repetition) alone (see
 // core::Runner::cell_seed), and cells land in pre-sized slots serialized
 // in canonical order, so the cache file is byte-identical for any job
 // count — SPCD_JOBS=1 reproduces the serial path exactly.
 //
+// Crash safety: when a journal path is configured, every completed cell is
+// appended to a CRC-framed journal (util::Journal) and fsync'd as it
+// finishes. A crashed, killed, or interrupted sweep resumes by replaying
+// the journal's intact prefix and recomputing only the missing cells; the
+// merged cache is byte-identical to an uninterrupted run. SIGINT/SIGTERM
+// (when enabled) stop dispatching, drain running cells, and leave the
+// journal behind for resumption.
+//
 // Environment knobs:
-//   SPCD_REPS   repetitions per configuration (default 10, like the paper)
-//   SPCD_SCALE  workload length multiplier    (default 1.0)
-//   SPCD_CACHE  cache file path (default ./spcd_results.cache)
-//   SPCD_JOBS   worker threads (default hardware concurrency, 1 = serial)
+//   SPCD_REPS            repetitions per configuration (default 10)
+//   SPCD_SCALE           workload length multiplier    (default 1.0)
+//   SPCD_CACHE           cache file path (default ./spcd_results.cache)
+//   SPCD_JOBS            worker threads (default hw concurrency, 1=serial)
+//   SPCD_CELL_RETRIES    retries per failed cell        (default 2)
+//   SPCD_CELL_TIMEOUT_MS per-attempt watchdog deadline  (default 0 = off)
+//   SPCD_CELL_BACKOFF_MS retry backoff base             (default 25)
+//   SPCD_DRAIN_MS        graceful-shutdown drain budget (default 5000)
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/metrics_export.hpp"
 #include "core/runner.hpp"
+#include "util/supervisor.hpp"
 
 namespace spcd::bench {
 
@@ -48,11 +63,66 @@ struct PipelineOptions {
   double scale = 1.0;
   std::uint32_t jobs = 0;  ///< 0 = SPCD_JOBS / hardware concurrency
   bool progress = true;    ///< per-cell progress lines on stderr
+
+  // --- supervision / crash safety (run_pipeline_supervised) ---
+  /// Journal file for completed cells; empty disables journaling.
+  std::string journal_path;
+  /// Replay an existing journal first and recompute only missing cells.
+  bool resume = false;
+  /// Install SIGINT/SIGTERM handlers for the duration of the sweep: a
+  /// signal stops dispatching, drains running cells, and flushes the
+  /// journal (the outcome reports interrupted = true).
+  bool handle_signals = false;
 };
 
-/// Run the full experiment grid (no cache involved). Deterministic in
-/// `jobs`: any worker count produces bit-identical results.
+/// What one supervised sweep produced, beyond the results themselves.
+struct PipelineOutcome {
+  PipelineResults results;
+  util::SupervisorReport supervision;
+  std::size_t cells_total = 0;     ///< grid size (benchmarks x 4 x reps)
+  std::size_t cells_resumed = 0;   ///< cells replayed from the journal
+  std::uint64_t journal_records = 0;  ///< records in the journal on exit
+  bool interrupted = false;        ///< a signal/stop ended the sweep early
+
+  /// The harness-health counters, for metrics_json / trace export.
+  core::SupervisionCounters counters() const;
+  /// Every cell has a result (nothing skipped, nothing quarantined).
+  bool complete() const;
+};
+
+/// Run the experiment grid under supervision (watchdog, retries,
+/// quarantine, optional journal + resume + signal handling). Deterministic
+/// in `jobs`: any worker count produces bit-identical results, and a
+/// resumed sweep merges to the same bytes as an uninterrupted one.
+PipelineOutcome run_pipeline_supervised(const PipelineOptions& options);
+
+/// Run the full experiment grid (no cache or journal involved). Throws
+/// util::JobErrors listing every quarantined cell if any cell failed all
+/// its retries. Deterministic in `jobs`.
 PipelineResults compute_pipeline(const PipelineOptions& options);
+
+/// One cache/journal row for one run: "<bench> <policy> <rep>" followed by
+/// every cache metric (core::cache_metric_descriptors() order; %.9e reals,
+/// decimal integers), no trailing newline. The cache payload and the
+/// crash-recovery journal share this exact serialization, which is what
+/// makes resumed caches byte-identical.
+std::string serialize_metrics_row(const std::string& bench,
+                                  core::MappingPolicy policy,
+                                  std::uint32_t rep,
+                                  const core::RunMetrics& m);
+
+/// Inverse of serialize_metrics_row (tolerates nothing: unknown policy,
+/// missing fields, or trailing junk all reject the row).
+bool parse_metrics_row(const std::string& row, std::string& bench,
+                       core::MappingPolicy& policy, std::uint32_t& rep,
+                       core::RunMetrics& m);
+
+/// The journal header meta binding a journal to one experiment shape; a
+/// journal whose meta does not match is discarded, never merged.
+std::string journal_meta(std::uint32_t repetitions, double scale);
+
+/// Where the pipeline journals in-progress sweeps: "<cache path>.journal".
+std::string default_journal_path();
 
 /// Canonical v3 cache serialization (header + one line per run, benchmarks
 /// and policies in sorted order, repetitions in order). Two PipelineResults
@@ -70,11 +140,14 @@ bool save_cache_file(const std::string& path, const PipelineResults& results);
 /// `out.scale` must be pre-set (the header is checked against them). A
 /// missing file fails silently; a corrupt one — missing/malformed trailer,
 /// checksum or length mismatch (truncation, bit flips), malformed rows, an
-/// incomplete grid — fails with a logged warning, never a partial parse.
+/// incomplete grid — fails with a warning through util::log, never a
+/// partial parse.
 bool load_cache_file(const std::string& path, PipelineResults& out);
 
-/// Load the pipeline results from cache, or compute and cache them.
-/// Prints progress to stderr while computing.
+/// Load the pipeline results from cache, or compute and cache them —
+/// journaled, resumable, and signal-aware: an interrupted sweep exits 130
+/// with a resume hint, a sweep with quarantined cells exits 3 after
+/// listing them. Prints progress to stderr while computing.
 const PipelineResults& pipeline_results();
 
 /// Render one normalized figure (paper Figures 8-15): for each benchmark a

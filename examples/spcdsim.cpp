@@ -25,7 +25,10 @@
 // Exit codes follow the SpcdConfig::validate() contract: any malformed
 // command line — unknown flag, missing or non-numeric value, unknown
 // bench/policy, invalid configuration — prints the offending input plus
-// the usage text and exits 2; --help exits 0.
+// the usage text and exits 2; --help exits 0. Repetitions run under
+// supervision (SPCD_CELL_RETRIES / SPCD_CELL_TIMEOUT_MS): a repetition
+// that exhausts its retries is quarantined and the run exits 1 after
+// printing everything it has.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -189,7 +192,13 @@ int run(int argc, char** argv) {
 
   std::printf("spcdsim: %s under %s, %u repetition(s), scale %.2f\n\n",
               bench.c_str(), policy_name.c_str(), reps, scale);
-  const auto runs = runner.run_policy(bench, factory, policy);
+  // Supervised sweep: flaky repetitions (e.g. injected worker crashes via
+  // SPCD_CHAOS_WORKER_*) are retried and, past the retry budget,
+  // quarantined instead of aborting the whole run.
+  util::SupervisorReport supervision;
+  const auto runs = runner.run_policy_supervised(
+      bench, factory, policy, util::SupervisorConfig::from_env(),
+      &supervision);
 
   util::TextTable t;
   t.header({"metric", "mean", "±95% CI"});
@@ -259,6 +268,29 @@ int run(int argc, char** argv) {
   }
   std::fputs(t.render().c_str(), stdout);
 
+  // Harness-health counters (only shown when supervision did something, so
+  // clean runs keep their familiar output).
+  core::SupervisionCounters sup_counters;
+  sup_counters.cells_retried = supervision.retried;
+  sup_counters.cells_quarantined = supervision.quarantined.size();
+  sup_counters.watchdog_fires = supervision.watchdog_fires;
+  const bool supervised =
+      sup_counters.cells_retried != 0 || sup_counters.cells_quarantined != 0 ||
+      sup_counters.watchdog_fires != 0 || config.chaos.worker_enabled();
+  if (supervised) {
+    std::printf("\nsupervision: retried=%llu quarantined=%llu "
+                "watchdog_fires=%llu\n",
+                static_cast<unsigned long long>(sup_counters.cells_retried),
+                static_cast<unsigned long long>(
+                    sup_counters.cells_quarantined),
+                static_cast<unsigned long long>(
+                    sup_counters.watchdog_fires));
+    for (const auto& job : supervision.quarantined) {
+      std::printf("  quarantined: %s after %u attempt(s): %s\n",
+                  job.name.c_str(), job.attempts, job.error.c_str());
+    }
+  }
+
   if (!trace_out.empty()) {
     std::vector<obs::CaptureRef> captures;
     captures.reserve(runs.size());
@@ -278,7 +310,8 @@ int run(int argc, char** argv) {
     }
   }
   if (!metrics_out.empty()) {
-    const std::string json = core::metrics_json(bench, policy_name, runs);
+    const std::string json = core::metrics_json(
+        bench, policy_name, runs, supervised ? &sup_counters : nullptr);
     if (write_file(metrics_out, json)) {
       std::printf("(metrics written to %s)\n", metrics_out.c_str());
     } else {
@@ -294,7 +327,9 @@ int run(int argc, char** argv) {
                   util::render_heatmap(m->as_double(), m->size()).c_str());
     }
   }
-  return 0;
+  // Quarantined repetitions mean the sweep ran to the end but is
+  // incomplete: report it in the exit code without aborting the output.
+  return supervision.all_completed() ? 0 : 1;
 }
 
 int main(int argc, char** argv) {

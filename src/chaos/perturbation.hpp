@@ -12,10 +12,15 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "util/rng.hpp"
 #include "util/units.hpp"
+
+namespace spcd::util {
+class CancelToken;
+}
 
 namespace spcd::chaos {
 
@@ -52,8 +57,28 @@ struct PerturbationConfig {
   double migration_delay = 0.0;
   util::Cycles migration_delay_cycles = 200'000;
 
-  /// True if any perturbation can fire.
+  // --- worker hook family (harness-level, per experiment cell) ---
+  /// Probability that one cell *attempt* crashes outright before the
+  /// simulation starts (models a worker process dying mid-sweep). Decided
+  /// per (cell seed, attempt) — see worker_plan() — so a retried cell
+  /// redraws its fate and flaky cells eventually succeed.
+  double worker_crash = 0.0;
+  /// Probability that one cell attempt hangs instead of running (models a
+  /// wedged worker). A hung attempt sleeps until the supervisor's
+  /// watchdog cancels it, or until `worker_hang_ms` elapses as a backstop
+  /// when no watchdog is armed; either way the attempt fails and is
+  /// retried.
+  double worker_hang = 0.0;
+  std::uint64_t worker_hang_ms = 10'000;
+
+  /// True if any run-level perturbation can fire (the detector/injector/
+  /// migration hooks). Deliberately excludes the worker hooks: those act
+  /// on whole cells in the harness, never inside a run, so they must not
+  /// cause a PerturbationEngine to be created.
   bool enabled() const;
+
+  /// True if the harness-level worker hooks can fire.
+  bool worker_enabled() const;
 
   /// Empty string if the configuration is sane, else a one-line error.
   std::string validate() const;
@@ -66,8 +91,43 @@ struct PerturbationConfig {
 /// Read a PerturbationConfig from SPCD_CHAOS_* environment knobs:
 /// SPCD_CHAOS_INTENSITY scales the standard profile, and the individual
 /// knobs (SPCD_CHAOS_DROP_FAULT, _DUP_FAULT, _COLLISION, _JITTER,
-/// _OVERRUN, _MIG_FAIL, _MIG_DELAY) override single probabilities.
+/// _OVERRUN, _MIG_FAIL, _MIG_DELAY) override single probabilities. The
+/// worker hooks read SPCD_CHAOS_WORKER_CRASH, _WORKER_HANG and
+/// _WORKER_HANG_MS (never part of the intensity profile: they perturb the
+/// harness, not the algorithm under test).
 PerturbationConfig config_from_env();
+
+/// Thrown by apply_worker_plan() for an injected cell crash.
+struct WorkerCrash : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// Thrown by apply_worker_plan() when an injected hang ends (watchdog
+/// cancellation or hang budget).
+struct WorkerHang : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The fate of one cell attempt under the worker hook family.
+struct WorkerPlan {
+  bool crash = false;
+  bool hang = false;
+};
+
+/// Decide a cell attempt's fate deterministically from (config, cell
+/// seed, attempt): bit-identical across runs and SPCD_JOBS values, and a
+/// retry (attempt + 1) redraws, so crash/hang probabilities below 1.0
+/// model flaky-but-recoverable workers.
+WorkerPlan worker_plan(const PerturbationConfig& config,
+                       std::uint64_t cell_seed, std::uint32_t attempt);
+
+/// Execute a plan at the top of a cell attempt: a hang sleeps
+/// cooperatively until `token` is cancelled (the watchdog path) or
+/// config.worker_hang_ms elapses, then throws WorkerHang; a crash throws
+/// WorkerCrash immediately. A no-op plan returns immediately — the cell
+/// then computes exactly what an unperturbed run would.
+void apply_worker_plan(const WorkerPlan& plan,
+                       const PerturbationConfig& config,
+                       const util::CancelToken& token);
 
 /// The draw engine behind the hook points. Each hook family owns a private
 /// RNG stream derived from the seed, so e.g. the number of faults seen can

@@ -8,52 +8,57 @@ namespace {
 
 double as_double(std::uint64_t v) { return static_cast<double>(v); }
 
+// One entry per RunMetrics field: the getter feeds serializers, the typed
+// setter feeds the cache/journal loaders (integers round-trip through
+// their native width, so counts above 2^53 survive).
+#define SPCD_INT_METRIC(key, field)                                      \
+  MetricDescriptor {                                                     \
+    key, true, [](const RunMetrics& m) { return as_double(m.field); },   \
+        [](RunMetrics& m, std::uint64_t v) {                             \
+          m.field = static_cast<decltype(m.field)>(v);                   \
+        },                                                               \
+        nullptr                                                          \
+  }
+#define SPCD_REAL_METRIC(key, field)                                     \
+  MetricDescriptor {                                                     \
+    key, false, [](const RunMetrics& m) { return m.field; }, nullptr,    \
+        [](RunMetrics& m, double v) { m.field = v; }                     \
+  }
+
 const std::vector<MetricDescriptor> kDegradation = {
-    {"saturation_resets", true,
-     [](const RunMetrics& m) { return as_double(m.saturation_resets); }},
-    {"migration_retries", true,
-     [](const RunMetrics& m) { return as_double(m.migration_retries); }},
-    {"migration_giveups", true,
-     [](const RunMetrics& m) { return as_double(m.migration_giveups); }},
-    {"overrun_skips", true,
-     [](const RunMetrics& m) { return as_double(m.overrun_skips); }},
-    {"perturbations_injected", true,
-     [](const RunMetrics& m) { return as_double(m.perturbations_injected); }},
+    SPCD_INT_METRIC("saturation_resets", saturation_resets),
+    SPCD_INT_METRIC("migration_retries", migration_retries),
+    SPCD_INT_METRIC("migration_giveups", migration_giveups),
+    SPCD_INT_METRIC("overrun_skips", overrun_skips),
+    SPCD_INT_METRIC("perturbations_injected", perturbations_injected),
 };
 
-std::vector<MetricDescriptor> make_all() {
-  std::vector<MetricDescriptor> all = {
-      {"exec_seconds", false,
-       [](const RunMetrics& m) { return m.exec_seconds; }},
-      {"instructions", true,
-       [](const RunMetrics& m) { return as_double(m.instructions); }},
-      {"l2_mpki", false, [](const RunMetrics& m) { return m.l2_mpki; }},
-      {"l3_mpki", false, [](const RunMetrics& m) { return m.l3_mpki; }},
-      {"c2c_transactions", true,
-       [](const RunMetrics& m) { return as_double(m.c2c_transactions); }},
-      {"invalidations", true,
-       [](const RunMetrics& m) { return as_double(m.invalidations); }},
-      {"dram_accesses", true,
-       [](const RunMetrics& m) { return as_double(m.dram_accesses); }},
-      {"package_joules", false,
-       [](const RunMetrics& m) { return m.package_joules; }},
-      {"dram_joules", false,
-       [](const RunMetrics& m) { return m.dram_joules; }},
-      {"package_epi_nj", false,
-       [](const RunMetrics& m) { return m.package_epi_nj; }},
-      {"dram_epi_nj", false,
-       [](const RunMetrics& m) { return m.dram_epi_nj; }},
-      {"detection_overhead", false,
-       [](const RunMetrics& m) { return m.detection_overhead; }},
-      {"mapping_overhead", false,
-       [](const RunMetrics& m) { return m.mapping_overhead; }},
-      {"migration_events", true,
-       [](const RunMetrics& m) { return as_double(m.migration_events); }},
-      {"minor_faults", true,
-       [](const RunMetrics& m) { return as_double(m.minor_faults); }},
-      {"injected_faults", true,
-       [](const RunMetrics& m) { return as_double(m.injected_faults); }},
+std::vector<MetricDescriptor> make_cache() {
+  return {
+      SPCD_REAL_METRIC("exec_seconds", exec_seconds),
+      SPCD_INT_METRIC("instructions", instructions),
+      SPCD_REAL_METRIC("l2_mpki", l2_mpki),
+      SPCD_REAL_METRIC("l3_mpki", l3_mpki),
+      SPCD_INT_METRIC("c2c_transactions", c2c_transactions),
+      SPCD_INT_METRIC("invalidations", invalidations),
+      SPCD_INT_METRIC("dram_accesses", dram_accesses),
+      SPCD_REAL_METRIC("package_joules", package_joules),
+      SPCD_REAL_METRIC("dram_joules", dram_joules),
+      SPCD_REAL_METRIC("package_epi_nj", package_epi_nj),
+      SPCD_REAL_METRIC("dram_epi_nj", dram_epi_nj),
+      SPCD_REAL_METRIC("detection_overhead", detection_overhead),
+      SPCD_REAL_METRIC("mapping_overhead", mapping_overhead),
+      SPCD_INT_METRIC("migration_events", migration_events),
+      SPCD_INT_METRIC("minor_faults", minor_faults),
+      SPCD_INT_METRIC("injected_faults", injected_faults),
   };
+}
+
+#undef SPCD_INT_METRIC
+#undef SPCD_REAL_METRIC
+
+std::vector<MetricDescriptor> make_all() {
+  std::vector<MetricDescriptor> all = make_cache();
   all.insert(all.end(), kDegradation.begin(), kDegradation.end());
   return all;
 }
@@ -69,9 +74,15 @@ const std::vector<MetricDescriptor>& degradation_metric_descriptors() {
   return kDegradation;
 }
 
+const std::vector<MetricDescriptor>& cache_metric_descriptors() {
+  static const std::vector<MetricDescriptor> cache = make_cache();
+  return cache;
+}
+
 std::string metrics_json(const std::string& benchmark,
                          const std::string& policy,
-                         const std::vector<RunMetrics>& runs) {
+                         const std::vector<RunMetrics>& runs,
+                         const SupervisionCounters* supervision) {
   obs::JsonWriter w;
   w.begin_object();
   w.key("schema").value("spcd-metrics-v1");
@@ -103,6 +114,15 @@ std::string metrics_json(const std::string& benchmark,
     w.end_object();
   }
   w.end_array();
+  if (supervision != nullptr) {
+    w.key("supervision").begin_object();
+    w.key("cells_retried").value(supervision->cells_retried);
+    w.key("cells_quarantined").value(supervision->cells_quarantined);
+    w.key("cells_resumed").value(supervision->cells_resumed);
+    w.key("journal_records").value(supervision->journal_records);
+    w.key("watchdog_fires").value(supervision->watchdog_fires);
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }

@@ -17,6 +17,11 @@ struct MetricDescriptor {
   const char* name;     ///< stable machine-readable key
   bool integer;         ///< true: serialize as an integer count
   double (*get)(const RunMetrics&);
+  /// Inverse of `get`, used by deserializers (cache rows, journal
+  /// records). Exactly one is non-null, matching `integer`; integer
+  /// fields round-trip through their native width, never a double.
+  void (*set_int)(RunMetrics&, std::uint64_t) = nullptr;
+  void (*set_real)(RunMetrics&, double) = nullptr;
 };
 
 /// Every RunMetrics field, in serialization order (degradation counters
@@ -27,12 +32,31 @@ const std::vector<MetricDescriptor>& run_metric_descriptors();
 /// retries/give-ups, overrun skips, perturbations injected).
 const std::vector<MetricDescriptor>& degradation_metric_descriptors();
 
+/// The v3 results-cache row: every run metric except the degradation
+/// counters, in cache column order. The single definition of what one
+/// pipeline cell serializes — the cache payload and the crash-recovery
+/// journal both format and parse rows through this table.
+const std::vector<MetricDescriptor>& cache_metric_descriptors();
+
+/// Supervision counters surfaced next to the run metrics (the experiment
+/// harness's own health: see util::Supervisor and the pipeline journal).
+struct SupervisionCounters {
+  std::uint64_t cells_retried = 0;
+  std::uint64_t cells_quarantined = 0;
+  std::uint64_t cells_resumed = 0;
+  std::uint64_t journal_records = 0;
+  std::uint64_t watchdog_fires = 0;
+};
+
 /// Machine-readable JSON dump of one policy's repetitions: per-run metric
 /// objects via run_metric_descriptors(), plus — when the run carried an
 /// observability session — its metrics registry and trace accounting.
-/// Deterministic: byte-identical for any SPCD_JOBS value.
+/// When `supervision` is non-null a "supervision" object with the five
+/// harness counters is appended. Deterministic: byte-identical for any
+/// SPCD_JOBS value.
 std::string metrics_json(const std::string& benchmark,
                          const std::string& policy,
-                         const std::vector<RunMetrics>& runs);
+                         const std::vector<RunMetrics>& runs,
+                         const SupervisionCounters* supervision = nullptr);
 
 }  // namespace spcd::core

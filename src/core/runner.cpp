@@ -229,4 +229,38 @@ std::vector<RunMetrics> Runner::run_policy(const std::string& workload_name,
   return out;
 }
 
+std::vector<RunMetrics> Runner::run_policy_supervised(
+    const std::string& workload_name, const WorkloadFactory& factory,
+    MappingPolicy policy, const util::SupervisorConfig& supervision,
+    util::SupervisorReport* report) {
+  std::vector<RunMetrics> out(config_.repetitions);
+  const unsigned jobs =
+      config_.jobs != 0 ? config_.jobs : util::configured_jobs();
+  util::Supervisor supervisor(
+      std::max(1u, std::min<unsigned>(jobs, config_.repetitions)),
+      supervision, config_.base_seed);
+  for (std::uint32_t rep = 0; rep < config_.repetitions; ++rep) {
+    // Per-(cell, policy) stream for backoff jitter and worker chaos; the
+    // simulation itself still draws only from cell_seed() + salts.
+    const std::uint64_t seed = util::derive_seed(
+        cell_seed(workload_name, rep), static_cast<std::uint64_t>(policy));
+    supervisor.submit(
+        workload_name + "/" + std::string(to_string(policy)) + "/rep" +
+            std::to_string(rep),
+        seed,
+        [this, &out, &workload_name, &factory, policy, rep, seed](
+            const util::CancelToken& token, std::uint32_t attempt) {
+          // Worker-level fault injection wraps the repetition, never the
+          // simulation, so successful attempts stay bit-identical.
+          chaos::apply_worker_plan(
+              chaos::worker_plan(config_.chaos, seed, attempt),
+              config_.chaos, token);
+          out[rep] = run_once(workload_name, factory, policy, rep);
+        });
+  }
+  util::SupervisorReport result = supervisor.wait();
+  if (report != nullptr) *report = std::move(result);
+  return out;
+}
+
 }  // namespace spcd::core

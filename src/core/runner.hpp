@@ -26,6 +26,7 @@
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
 #include "util/stats.hpp"
+#include "util/supervisor.hpp"
 
 namespace spcd::core {
 
@@ -134,6 +135,18 @@ class Runner {
   std::vector<RunMetrics> run_policy(const std::string& workload_name,
                                      const WorkloadFactory& factory,
                                      MappingPolicy policy);
+
+  /// run_policy() with per-repetition supervision: each repetition runs
+  /// under a util::Supervisor (watchdog, retry with backoff, quarantine),
+  /// and the config's chaos worker hooks (SPCD_CHAOS_WORKER_*) apply
+  /// around — never inside — the repetition, so a successful attempt is
+  /// bit-identical to an unsupervised run. Quarantined repetitions keep a
+  /// default RunMetrics and are listed in `*report` (never null the sweep);
+  /// check report->all_completed().
+  std::vector<RunMetrics> run_policy_supervised(
+      const std::string& workload_name, const WorkloadFactory& factory,
+      MappingPolicy policy, const util::SupervisorConfig& supervision,
+      util::SupervisorReport* report = nullptr);
 
   /// The oracle's static placement for a workload, computed once from a
   /// full-trace profiling run and cached by name.

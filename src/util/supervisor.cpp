@@ -1,0 +1,212 @@
+#include "util/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Monitor tick: fine enough that small SPCD_CELL_TIMEOUT_MS values (tests
+// use tens of milliseconds) fire promptly, coarse enough to stay invisible
+// next to cells that take milliseconds to seconds.
+constexpr std::chrono::milliseconds kMonitorTick{10};
+
+}  // namespace
+
+SupervisorConfig SupervisorConfig::from_env() {
+  SupervisorConfig c;
+  c.max_retries = static_cast<std::uint32_t>(
+      env_u64_clamped("SPCD_CELL_RETRIES", c.max_retries, 0, 100));
+  c.timeout_ms =
+      env_u64_clamped("SPCD_CELL_TIMEOUT_MS", c.timeout_ms, 0, 86'400'000);
+  c.backoff_base_ms = env_u64_clamped("SPCD_CELL_BACKOFF_MS",
+                                      c.backoff_base_ms, 0, 60'000);
+  c.drain_ms = env_u64_clamped("SPCD_DRAIN_MS", c.drain_ms, 0, 86'400'000);
+  return c;
+}
+
+struct Supervisor::JobState {
+  std::string name;
+  std::uint64_t seed = 0;
+  Job fn;
+  CancelToken token;
+  std::string last_error;  ///< most recent failure (worker thread only)
+  // Watchdog view of the current attempt; guarded by Supervisor::mu_.
+  bool running = false;
+  bool fired = false;
+  Clock::time_point attempt_start;
+};
+
+Supervisor::Supervisor(unsigned threads, SupervisorConfig config,
+                       std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed), pool_(threads) {
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Supervisor::~Supervisor() {
+  // Let queued jobs drain (ThreadPool's destructor contract), then stop
+  // the monitor.
+  pool_.wait_all_noexcept();
+  monitor_exit_.store(true, std::memory_order_relaxed);
+  monitor_.join();
+}
+
+void Supervisor::submit(std::string name, std::uint64_t seed, Job job) {
+  JobState* state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::make_unique<JobState>());
+    state = jobs_.back().get();
+    state->name = std::move(name);
+    state->seed = seed;
+    state->fn = std::move(job);
+  }
+  pool_.submit([this, state] { run_supervised(*state); }, state->name);
+}
+
+void Supervisor::request_stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stop_.exchange(true, std::memory_order_relaxed)) {
+    stop_time_ = Clock::now();
+  }
+}
+
+void Supervisor::run_supervised(JobState& state) {
+  if (stop_requested()) {
+    // Graceful shutdown: jobs that have not started are skipped, never
+    // run. The caller re-dispatches them on resume.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++report_.skipped;
+    return;
+  }
+  // Jitter stream derived from (supervisor seed, job seed): the same sweep
+  // backs off identically run to run, and no two cells back off in
+  // lockstep.
+  Xoshiro256 jitter_rng(derive_seed(seed_, state.seed));
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    state.token.reset();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state.running = true;
+      state.fired = false;
+      state.attempt_start = Clock::now();
+    }
+    bool ok = false;
+    std::string error;
+    try {
+      state.fn(state.token, attempt);
+      ok = true;
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown error";
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state.running = false;
+      if (ok) {
+        ++report_.completed;
+        if (attempt > 0) {
+          report_.recovered.push_back(
+              QuarantinedJob{state.name, attempt + 1, state.last_error});
+        }
+        return;
+      }
+    }
+    state.last_error = error;
+    if (attempt >= config_.max_retries || stop_requested()) {
+      SPCD_LOG_WARN("supervisor: quarantining %s after %u attempt(s): %s",
+                    state.name.c_str(), attempt + 1, error.c_str());
+      std::lock_guard<std::mutex> lock(mu_);
+      report_.quarantined.push_back(
+          QuarantinedJob{state.name, attempt + 1, error});
+      return;
+    }
+    SPCD_LOG_WARN("supervisor: %s attempt %u failed (%s); retrying",
+                  state.name.c_str(), attempt + 1, error.c_str());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++report_.retried;
+    }
+    // Exponential backoff with deterministic jitter in [0.5, 1.5): spreads
+    // retries of concurrently failing cells without wall-clock randomness.
+    const std::uint64_t base =
+        config_.backoff_base_ms << std::min<std::uint32_t>(attempt, 20);
+    const double jitter = 0.5 + jitter_rng.uniform();
+    const auto backoff = std::chrono::milliseconds(
+        std::min(config_.backoff_cap_ms,
+                 static_cast<std::uint64_t>(
+                     static_cast<double>(base) * jitter)));
+    const auto deadline = Clock::now() + backoff;
+    while (Clock::now() < deadline && !stop_requested()) {
+      std::this_thread::sleep_for(
+          std::min<Clock::duration>(kMonitorTick, deadline - Clock::now()));
+    }
+  }
+}
+
+void Supervisor::monitor_loop() {
+  bool drained = false;
+  while (!monitor_exit_.load(std::memory_order_relaxed)) {
+    if (config_.stop_poll && !stop_requested() && config_.stop_poll()) {
+      request_stop();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = Clock::now();
+      const bool drain_expired =
+          stop_requested() && !drained &&
+          now - stop_time_ > std::chrono::milliseconds(config_.drain_ms);
+      for (const auto& job : jobs_) {
+        if (!job->running || job->fired) continue;
+        const bool timed_out =
+            config_.timeout_ms != 0 &&
+            now - job->attempt_start >
+                std::chrono::milliseconds(config_.timeout_ms);
+        if (timed_out || drain_expired) {
+          job->token.cancel();
+          job->fired = true;
+          if (timed_out) {
+            ++report_.watchdog_fires;
+            SPCD_LOG_WARN("supervisor: watchdog cancelling %s "
+                          "(deadline %llu ms exceeded)",
+                          job->name.c_str(),
+                          static_cast<unsigned long long>(
+                              config_.timeout_ms));
+          }
+        }
+      }
+      if (drain_expired) drained = true;
+    }
+    std::this_thread::sleep_for(kMonitorTick);
+  }
+}
+
+SupervisorReport Supervisor::wait() {
+  pool_.wait();  // supervised jobs never throw; nothing to aggregate here
+  SupervisorReport out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = std::move(report_);
+    report_ = SupervisorReport{};
+    jobs_.clear();
+  }
+  out.stopped = stop_requested();
+  // Completion order is scheduling-dependent; sort by name so reports and
+  // the trace events built from them are stable.
+  const auto by_name = [](const QuarantinedJob& a, const QuarantinedJob& b) {
+    return a.name < b.name;
+  };
+  std::sort(out.quarantined.begin(), out.quarantined.end(), by_name);
+  std::sort(out.recovered.begin(), out.recovered.end(), by_name);
+  return out;
+}
+
+}  // namespace spcd::util

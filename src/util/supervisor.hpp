@@ -1,0 +1,155 @@
+// Per-job supervision on top of util::ThreadPool: the experiment sweep's
+// answer to crashed, hung, or flaky cells. Each submitted job carries a
+// name and a seed; the supervisor runs it with
+//
+//   * a deadline watchdog — a monitor thread cancels the job's CancelToken
+//     when an attempt exceeds SPCD_CELL_TIMEOUT_MS (cooperative: the job
+//     observes the token and bails out; a job that never polls the token
+//     cannot be interrupted, only observed),
+//   * retry with exponential backoff — a failed attempt is retried up to
+//     SPCD_CELL_RETRIES times on the same worker, sleeping
+//     backoff_base_ms * 2^attempt scaled by a deterministic jitter drawn
+//     from the job's seed (so two runs of the same sweep back off
+//     identically),
+//   * quarantine — a job that exhausts its retries is recorded (name,
+//     attempts, last error) instead of aborting the sweep; the caller
+//     decides what an incomplete sweep means,
+//   * graceful shutdown — request_stop() (or a true stop_poll, checked by
+//     the monitor thread; the pipeline wires the SIGINT/SIGTERM flag in
+//     here) stops dispatching: queued jobs are skipped, running attempts
+//     drain, and after drain_ms every remaining token is cancelled.
+//
+// Results stay deterministic: retries and timeouts are wall-clock, but a
+// successful attempt computes exactly what an unsupervised run would, so
+// supervision never changes a byte of the sweep's output — only whether
+// and when each cell's result arrives.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace spcd::util {
+
+/// Cooperative cancellation flag shared between a running job and the
+/// watchdog. Jobs poll cancelled() at natural checkpoints and abandon the
+/// attempt (by throwing) when it fires.
+class CancelToken {
+ public:
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+struct SupervisorConfig {
+  /// Extra attempts after the first failure (0 = fail fast).
+  std::uint32_t max_retries = 2;
+  /// Per-attempt deadline in milliseconds; 0 disables the watchdog.
+  std::uint64_t timeout_ms = 0;
+  /// Base of the exponential backoff between attempts.
+  std::uint64_t backoff_base_ms = 25;
+  /// Upper bound on one backoff sleep.
+  std::uint64_t backoff_cap_ms = 2'000;
+  /// After request_stop(), running attempts get this long to drain before
+  /// their tokens are cancelled.
+  std::uint64_t drain_ms = 5'000;
+  /// Polled by the monitor thread; a true return triggers request_stop().
+  /// The pipeline points this at its signal flag.
+  std::function<bool()> stop_poll;
+
+  /// SPCD_CELL_RETRIES, SPCD_CELL_TIMEOUT_MS, SPCD_CELL_BACKOFF_MS,
+  /// SPCD_DRAIN_MS (all optional; defaults above).
+  static SupervisorConfig from_env();
+};
+
+struct QuarantinedJob {
+  std::string name;
+  std::uint32_t attempts = 0;  ///< total attempts taken (1 + retries)
+  std::string error;           ///< what() of the last failure
+};
+
+struct SupervisorReport {
+  std::uint64_t completed = 0;       ///< jobs that eventually succeeded
+  std::uint64_t retried = 0;         ///< retry attempts taken (not jobs)
+  std::uint64_t skipped = 0;         ///< dropped unstarted by a stop
+  std::uint64_t watchdog_fires = 0;  ///< attempts cancelled on deadline
+  std::vector<QuarantinedJob> quarantined;  ///< sorted by name
+  /// Jobs that failed at least once but eventually completed (attempts is
+  /// the total taken, error the last failure before success); sorted by
+  /// name.
+  std::vector<QuarantinedJob> recovered;
+  bool stopped = false;  ///< request_stop() happened (signal or poll)
+
+  bool all_completed() const {
+    return quarantined.empty() && skipped == 0;
+  }
+};
+
+class Supervisor {
+ public:
+  /// A job receives its CancelToken (poll it, throw when it fires) and the
+  /// zero-based attempt number (lets deterministic fault injection redraw
+  /// per attempt); it throws to fail the attempt.
+  using Job = std::function<void(const CancelToken&, std::uint32_t)>;
+
+  /// `threads == 0` uses the SPCD_JOBS knob (like ThreadPool).
+  Supervisor(unsigned threads, SupervisorConfig config,
+             std::uint64_t seed = 0);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  unsigned size() const { return pool_.size(); }
+  std::size_t in_flight() const { return pool_.in_flight(); }
+  const SupervisorConfig& config() const { return config_; }
+
+  /// Enqueue one supervised job. `seed` decorrelates the job's backoff
+  /// jitter; `name` identifies it in the report and the logs.
+  void submit(std::string name, std::uint64_t seed, Job job);
+
+  /// Stop dispatching: jobs that have not started are skipped, running
+  /// attempts drain (see drain_ms). Idempotent, callable from any thread
+  /// — including a signal-flag poll.
+  void request_stop();
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Block until every submitted job completed, quarantined, or was
+  /// skipped, then return the report. The supervisor is reusable
+  /// afterwards (the report resets, stop state persists).
+  SupervisorReport wait();
+
+ private:
+  struct JobState;
+
+  void run_supervised(JobState& state);
+  void monitor_loop();
+
+  SupervisorConfig config_;
+  std::uint64_t seed_;
+  ThreadPool pool_;
+
+  std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point stop_time_{};
+
+  // Guards the active-attempt registry, the report, and the job list.
+  std::mutex mu_;
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  SupervisorReport report_;
+
+  std::atomic<bool> monitor_exit_{false};
+  std::thread monitor_;
+};
+
+}  // namespace spcd::util

@@ -3,8 +3,39 @@
 #include <algorithm>
 
 #include "util/env.hpp"
+#include "util/log.hpp"
 
 namespace spcd::util {
+
+namespace {
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+std::string summarize(const std::vector<JobErrors::Entry>& errors) {
+  std::string out = std::to_string(errors.size()) + " job(s) failed";
+  for (const auto& e : errors) {
+    out += "\n  ";
+    if (!e.context.empty()) {
+      out += e.context;
+      out += ": ";
+    }
+    out += e.message;
+  }
+  return out;
+}
+
+}  // namespace
+
+JobErrors::JobErrors(std::vector<Entry> errors)
+    : std::runtime_error(summarize(errors)), errors_(std::move(errors)) {}
 
 unsigned configured_jobs() {
   // Unset -> fallback 0 -> hardware concurrency. SPCD_JOBS=0 (a zero-sized
@@ -37,14 +68,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+void ThreadPool::submit(std::function<void()> job, std::string context) {
   if (workers_.empty()) {
     job();  // serial path: run in submission order, exceptions propagate
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(QueuedJob{std::move(job), std::move(context)});
     ++unfinished_;
   }
   work_cv_.notify_one();
@@ -53,10 +84,21 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return unfinished_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
+  if (!errors_.empty()) {
+    std::vector<JobErrors::Entry> errors = std::move(errors_);
+    errors_.clear();
+    lock.unlock();
+    throw JobErrors(std::move(errors));
+  }
+}
+
+void ThreadPool::wait_all_noexcept() noexcept {
+  try {
+    wait();
+  } catch (const JobErrors& e) {
+    SPCD_LOG_WARN("thread pool: %s", e.what());
+  } catch (...) {
+    SPCD_LOG_WARN("thread pool: job failed during teardown");
   }
 }
 
@@ -67,7 +109,7 @@ std::size_t ThreadPool::in_flight() const {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -76,10 +118,14 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     try {
-      job();
+      job.fn();
     } catch (...) {
+      // Collect every failure (with the submit() context) so wait() can
+      // report the whole batch, not just whichever job lost the race.
       std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      errors_.push_back(JobErrors::Entry{std::move(job.context),
+                                         describe_current_exception(),
+                                         std::current_exception()});
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

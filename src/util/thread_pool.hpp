@@ -16,10 +16,34 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace spcd::util {
+
+/// Aggregate of every job failure in one ThreadPool batch. wait() throws
+/// this instead of rethrowing only the first exception, so a sweep where
+/// several cells fail reports all of them. Derives from std::runtime_error
+/// (what() lists every failed job's context and message), and keeps the
+/// individual exception_ptrs for callers that need the original types.
+class JobErrors : public std::runtime_error {
+ public:
+  struct Entry {
+    std::string context;  ///< the submit() context ("" if none was given)
+    std::string message;  ///< what() of the exception (or "unknown error")
+    std::exception_ptr error;
+  };
+
+  explicit JobErrors(std::vector<Entry> errors);
+
+  const std::vector<Entry>& errors() const { return errors_; }
+
+ private:
+  std::vector<Entry> errors_;
+};
 
 /// Worker count requested via SPCD_JOBS: default (unset or 0) is the
 /// hardware concurrency, 1 forces the serial path.
@@ -39,13 +63,18 @@ class ThreadPool {
   unsigned size() const { return threads_; }
 
   /// Enqueue one job. Serial pools run it before returning (exceptions
-  /// propagate directly); parallel pools hand it to a worker.
-  void submit(std::function<void()> job);
+  /// propagate directly); parallel pools hand it to a worker. `context`
+  /// names the job in a JobErrors report (e.g. "cg/spcd rep 3").
+  void submit(std::function<void()> job, std::string context = {});
 
-  /// Block until every submitted job has finished. Rethrows the first
-  /// exception thrown by any job (further exceptions are dropped). The pool
-  /// is reusable afterwards.
+  /// Block until every submitted job has finished. If any jobs threw,
+  /// throws one JobErrors aggregating every failure with its context —
+  /// never just the first. The pool is reusable afterwards.
   void wait();
+
+  /// wait(), but failures are only logged — for teardown paths that must
+  /// not throw.
+  void wait_all_noexcept() noexcept;
 
   /// Jobs submitted but not yet finished (queued + running). Approximate by
   /// nature; meant for progress reporting.
@@ -60,9 +89,14 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::deque<std::function<void()>> queue_;
+  struct QueuedJob {
+    std::function<void()> fn;
+    std::string context;
+  };
+
+  std::deque<QueuedJob> queue_;
   std::size_t unfinished_ = 0;  ///< queued + currently running
-  std::exception_ptr first_error_;
+  std::vector<JobErrors::Entry> errors_;
   bool stop_ = false;
 };
 

@@ -8,8 +8,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "util/log.hpp"
 #include "workloads/npb.hpp"
 
 namespace spcd::bench {
@@ -152,6 +156,97 @@ TEST(CacheIntegrityTest, StaleParametersAreRejected) {
   PipelineResults shell = fresh_shell();
   shell.repetitions = 2;  // cache was written with 1
   EXPECT_FALSE(load_cache_file(path, shell));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Every rejection path must explain itself through util::log so operators
+// can tell a recompute-from-corruption apart from a cold cache.
+// ---------------------------------------------------------------------------
+
+std::mutex g_sink_mutex;
+std::vector<std::string> g_sink_lines;
+
+void recording_sink(const char* level, const char* text) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink_lines.push_back(std::string(level) + ": " + text);
+}
+
+class CacheWarningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      const std::lock_guard<std::mutex> lock(g_sink_mutex);
+      g_sink_lines.clear();
+    }
+    util::set_log_sink(&recording_sink);
+  }
+  void TearDown() override { util::set_log_sink(nullptr); }
+  /// True when some captured warn-level line contains `phrase`.
+  static bool warned(const std::string& phrase) {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    for (const auto& line : g_sink_lines) {
+      if (line.rfind("WARN: ", 0) == 0 &&
+          line.find(phrase) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+  static std::size_t captured() {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    return g_sink_lines.size();
+  }
+};
+
+TEST_F(CacheWarningTest, MissingTrailerWarns) {
+  const std::string path = path_in_tmp("warn_no_trailer");
+  write_file(path, serialize_cache(make_results()));
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+  EXPECT_TRUE(warned("no integrity trailer"));
+  std::remove(path.c_str());
+}
+
+TEST_F(CacheWarningTest, MalformedTrailerWarns) {
+  const std::string path = path_in_tmp("warn_bad_trailer");
+  write_file(path, serialize_cache(make_results()) + "#crc nonsense\n");
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+  EXPECT_TRUE(warned("malformed integrity trailer"));
+  std::remove(path.c_str());
+}
+
+TEST_F(CacheWarningTest, ChecksumFailureWarns) {
+  const std::string path = path_in_tmp("warn_bitflip");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  std::string contents = read_file(path);
+  contents[contents.size() / 3] ^= 0x01;
+  write_file(path, contents);
+  PipelineResults shell = fresh_shell();
+  EXPECT_FALSE(load_cache_file(path, shell));
+  EXPECT_TRUE(warned("failed its integrity check"));
+  std::remove(path.c_str());
+}
+
+TEST_F(CacheWarningTest, StaleParametersWarn) {
+  // Checksum passes but the header no longer matches the experiment: the
+  // payload-level rejection must warn too, not silently recompute.
+  const std::string path = path_in_tmp("warn_stale");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  PipelineResults shell = fresh_shell();
+  shell.repetitions = 2;  // cache was written with 1
+  EXPECT_FALSE(load_cache_file(path, shell));
+  EXPECT_TRUE(warned("does not match this experiment"));
+  std::remove(path.c_str());
+}
+
+TEST_F(CacheWarningTest, CleanLoadsStayQuiet) {
+  const std::string path = path_in_tmp("warn_clean");
+  ASSERT_TRUE(save_cache_file(path, make_results()));
+  PipelineResults shell = fresh_shell();
+  EXPECT_TRUE(load_cache_file(path, shell));
+  EXPECT_EQ(captured(), 0u);
   std::remove(path.c_str());
 }
 

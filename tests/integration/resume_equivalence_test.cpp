@@ -1,0 +1,165 @@
+// The crash-recovery contract of the supervised pipeline: a sweep that
+// dies at ANY point — mid-grid kill, chaos-crashed cells, quarantine —
+// and is resumed from its journal must merge to a cache that is byte-
+// identical to an uninterrupted run, for any worker count.
+#include "bench/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+
+namespace spcd {
+namespace {
+
+constexpr std::uint32_t kReps = 1;
+constexpr double kScale = 0.02;
+
+std::string temp_journal(const char* tag) {
+  return testing::TempDir() + "resume_eq_" + tag + ".journal";
+}
+
+bench::PipelineOptions small_grid(const std::string& journal_path,
+                                  bool resume, std::uint32_t jobs) {
+  bench::PipelineOptions options;
+  options.repetitions = kReps;
+  options.scale = kScale;
+  options.jobs = jobs;
+  options.progress = false;
+  options.journal_path = journal_path;
+  options.resume = resume;
+  return options;
+}
+
+/// One uninterrupted journaled sweep, computed once and shared by every
+/// test in this binary: the reference bytes plus the full journal records.
+struct FullSweep {
+  std::string cache_bytes;
+  std::string meta;
+  std::vector<std::string> records;
+};
+
+const FullSweep& full_sweep() {
+  static const FullSweep sweep = [] {
+    const std::string path = temp_journal("full");
+    const bench::PipelineOutcome outcome =
+        bench::run_pipeline_supervised(small_grid(path, false, 2));
+    EXPECT_TRUE(outcome.complete());
+    EXPECT_EQ(outcome.cells_resumed, 0u);
+    EXPECT_EQ(outcome.journal_records, outcome.cells_total);
+    const util::Journal::LoadResult journal = util::Journal::load(path);
+    EXPECT_TRUE(journal.valid);
+    FullSweep s;
+    s.cache_bytes = bench::serialize_cache(outcome.results);
+    s.meta = journal.meta;
+    s.records = journal.records;
+    std::remove(path.c_str());
+    return s;
+  }();
+  return sweep;
+}
+
+TEST(ResumeEquivalenceTest, JournalRecordsRoundTripThroughTheParser) {
+  const FullSweep& full = full_sweep();
+  ASSERT_FALSE(full.records.empty());
+  EXPECT_EQ(full.meta, bench::journal_meta(kReps, kScale));
+  for (const auto& row : full.records) {
+    std::string bench_name;
+    core::MappingPolicy policy;
+    std::uint32_t rep = 0;
+    core::RunMetrics m;
+    ASSERT_TRUE(bench::parse_metrics_row(row, bench_name, policy, rep, m))
+        << row;
+    // Reserialization is the identity: parse loses nothing.
+    EXPECT_EQ(bench::serialize_metrics_row(bench_name, policy, rep, m), row);
+  }
+}
+
+TEST(ResumeEquivalenceTest, ResumeFromAnyPrefixMergesToIdenticalBytes) {
+  const FullSweep& full = full_sweep();
+  const std::size_t total = full.records.size();
+  ASSERT_GE(total, 3u);
+  // A crash leaves the journal holding some prefix of the grid. Resume
+  // from a mid-sweep crash (jobs=3) and an almost-done crash (jobs=1):
+  // different worker counts, same bytes.
+  const struct {
+    std::size_t keep;
+    std::uint32_t jobs;
+  } cases[] = {{total / 2, 3}, {total - 1, 1}};
+  for (const auto& c : cases) {
+    const std::string path = temp_journal("prefix");
+    const std::vector<std::string> prefix(full.records.begin(),
+                                          full.records.begin() +
+                                              static_cast<long>(c.keep));
+    { util::Journal::rotate(path, full.meta, prefix); }
+    const bench::PipelineOutcome outcome =
+        bench::run_pipeline_supervised(small_grid(path, true, c.jobs));
+    EXPECT_TRUE(outcome.complete());
+    EXPECT_EQ(outcome.cells_resumed, c.keep);
+    EXPECT_EQ(outcome.journal_records, total);
+    EXPECT_EQ(bench::serialize_cache(outcome.results), full.cache_bytes)
+        << "resume with " << c.keep << " journaled cells diverged";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ResumeEquivalenceTest, MismatchedJournalMetaIsDiscardedNotMerged) {
+  // A journal from a different experiment shape (other reps/scale) must
+  // not poison the merge: every record in a wrong-meta journal is
+  // discarded and the whole grid recomputes from scratch.
+  const FullSweep& full = full_sweep();
+  const std::string path = temp_journal("stale_meta");
+  {
+    util::Journal::rotate(path, bench::journal_meta(kReps + 1, kScale),
+                          full.records);
+  }
+  const bench::PipelineOutcome outcome =
+      bench::run_pipeline_supervised(small_grid(path, true, 4));
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_EQ(outcome.cells_resumed, 0u);  // nothing trusted from the journal
+  EXPECT_EQ(outcome.journal_records, full.records.size());
+  EXPECT_EQ(bench::serialize_cache(outcome.results), full.cache_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(ResumeEquivalenceTest, QuarantinedSweepResumesAfterChaosIsCleared) {
+  const FullSweep& full = full_sweep();
+  const std::string path = temp_journal("chaos");
+  // Chaos-crash a good fraction of the worker attempts with no retry
+  // budget: some cells land in the journal, the rest quarantine. The
+  // sweep must finish the survivors instead of aborting.
+  ::setenv("SPCD_CHAOS_WORKER_CRASH", "0.6", 1);
+  ::setenv("SPCD_CELL_RETRIES", "0", 1);
+  ::setenv("SPCD_CELL_BACKOFF_MS", "1", 1);
+  const bench::PipelineOutcome crashed =
+      bench::run_pipeline_supervised(small_grid(path, false, 2));
+  ::unsetenv("SPCD_CHAOS_WORKER_CRASH");
+  ::unsetenv("SPCD_CELL_RETRIES");
+  ::unsetenv("SPCD_CELL_BACKOFF_MS");
+  ASSERT_FALSE(crashed.complete());
+  ASSERT_FALSE(crashed.supervision.quarantined.empty());
+  EXPECT_EQ(crashed.journal_records + crashed.supervision.quarantined.size(),
+            crashed.cells_total);
+  EXPECT_EQ(crashed.counters().cells_quarantined,
+            crashed.supervision.quarantined.size());
+
+  // Chaos cleared (the crashes are deterministic, so resuming under the
+  // same injection would only re-fail the same cells): the journaled
+  // cells replay, the quarantined ones recompute, and the merged cache
+  // is indistinguishable from a run where nothing ever went wrong.
+  const bench::PipelineOutcome recovered =
+      bench::run_pipeline_supervised(small_grid(path, true, 2));
+  EXPECT_TRUE(recovered.complete());
+  EXPECT_EQ(recovered.cells_resumed,
+            static_cast<std::size_t>(crashed.journal_records));
+  EXPECT_EQ(recovered.counters().cells_resumed, recovered.cells_resumed);
+  EXPECT_EQ(bench::serialize_cache(recovered.results), full.cache_bytes);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spcd

@@ -1,0 +1,206 @@
+#include "util/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace spcd::util {
+namespace {
+
+/// Fast-failing config for tests: negligible backoff, no watchdog.
+SupervisorConfig test_config(std::uint32_t retries) {
+  SupervisorConfig c;
+  c.max_retries = retries;
+  c.backoff_base_ms = 1;
+  c.backoff_cap_ms = 2;
+  return c;
+}
+
+TEST(SupervisorConfigTest, FromEnvReadsTheKnobs) {
+  ::setenv("SPCD_CELL_RETRIES", "7", 1);
+  ::setenv("SPCD_CELL_TIMEOUT_MS", "1234", 1);
+  ::setenv("SPCD_CELL_BACKOFF_MS", "3", 1);
+  ::setenv("SPCD_DRAIN_MS", "99", 1);
+  const SupervisorConfig c = SupervisorConfig::from_env();
+  EXPECT_EQ(c.max_retries, 7u);
+  EXPECT_EQ(c.timeout_ms, 1234u);
+  EXPECT_EQ(c.backoff_base_ms, 3u);
+  EXPECT_EQ(c.drain_ms, 99u);
+  ::unsetenv("SPCD_CELL_RETRIES");
+  ::unsetenv("SPCD_CELL_TIMEOUT_MS");
+  ::unsetenv("SPCD_CELL_BACKOFF_MS");
+  ::unsetenv("SPCD_DRAIN_MS");
+  const SupervisorConfig d = SupervisorConfig::from_env();
+  EXPECT_EQ(d.max_retries, 2u);
+  EXPECT_EQ(d.timeout_ms, 0u);
+}
+
+TEST(SupervisorTest, RunsEveryJobOnce) {
+  Supervisor sup(4, test_config(2));
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 32; ++i) {
+    sup.submit("job-" + std::to_string(i), static_cast<std::uint64_t>(i),
+               [&runs](const CancelToken&, std::uint32_t) { runs++; });
+  }
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(runs.load(), 32);
+  EXPECT_EQ(report.completed, 32u);
+  EXPECT_EQ(report.retried, 0u);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_TRUE(report.recovered.empty());
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_FALSE(report.stopped);
+}
+
+TEST(SupervisorTest, RetriesRecoverFlakyJobs) {
+  Supervisor sup(2, test_config(3));
+  std::atomic<int> attempts{0};
+  sup.submit("flaky", 1,
+             [&attempts](const CancelToken&, std::uint32_t attempt) {
+               attempts++;
+               if (attempt < 2) throw std::runtime_error("transient");
+             });
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.retried, 2u);
+  EXPECT_TRUE(report.quarantined.empty());
+  ASSERT_EQ(report.recovered.size(), 1u);
+  EXPECT_EQ(report.recovered[0].name, "flaky");
+  EXPECT_EQ(report.recovered[0].attempts, 3u);
+  EXPECT_EQ(report.recovered[0].error, "transient");
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SupervisorTest, ExhaustedRetriesQuarantineWithoutAborting) {
+  Supervisor sup(2, test_config(1));
+  std::atomic<int> good{0};
+  sup.submit("doomed-b", 1, [](const CancelToken&, std::uint32_t) {
+    throw std::runtime_error("permanent failure");
+  });
+  sup.submit("doomed-a", 2, [](const CancelToken&, std::uint32_t) {
+    throw std::runtime_error("also permanent");
+  });
+  for (int i = 0; i < 8; ++i) {
+    sup.submit("ok-" + std::to_string(i), static_cast<std::uint64_t>(i),
+               [&good](const CancelToken&, std::uint32_t) { good++; });
+  }
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(good.load(), 8);
+  EXPECT_EQ(report.completed, 8u);
+  ASSERT_EQ(report.quarantined.size(), 2u);
+  // Sorted by name for a stable report.
+  EXPECT_EQ(report.quarantined[0].name, "doomed-a");
+  EXPECT_EQ(report.quarantined[1].name, "doomed-b");
+  EXPECT_EQ(report.quarantined[0].attempts, 2u);  // 1 + max_retries
+  EXPECT_EQ(report.quarantined[0].error, "also permanent");
+  EXPECT_FALSE(report.all_completed());
+}
+
+TEST(SupervisorTest, WatchdogCancelsHungAttempts) {
+  SupervisorConfig config = test_config(1);
+  config.timeout_ms = 50;
+  Supervisor sup(2, config);
+  std::atomic<int> attempts{0};
+  sup.submit("hang", 1,
+             [&attempts](const CancelToken& token, std::uint32_t attempt) {
+               attempts++;
+               if (attempt == 0) {
+                 // Cooperative hang: wait for the watchdog to fire.
+                 const auto deadline = std::chrono::steady_clock::now() +
+                                       std::chrono::seconds(10);
+                 while (!token.cancelled() &&
+                        std::chrono::steady_clock::now() < deadline) {
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(1));
+                 }
+                 ASSERT_TRUE(token.cancelled()) << "watchdog never fired";
+                 throw std::runtime_error("cancelled");
+               }
+             });
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_GE(report.watchdog_fires, 1u);
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SupervisorTest, StopSkipsUnstartedJobs) {
+  // Once a stop is requested, submitted jobs are skipped, never run (a
+  // 1-thread pool runs inline on submit, so each job checks the flag
+  // exactly once, deterministically).
+  Supervisor sup(1, test_config(0));
+  sup.request_stop();
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 5; ++i) {
+    sup.submit("late-" + std::to_string(i), static_cast<std::uint64_t>(i),
+               [&runs](const CancelToken&, std::uint32_t) { runs++; });
+  }
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_EQ(report.skipped, 5u);
+  EXPECT_TRUE(report.stopped);
+  EXPECT_FALSE(report.all_completed());
+}
+
+TEST(SupervisorTest, StopPollTriggersStop) {
+  std::atomic<bool> flag{false};
+  SupervisorConfig config = test_config(0);
+  config.stop_poll = [&flag] { return flag.load(); };
+  Supervisor sup(2, config);
+  std::atomic<int> runs{0};
+  sup.submit("first", 1, [&](const CancelToken&, std::uint32_t) {
+    runs++;
+    flag.store(true);  // "signal" arrives while this job runs
+    // Give the monitor a tick to observe the poll before returning.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  const SupervisorReport report = sup.wait();
+  EXPECT_GE(runs.load(), 1);
+  EXPECT_TRUE(report.stopped);
+}
+
+TEST(SupervisorTest, NoAttemptsAfterStop) {
+  // A job dispatched after a stop must not run or burn its retry budget:
+  // it is skipped before the first attempt.
+  SupervisorConfig config = test_config(100);
+  config.backoff_base_ms = 1;
+  Supervisor sup(2, config);
+  sup.request_stop();
+  std::atomic<int> attempts{0};
+  sup.submit("fail", 1, [&attempts](const CancelToken&, std::uint32_t) {
+    attempts++;
+    throw std::runtime_error("fails forever");
+  });
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(attempts.load(), 0);  // skipped before the first attempt
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(SupervisorTest, ReusableAfterWait) {
+  Supervisor sup(2, test_config(1));
+  std::atomic<int> runs{0};
+  sup.submit("a", 1, [&](const CancelToken&, std::uint32_t) { runs++; });
+  EXPECT_EQ(sup.wait().completed, 1u);
+  sup.submit("b", 2, [&](const CancelToken&, std::uint32_t) { runs++; });
+  const SupervisorReport report = sup.wait();
+  EXPECT_EQ(report.completed, 1u);  // the report reset between waits
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(CancelTokenTest, CancelAndResetRoundTrip) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace spcd::util

@@ -89,6 +89,53 @@ TEST(ThreadPoolTest, WaitRethrowsFirstJobException) {
   EXPECT_EQ(completed.load(), 16);
 }
 
+TEST(ThreadPoolTest, WaitAggregatesEveryJobError) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit(
+        [i] {
+          if (i % 4 == 0) {
+            throw std::runtime_error("job " + std::to_string(i) + " failed");
+          }
+        },
+        "cell-" + std::to_string(i));
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() should have thrown JobErrors";
+  } catch (const JobErrors& errors) {
+    // Every failed job is listed, with its submit() context attached.
+    ASSERT_EQ(errors.errors().size(), 4u);
+    for (const auto& entry : errors.errors()) {
+      EXPECT_TRUE(entry.context.rfind("cell-", 0) == 0) << entry.context;
+      EXPECT_NE(entry.message.find("failed"), std::string::npos);
+      EXPECT_NE(entry.error, nullptr);
+      // The summary names the failure count and each context.
+      EXPECT_NE(std::string(errors.what()).find(entry.context),
+                std::string::npos);
+    }
+  }
+  // The errors are consumed; the pool keeps working.
+  std::atomic<int> done{0};
+  pool.submit([&done] { done++; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitAllNoexceptSwallowsErrors) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done, i] {
+      if (i == 3) throw std::runtime_error("ignored");
+      done++;
+    });
+  }
+  pool.wait_all_noexcept();
+  EXPECT_EQ(done.load(), 7);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
 TEST(ThreadPoolTest, SerialSubmitPropagatesExceptionDirectly) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit([] { throw std::runtime_error("boom"); }),
