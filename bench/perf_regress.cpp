@@ -32,6 +32,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "arch/topology.hpp"
@@ -39,6 +41,7 @@
 #include "core/comm_matrix.hpp"
 #include "core/mapper.hpp"
 #include "core/matching.hpp"
+#include "core/parallel_oracle.hpp"
 #include "core/spcd_config.hpp"
 #include "core/spcd_detector.hpp"
 #include "mem/address_space.hpp"
@@ -70,6 +73,9 @@ struct KernelResult {
   double ns_per_op = 0.0;        ///< best-of-repeats wall time per op
   std::uint64_t checksum = 0;    ///< deterministic result fold
   std::uint64_t reference = 0;   ///< expected checksum
+  /// Kernel-specific auxiliary measurements, carried into the JSON verbatim
+  /// (e.g. the engine-parallel kernel's serial-mode timing and speedup).
+  std::vector<std::pair<std::string, double>> extras;
   bool checksum_ok() const { return checksum == reference; }
 };
 
@@ -79,6 +85,7 @@ struct KernelResult {
 constexpr std::uint64_t kRefSharingTable = 0xf229a2e093e5b7b5ULL;
 constexpr std::uint64_t kRefMatching = 0xf4f35063442d88acULL;
 constexpr std::uint64_t kRefSimulator = 0xa0f3aaa4219c0e3fULL;
+constexpr std::uint64_t kRefEngineParallel = 0xa061dd130d873a8bULL;
 
 double time_best_of(int repeats, std::uint64_t items,
                     const std::function<void()>& pass) {
@@ -357,6 +364,106 @@ KernelResult run_simulator(int repeats) {
   return res;
 }
 
+// --- kernel 4: deterministically-parallel engine --------------------------
+//
+// The sharded engine pipeline end to end: op-stream pre-generation on
+// worker shards feeding the serial commit loop, with the region-parallel
+// oracle tracer fanning the full access stream out at the same width
+// (the oracle-profiling configuration, the heaviest per-op path a run
+// uses). The identical fixed-seed workload runs serially (shards = 1) and
+// sharded (shards = 8); the checksum folds finish time, counters and the
+// oracle matrix from BOTH modes, so any divergence between them — or from
+// the reference — fails the harness. ns_per_op reports the sharded mode;
+// extras record the serial timing and the intra-run speedup (honest,
+// host-dependent numbers: on a single-core host the sharded mode only
+// adds queueing overhead).
+KernelResult run_engine_parallel(int repeats) {
+  constexpr std::uint64_t kOpsPerThread = 50'000;
+  constexpr std::uint32_t kThreads = 8;
+  constexpr unsigned kShards = 8;
+
+  class Loop final : public sim::Workload {
+   public:
+    std::string name() const override { return "loop"; }
+    std::uint32_t num_threads() const override { return kThreads; }
+    std::unique_ptr<sim::ThreadProgram> make_thread(
+        std::uint32_t tid, std::uint64_t) override {
+      class P final : public sim::ThreadProgram {
+       public:
+        explicit P(std::uint32_t tid) : rng_(tid * 901 + 13) {}
+        sim::Op next() override {
+          if (n_++ >= kOpsPerThread) return sim::Op::finish();
+          return sim::Op::access(0x200000 + rng_.below(1 << 21),
+                                 rng_.chance(0.25), 4, 40);
+        }
+
+       private:
+        util::Xoshiro256 rng_;
+        std::uint64_t n_ = 0;
+      };
+      return std::make_unique<P>(tid);
+    }
+  };
+
+  KernelResult res;
+  res.name = "micro_engine_parallel";
+  res.items = kOpsPerThread * kThreads;
+  res.reference = kRefEngineParallel;
+
+  Checksum serial_sum;
+  Checksum sharded_sum;
+  bool folded_serial = false;
+  bool folded_sharded = false;
+  const auto run_mode = [&](unsigned shards, Checksum& sum, bool* folded) {
+    sim::Machine machine(arch::dual_xeon_e5_2650());
+    auto as = machine.make_address_space();
+    Loop wl;
+    sim::EngineConfig cfg;
+    cfg.shards = shards;  // explicit: independent of SPCD_ENGINE_SHARDS
+    sim::Engine engine(machine, as, wl, {0, 1, 2, 3, 4, 5, 6, 7}, cfg);
+    core::ParallelOracleTracer tracer(kThreads, shards,
+                                      /*granularity_shift=*/6,
+                                      /*time_window=*/100'000);
+    tracer.install(engine);
+    engine.run();
+    tracer.finish();
+    if (!*folded) {
+      *folded = true;
+      sum.fold(engine.finish_time());
+      sum.fold(engine.counters().instructions);
+      sum.fold(engine.counters().l2_misses);
+      sum.fold(engine.counters().invalidations);
+      sum.fold(tracer.matrix().total());
+      sum.fold(tracer.accesses_seen());
+    }
+  };
+
+  const double serial_ns = time_best_of(
+      repeats, res.items, [&] { run_mode(1, serial_sum, &folded_serial); });
+  res.ns_per_op = time_best_of(repeats, res.items, [&] {
+    run_mode(kShards, sharded_sum, &folded_sharded);
+  });
+  // The sharded mode must reproduce the serial results bit for bit; a
+  // divergence poisons the checksum so the reference comparison fails even
+  // if the serial half alone still matches.
+  if (serial_sum.h != sharded_sum.h) {
+    std::fprintf(stderr,
+                 "micro_engine_parallel: sharded run diverged from serial "
+                 "(serial 0x%016llx, sharded 0x%016llx)\n",
+                 static_cast<unsigned long long>(serial_sum.h),
+                 static_cast<unsigned long long>(sharded_sum.h));
+  }
+  res.checksum = serial_sum.h == sharded_sum.h ? serial_sum.h : ~serial_sum.h;
+  res.extras.emplace_back("shards", static_cast<double>(kShards));
+  res.extras.emplace_back("serial_ns_per_op", serial_ns);
+  res.extras.emplace_back(
+      "sharded_speedup", res.ns_per_op > 0.0 ? serial_ns / res.ns_per_op : 0.0);
+  res.extras.emplace_back(
+      "host_hw_threads",
+      static_cast<double>(std::thread::hardware_concurrency()));
+  return res;
+}
+
 // --- output ---------------------------------------------------------------
 
 std::map<std::string, double> load_baseline(const std::string& path) {
@@ -384,6 +491,9 @@ std::string to_json(const std::vector<KernelResult>& results,
                   static_cast<unsigned long long>(r.checksum));
     w.key("checksum").value(hex);
     w.key("checksum_ok").value(r.checksum_ok());
+    for (const auto& [key, value] : r.extras) {
+      w.key(key).value(value);
+    }
     const auto it = baseline.find(r.name);
     if (it != baseline.end()) {
       w.key("baseline_ns_per_op").value(it->second);
@@ -437,6 +547,7 @@ int main(int argc, char** argv) {
   results.push_back(run_sharing_table(repeats));
   results.push_back(run_matching(repeats));
   results.push_back(run_simulator(repeats));
+  results.push_back(run_engine_parallel(repeats));
 
   bool ok = true;
   for (const auto& r : results) {

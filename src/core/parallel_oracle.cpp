@@ -1,0 +1,136 @@
+#include "core/parallel_oracle.hpp"
+
+#include <string>
+#include <utility>
+
+#include "sim/engine_shards.hpp"
+#include "util/contracts.hpp"
+
+namespace spcd::core {
+
+ParallelOracleTracer::ParallelOracleTracer(std::uint32_t num_threads,
+                                           unsigned workers,
+                                           unsigned granularity_shift,
+                                           util::Cycles time_window)
+    : workers_(workers <= 1 ? 1 : workers),
+      serial_(num_threads, granularity_shift, time_window) {
+  if (workers_ == 1) return;  // inline serial mode: observe() delegates
+
+  partials_.reserve(workers_);
+  lanes_.reserve(workers_);
+  pending_.resize(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    partials_.push_back(std::make_unique<OracleTracer>(
+        num_threads, granularity_shift, time_window));
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  // One long-running job per worker, so the pool must be exactly
+  // workers_-wide (>= 2 here, hence never the inline-in-submit pool).
+  pool_ = std::make_unique<util::ThreadPool>(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    pool_->submit([this, w] { worker_loop(w); },
+                  "oracle worker " + std::to_string(w));
+  }
+}
+
+ParallelOracleTracer::~ParallelOracleTracer() { finish(); }
+
+void ParallelOracleTracer::install(sim::Engine& engine) {
+  engine.set_access_hook([this](sim::ThreadId tid, std::uint64_t vaddr,
+                                bool write, util::Cycles now) {
+    observe(tid, vaddr, write, now);
+  });
+}
+
+unsigned ParallelOracleTracer::worker_of_region(std::uint64_t region) const {
+  return sim::ShardPlan::shard_of_line(region, workers_);
+}
+
+void ParallelOracleTracer::observe(std::uint32_t tid, std::uint64_t vaddr,
+                                   bool write, util::Cycles now) {
+  if (workers_ == 1) {
+    serial_.observe(tid, vaddr, write, now);
+    return;
+  }
+  SPCD_ASSERT(!finished_);
+  // Route by region, not raw address: every access to a region must reach
+  // the same worker so its sharer state sees the full, ordered sequence.
+  // The granularity shift is fixed at 6 region bits' worth here only for
+  // routing; the worker's own tracer re-derives the region, so routing
+  // just has to be any pure function of it.
+  const unsigned w = worker_of_region(vaddr >> 6);
+  Batch& batch = pending_[w];
+  batch.records[batch.count++] = Access{vaddr, tid, now};
+  if (batch.count == Batch::kBatchSize) flush_batch(w);
+}
+
+void ParallelOracleTracer::flush_batch(unsigned w) {
+  Batch& batch = pending_[w];
+  if (batch.count == 0) return;
+  Lane& lane = *lanes_[w];
+  {
+    std::unique_lock<std::mutex> lock(lane.mu);
+    lane.space_cv.wait(
+        lock, [&] { return lane.queue.size() < kLaneDepth || lane.closed; });
+    if (!lane.closed) {
+      const bool was_empty = lane.queue.empty();
+      lane.queue.push_back(batch);
+      if (was_empty) lane.filled_cv.notify_one();
+    }
+  }
+  batch.count = 0;
+}
+
+void ParallelOracleTracer::worker_loop(unsigned w) {
+  OracleTracer& local = *partials_[w];
+  Lane& lane = *lanes_[w];
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(lane.mu);
+      lane.filled_cv.wait(
+          lock, [&] { return !lane.queue.empty() || lane.closed; });
+      if (lane.queue.empty()) return;  // closed and fully drained
+      batch = std::move(lane.queue.front());
+      lane.queue.pop_front();
+    }
+    lane.space_cv.notify_one();
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+      const Access& a = batch.records[i];
+      local.observe(a.tid, a.vaddr, /*write=*/false, a.now);
+    }
+  }
+}
+
+void ParallelOracleTracer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (workers_ == 1) return;
+
+  for (unsigned w = 0; w < workers_; ++w) flush_batch(w);
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->closed = true;
+    lane->filled_cv.notify_one();
+    lane->space_cv.notify_all();
+  }
+  pool_->wait();  // propagate worker failures instead of swallowing them
+
+  // Merge in worker order (any order gives the same result — see header).
+  for (unsigned w = 0; w < workers_; ++w) {
+    const OracleTracer& part = *partials_[w];
+    serial_.absorb(part);
+  }
+}
+
+const CommMatrix& ParallelOracleTracer::matrix() {
+  finish();
+  return serial_.matrix();
+}
+
+std::uint64_t ParallelOracleTracer::accesses_seen() {
+  finish();
+  return serial_.accesses_seen();
+}
+
+}  // namespace spcd::core

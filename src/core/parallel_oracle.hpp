@@ -1,0 +1,101 @@
+// Region-parallel oracle tracer.
+//
+// The serial OracleTracer is a per-region state machine (sharer slots and
+// stamps evolve only from that region's access sequence) plus a
+// communication matrix that accumulates commutative sums. That structure
+// makes the oracle's full-access-stream analysis exactly parallelizable:
+//   * fan accesses out by region hash to W workers, each owning a plain
+//     OracleTracer — every region's accesses reach exactly one worker, in
+//     global arrival order (the feeding thread is the engine's commit
+//     loop, and each worker lane is FIFO);
+//   * merge the per-worker matrices at the end — cells are sums, and the
+//     partner argmax (ties to lowest id) is a pure function of final cell
+//     values (see CommMatrix::merge).
+// The merged matrix is therefore cell-for-cell identical to a serial pass
+// for ANY worker count, which keeps oracle placements — and everything
+// derived from them — invariant under SPCD_ENGINE_SHARDS.
+//
+// With workers <= 1 the class degrades to an inline serial tracer: no
+// threads, no queues, byte-identical to using OracleTracer directly.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spcd::core {
+
+class ParallelOracleTracer {
+ public:
+  /// Same analysis parameters as OracleTracer; `workers` picks the fan-out
+  /// width (any value yields the identical matrix — it only trades wall
+  /// clock). Worker threads start immediately when workers > 1.
+  ParallelOracleTracer(std::uint32_t num_threads, unsigned workers,
+                       unsigned granularity_shift = 6,
+                       util::Cycles time_window = 0);
+  ~ParallelOracleTracer();
+
+  ParallelOracleTracer(const ParallelOracleTracer&) = delete;
+  ParallelOracleTracer& operator=(const ParallelOracleTracer&) = delete;
+
+  /// Hook into an engine (profiling run). The hook runs on the engine's
+  /// commit thread; call finish() after engine.run() before reading
+  /// results.
+  void install(sim::Engine& engine);
+
+  void observe(std::uint32_t tid, std::uint64_t vaddr, bool write,
+               util::Cycles now);
+
+  /// Flush pending batches, join workers and merge their matrices.
+  /// Idempotent; implied by the result accessors.
+  void finish();
+
+  const CommMatrix& matrix();
+  std::uint64_t accesses_seen();
+
+ private:
+  struct Access {
+    std::uint64_t vaddr;
+    std::uint32_t tid;
+    util::Cycles now;
+  };
+  struct Batch {
+    static constexpr std::uint32_t kBatchSize = 1024;
+    std::array<Access, kBatchSize> records;
+    std::uint32_t count = 0;
+  };
+  /// SPSC lane: the commit thread pushes full batches, one worker drains.
+  /// Bounded depth gives backpressure without deadlock risk — the worker
+  /// never waits on the producer.
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable filled_cv;
+    std::condition_variable space_cv;
+    std::deque<Batch> queue;
+    bool closed = false;
+  };
+  static constexpr std::size_t kLaneDepth = 8;
+
+  unsigned worker_of_region(std::uint64_t region) const;
+  void flush_batch(unsigned w);
+  void worker_loop(unsigned w);
+
+  const unsigned workers_;
+  OracleTracer serial_;  ///< the result accumulator (and the whole tracer
+                         ///< when workers_ <= 1)
+  std::vector<std::unique_ptr<OracleTracer>> partials_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<Batch> pending_;  ///< per-worker fill buffer (producer-local)
+  bool finished_ = false;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace spcd::core

@@ -4,7 +4,9 @@
 
 #include "core/metrics_export.hpp"
 #include "core/oracle.hpp"
+#include "core/parallel_oracle.hpp"
 #include "core/spcd_kernel.hpp"
+#include "sim/engine_shards.hpp"
 #include "sim/energy.hpp"
 #include "sim/machine.hpp"
 #include "util/contracts.hpp"
@@ -70,10 +72,17 @@ const sim::Placement& Runner::oracle_placement(
   sim::Engine engine(machine, as, *workload,
                      os_spread_placement(machine.topology(), n),
                      config_.engine);
-  OracleTracer tracer(n, /*granularity_shift=*/6,
-                      config_.spcd.table.time_window);
+  // The tracer fans the access stream out to the same worker width the
+  // engine shards at; its merged matrix is cell-identical to a serial pass
+  // for any width, so the oracle placement stays shard-count-invariant.
+  const unsigned oracle_workers = config_.engine.shards != 0
+                                      ? config_.engine.shards
+                                      : sim::configured_engine_shards();
+  ParallelOracleTracer tracer(n, oracle_workers, /*granularity_shift=*/6,
+                              config_.spcd.table.time_window);
   tracer.install(engine);
   engine.run();
+  tracer.finish();
 
   sim::Placement placement =
       compute_mapping(tracer.matrix(), machine.topology()).placement;

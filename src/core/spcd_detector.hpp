@@ -42,9 +42,13 @@ class SpcdDetector final : public mem::FaultObserver {
   util::Cycles on_fault(const mem::FaultEvent& event) override;
 
   /// Apply all pending (ring-buffered) fault events now. Called at quantum
-  /// boundaries by SpcdKernel and implicitly by every accessor below, so
-  /// observers can never see pre-drain state. Logically const: the
-  /// observable state of the detector is defined as the post-drain state.
+  /// boundaries by SpcdKernel, at every engine epoch (the parallel engine's
+  /// deterministic drain point — see DESIGN.md §12), and implicitly by
+  /// every accessor below, so observers can never see pre-drain state.
+  /// Drain frequency is free to vary: events apply strictly in arrival
+  /// order with costs already charged, so any flush schedule yields
+  /// bit-identical detector state. Logically const: the observable state
+  /// of the detector is defined as the post-drain state.
   void flush() const;
 
   const CommMatrix& matrix() const {

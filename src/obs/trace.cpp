@@ -72,11 +72,18 @@ Session::Session(const TraceConfig& config)
 
 void Session::record(EventKind kind, const char* cat, const char* name,
                      util::Cycles time, TraceArg a0, TraceArg a1) {
+  std::lock_guard<std::mutex> lock(mu_);
   buffer_.record(TraceEvent{time, cat, name, kind, a0, a1});
   last_time_ = std::max(last_time_, time);
 }
 
+util::Cycles Session::last_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_time_;
+}
+
 void Session::log(const char* level, const char* text) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (logs_.size() < log_capacity_) {
     logs_.push_back(LogRecord{last_time_, level, text});
   } else {
@@ -87,6 +94,7 @@ void Session::log(const char* level, const char* text) {
 }
 
 RunCapture Session::capture() const {
+  std::lock_guard<std::mutex> lock(mu_);
   RunCapture out;
   out.events = buffer_.snapshot();
   out.recorded = buffer_.recorded();
@@ -112,5 +120,13 @@ ScopedSession::ScopedSession(Session* session) : prev_(t_session) {
 }
 
 ScopedSession::~ScopedSession() { t_session = prev_; }
+
+std::function<void()> bind_current_session(std::function<void()> job) {
+  Session* session = t_session;  // captured on the submitting thread
+  return [session, job = std::move(job)] {
+    ScopedSession bind(session);
+    job();
+  };
+}
 
 }  // namespace spcd::obs

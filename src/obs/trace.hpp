@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,10 @@ struct RunCapture {
   MetricsRegistry metrics;
 };
 
+/// A session may be bound on several threads at once (the run's commit
+/// thread plus its engine-shard workers, see ThreadPool::JobDecorator), so
+/// record()/log()/capture() serialize on an internal mutex. metrics() is
+/// exempt: the registry is only touched from the commit thread.
 class Session {
  public:
   explicit Session(const TraceConfig& config);
@@ -116,11 +122,12 @@ class Session {
 
   MetricsRegistry& metrics() { return metrics_; }
   /// Simulated time of the most recent event (log-line anchor).
-  util::Cycles last_time() const { return last_time_; }
+  util::Cycles last_time() const;
 
   RunCapture capture() const;
 
  private:
+  mutable std::mutex mu_;
   TraceBuffer buffer_;
   std::vector<LogRecord> logs_;
   std::size_t log_capacity_;
@@ -147,6 +154,13 @@ class ScopedSession {
  private:
   Session* prev_;
 };
+
+/// ThreadPool::JobDecorator that captures the *submitting* thread's bound
+/// session and re-binds it (ScopedSession) around the job on whichever
+/// worker runs it. Without this, pool workers have no session and every
+/// trace/log from worker code is silently dropped. Capturing nullptr is
+/// fine: the job then runs explicitly un-instrumented, same as today.
+std::function<void()> bind_current_session(std::function<void()> job);
 
 #ifdef SPCD_OBS_DISABLED
 inline void trace_instant(const char*, const char*, util::Cycles,

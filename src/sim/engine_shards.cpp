@@ -1,0 +1,29 @@
+#include "sim/engine_shards.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/contracts.hpp"
+#include "util/env.hpp"
+
+namespace spcd::sim {
+
+unsigned configured_engine_shards() {
+  // Unset -> fallback 1 (serial engine). An explicit 0 requests the
+  // hardware concurrency; malformed values fall back with a warning via
+  // env_u64_clamped.
+  const auto raw = util::env_u64_clamped("SPCD_ENGINE_SHARDS", 1, 0, 256);
+  if (raw != 0) return static_cast<unsigned>(raw);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min(hw, 256u);
+}
+
+ShardPlan::ShardPlan(std::uint32_t num_threads, unsigned shards)
+    : num_threads_(num_threads),
+      num_shards_(shards == 0 ? configured_engine_shards() : shards) {
+  SPCD_EXPECTS(num_threads >= 1);
+  num_shards_ = std::min<unsigned>(num_shards_, num_threads_);
+  num_shards_ = std::max(num_shards_, 1u);
+}
+
+}  // namespace spcd::sim

@@ -1,0 +1,69 @@
+// Shard partitioning for the deterministically-parallel engine.
+//
+// A ShardPlan splits the simulated software threads of one run across
+// `SPCD_ENGINE_SHARDS` worker shards. Shards are the unit of intra-run
+// parallelism: each shard owns a contiguous, balanced range of thread ids
+// whose op streams it pre-generates, and every cache-line address has a
+// unique owning shard (a Fibonacci-hashed partition of the coherence
+// directory). Both partitions are pure functions of (count, shards), so
+// any state keyed by them — buffers, queues, directory partitions — drains
+// and merges in an order that does not depend on host scheduling.
+//
+// The plan deliberately partitions *threads*, not hardware contexts:
+// threads migrate between contexts mid-run, and the shard-local work
+// (op-stream generation) follows the thread, not the context it happens to
+// occupy.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace spcd::sim {
+
+/// Worker shards requested via SPCD_ENGINE_SHARDS: default (unset) is 1 —
+/// the serial engine; 0 asks for the hardware concurrency; anything else
+/// is clamped to [1, 256].
+unsigned configured_engine_shards();
+
+class ShardPlan {
+ public:
+  /// `shards == 0` resolves through configured_engine_shards(). The
+  /// effective shard count never exceeds `num_threads` (an empty shard
+  /// would be pure overhead).
+  explicit ShardPlan(std::uint32_t num_threads, unsigned shards = 0);
+
+  std::uint32_t num_threads() const { return num_threads_; }
+  unsigned num_shards() const { return num_shards_; }
+  bool parallel() const { return num_shards_ > 1; }
+
+  /// Owning shard of a software thread. Exact inverse of thread_range():
+  /// shard s owns [s*n/S, (s+1)*n/S), so tid belongs to the smallest s
+  /// whose range end exceeds it — ceil((tid+1)*S/n) - 1.
+  unsigned shard_of_thread(std::uint32_t tid) const {
+    return static_cast<unsigned>(
+        ((static_cast<std::uint64_t>(tid) + 1) * num_shards_ - 1) /
+        num_threads_);
+  }
+
+  /// [first, last) thread-id range owned by shard `s`.
+  std::pair<std::uint32_t, std::uint32_t> thread_range(unsigned s) const {
+    const auto n = static_cast<std::uint64_t>(num_threads_);
+    return {static_cast<std::uint32_t>(s * n / num_shards_),
+            static_cast<std::uint32_t>((s + 1) * n / num_shards_)};
+  }
+
+  /// Owning shard of a physical cache-line address (directory partition).
+  /// Fibonacci hash so striding access patterns spread evenly; pure
+  /// function of (line, shards) — never of insertion order.
+  static unsigned shard_of_line(std::uint64_t line, unsigned shards) {
+    if (shards <= 1) return 0;
+    return static_cast<unsigned>(
+        ((line * 0x9E3779B97F4A7C15ULL) >> 32) % shards);
+  }
+
+ private:
+  std::uint32_t num_threads_;
+  unsigned num_shards_;
+};
+
+}  // namespace spcd::sim

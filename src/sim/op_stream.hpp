@@ -1,0 +1,112 @@
+// Bounded per-thread op-stream buffers: the decoupled *generate* stage of
+// the parallel engine.
+//
+// ThreadProgram::next() is a pure per-thread generator (see workload.hpp):
+// the op sequence of thread t is a function of (workload, t, seed) only,
+// never of simulated time or engine state. That makes generation the one
+// part of an engine step that can legally run ahead of the serial-order
+// timing commit — a shard worker pre-computes each of its threads' op
+// streams into an OpStreamBuffer, and the commit loop consumes ops in
+// exactly the order the serial engine would have produced them. The
+// observable simulation is byte-identical by construction; only wall-clock
+// time changes.
+//
+// The buffer is a bounded single-producer/single-consumer queue of fixed
+// OpChunk blocks. Synchronization is per *chunk*, not per op: the producer
+// fills a chunk privately and publishes it under the lock; the consumer
+// swaps a chunk out under the lock and then iterates it lock-free. One
+// mutex acquisition per kChunkOps ops keeps the coordination cost well
+// under a nanosecond per op.
+//
+// Parking policy: a producer serves *many* buffers (all threads of its
+// shard), so it must never sleep on one full buffer — the consumer may be
+// draining a different thread (e.g. while this one waits at a barrier) and
+// the window would deadlock. Producers therefore only ever *poll* buffers
+// (has_space/try variants) and park on their shard's progress signal (see
+// ShardPrefetcher), which the consumer pulses after every chunk it frees.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "sim/workload.hpp"
+
+namespace spcd::sim {
+
+struct OpChunk {
+  static constexpr std::uint32_t kChunkOps = 512;
+  std::array<Op, kChunkOps> ops;
+  std::uint32_t count = 0;
+  /// True when the last op is the program's kFinish: the producer publishes
+  /// nothing after a final chunk. Every chunk holds at least one op (the
+  /// finish op itself is stored), so the consumer never sees count == 0.
+  bool final_chunk = false;
+};
+
+class OpStreamBuffer {
+ public:
+  /// `max_chunks` bounds the producer's run-ahead window (memory cap).
+  explicit OpStreamBuffer(std::size_t max_chunks = 4)
+      : max_chunks_(max_chunks < 1 ? 1 : max_chunks) {}
+
+  OpStreamBuffer(const OpStreamBuffer&) = delete;
+  OpStreamBuffer& operator=(const OpStreamBuffer&) = delete;
+
+  // --- producer side (one shard worker) ---
+
+  /// Room for another chunk right now? Only the consumer removes chunks,
+  /// so a true answer cannot be invalidated by a concurrent producer.
+  bool has_space() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ || chunks_.size() < max_chunks_;
+  }
+
+  /// Publish a filled chunk (the caller checked has_space(); if the buffer
+  /// was closed meanwhile the chunk is discarded — the run is over).
+  void push(OpChunk&& chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    const bool was_empty = chunks_.empty();
+    chunks_.push_back(std::move(chunk));
+    if (was_empty) filled_cv_.notify_one();
+  }
+
+  // --- consumer side (the commit loop) ---
+
+  /// Swap the oldest published chunk into `out`, blocking until one is
+  /// available. Returns false only when the buffer was closed while empty
+  /// (engine shutdown before the stream ended).
+  bool pop(OpChunk& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    filled_cv_.wait(lock, [this] { return !chunks_.empty() || closed_; });
+    if (chunks_.empty()) return false;
+    out = std::move(chunks_.front());
+    chunks_.pop_front();
+    return true;
+  }
+
+  /// Tear down: unblock a consumer stuck in pop() and make producers
+  /// discard further chunks. Idempotent.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    filled_cv_.notify_all();
+  }
+
+  std::size_t queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.size();
+  }
+
+ private:
+  const std::size_t max_chunks_;
+  mutable std::mutex mu_;
+  std::condition_variable filled_cv_;
+  std::deque<OpChunk> chunks_;
+  bool closed_ = false;
+};
+
+}  // namespace spcd::sim

@@ -1,0 +1,124 @@
+#include "sim/shard_prefetcher.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace spcd::sim {
+
+ShardPrefetcher::ShardPrefetcher(const ShardPlan& plan,
+                                 std::vector<ThreadProgram*> programs,
+                                 std::size_t window_chunks)
+    : plan_(plan),
+      programs_(std::move(programs)),
+      gen_records_(plan.num_shards()),
+      // Workers run for the whole simulation, so the pool needs one thread
+      // per shard (a smaller pool would serialize — or with an inline pool,
+      // deadlock — the long-running jobs). The obs decorator re-binds the
+      // submitting thread's trace session inside each worker so worker-side
+      // instrumentation is captured rather than silently dropped.
+      pool_(plan.num_shards(), obs::bind_current_session) {
+  SPCD_EXPECTS(plan_.parallel());
+  SPCD_EXPECTS(programs_.size() == plan_.num_threads());
+  buffers_.reserve(programs_.size());
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    SPCD_EXPECTS(programs_[i] != nullptr);
+    buffers_.push_back(std::make_unique<OpStreamBuffer>(window_chunks));
+  }
+  for (unsigned s = 0; s < plan_.num_shards(); ++s) {
+    pool_.submit([this, s] { worker(s); }, "engine shard " + std::to_string(s));
+  }
+}
+
+ShardPrefetcher::~ShardPrefetcher() { shutdown(); }
+
+void ShardPrefetcher::on_chunk_consumed() {
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    ++progress_gen_;
+  }
+  progress_cv_.notify_all();
+}
+
+void ShardPrefetcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stop_.store(true, std::memory_order_relaxed);
+    ++progress_gen_;
+  }
+  progress_cv_.notify_all();
+  // Unblock a consumer parked in pop() (engine timeout path) and make any
+  // straggler push a no-op.
+  for (auto& buf : buffers_) buf->close();
+  pool_.wait_all_noexcept();
+}
+
+void ShardPrefetcher::worker(unsigned shard) {
+  const auto [first, last] = plan_.thread_range(shard);
+  SPCD_ASSERT(first < last);
+
+  struct Stream {
+    std::uint32_t tid;
+    std::uint64_t ops = 0;
+    std::uint64_t chunks = 0;
+  };
+  std::vector<Stream> live;
+  live.reserve(last - first);
+  for (std::uint32_t tid = first; tid < last; ++tid) {
+    live.push_back(Stream{tid});
+  }
+
+  while (!live.empty() && !stop_.load(std::memory_order_relaxed)) {
+    std::uint64_t scan_gen;
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      scan_gen = progress_gen_;
+    }
+
+    bool progress = false;
+    for (std::size_t i = 0; i < live.size();) {
+      Stream& st = live[i];
+      if (!buffers_[st.tid]->has_space()) {
+        ++i;
+        continue;
+      }
+      // Sole producer for this buffer: space observed above cannot shrink,
+      // so the push below is guaranteed to fit.
+      OpChunk chunk;
+      ThreadProgram& program = *programs_[st.tid];
+      while (chunk.count < OpChunk::kChunkOps) {
+        const Op op = program.next();
+        chunk.ops[chunk.count++] = op;
+        if (op.kind == OpKind::kFinish) {
+          chunk.final_chunk = true;
+          break;
+        }
+      }
+      st.ops += chunk.count;
+      ++st.chunks;
+      const bool finished = chunk.final_chunk;
+      buffers_[st.tid]->push(std::move(chunk));
+      progress = true;
+      if (finished) {
+        gen_records_.push(shard, GenRecord{st.tid, st.ops, st.chunks});
+        live[i] = live.back();
+        live.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    if (!progress) {
+      // Every live buffer is full: park until the consumer frees a window
+      // (or shutdown). The signal is prefetcher-wide, so a pop on *any*
+      // thread wakes us for a re-scan; spurious wakeups only cost a scan.
+      std::unique_lock<std::mutex> lock(progress_mu_);
+      progress_cv_.wait(lock, [&] { return progress_gen_ != scan_gen; });
+    }
+  }
+}
+
+}  // namespace spcd::sim

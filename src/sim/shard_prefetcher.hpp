@@ -1,0 +1,95 @@
+// Shard workers that pre-generate per-thread op streams.
+//
+// One worker per shard round-robins over the shard's thread range (see
+// ShardPlan), filling each thread's OpStreamBuffer a chunk at a time until
+// the program's kFinish op. Workers never touch engine state: generation is
+// legal ahead-of-time work precisely because ThreadProgram::next() is a
+// pure per-thread function (workload.hpp contract). The commit loop stays
+// serial-order-identical; the prefetcher only moves generation cost off the
+// critical path.
+//
+// Blocking discipline (the part that is easy to get wrong):
+//   * A worker polls has_space() across its buffers and parks on the
+//     prefetcher-wide progress signal only when *no* buffer of its shard
+//     can accept a chunk. Parking on one full buffer would deadlock: the
+//     consumer may be ignoring that thread (it is waiting at a simulated
+//     barrier) while starving for ops from a sibling.
+//   * The consumer pulses the signal via on_chunk_consumed() after every
+//     chunk it pops, so a parked worker re-scans as soon as any window
+//     opens.
+//
+// When a stream ends, the worker pushes a GenRecord into the sequenced
+// cross-shard queue; the engine drains it in (shard, seq) order at epoch
+// boundaries and emits the per-thread accounting (sorted by tid, so the
+// emitted trace is invariant to shard count and host scheduling) at run
+// end.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/engine_shards.hpp"
+#include "sim/op_stream.hpp"
+#include "sim/shard_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spcd::sim {
+
+class ShardPrefetcher {
+ public:
+  /// Per-thread generation totals, reported once per thread when its
+  /// program reaches kFinish. `ops` counts every generated op including
+  /// barrier and finish ops — exactly the number of next() calls the
+  /// serial engine would have made.
+  struct GenRecord {
+    std::uint32_t tid = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t chunks = 0;
+  };
+
+  /// `programs[tid]` must outlive the prefetcher (the engine owns them and
+  /// calls shutdown() — via the destructor at the latest — before they
+  /// die). Workers start generating immediately.
+  ShardPrefetcher(const ShardPlan& plan,
+                  std::vector<ThreadProgram*> programs,
+                  std::size_t window_chunks);
+  ~ShardPrefetcher();
+
+  ShardPrefetcher(const ShardPrefetcher&) = delete;
+  ShardPrefetcher& operator=(const ShardPrefetcher&) = delete;
+
+  OpStreamBuffer& buffer(std::uint32_t tid) { return *buffers_[tid]; }
+
+  /// Consumer-side pulse: a chunk was popped, some window has space again.
+  void on_chunk_consumed();
+
+  /// Stop workers (at their next chunk boundary), close every buffer and
+  /// join. Idempotent; called on normal completion, timeout and teardown.
+  void shutdown();
+
+  ShardSequencedQueue<GenRecord>& gen_records() { return gen_records_; }
+
+ private:
+  void worker(unsigned shard);
+
+  const ShardPlan plan_;
+  std::vector<ThreadProgram*> programs_;
+  std::vector<std::unique_ptr<OpStreamBuffer>> buffers_;
+  ShardSequencedQueue<GenRecord> gen_records_;
+
+  // Progress signal: bumped by on_chunk_consumed() and shutdown(); workers
+  // snapshot it before a fruitless scan and wait for it to move.
+  std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
+  std::uint64_t progress_gen_ = 0;
+  std::atomic<bool> stop_{false};
+  bool shut_down_ = false;
+
+  util::ThreadPool pool_;  // last member: workers must die first
+};
+
+}  // namespace spcd::sim

@@ -1,0 +1,93 @@
+// Line-address-partitioned coherence directory.
+//
+// A ShardedLineMap splits one logical LineMap into N partitions, each
+// owning the lines that ShardPlan::shard_of_line assigns to it. Two
+// reasons, both from the parallel engine:
+//   * ownership: every line has exactly one home partition, so cross-shard
+//     directory traffic has a well-defined destination lane (the sequenced
+//     queues drain per owning shard in (shard, seq) order);
+//   * isolation: a partition rehash moves only that partition's slots, so
+//     directory growth triggered by one shard's lines never invalidates
+//     references to another shard's entries.
+//
+// The map is semantically transparent: find/insert/erase behave exactly
+// like one big LineMap for any partition count, so simulation results are
+// invariant under SPCD_ENGINE_SHARDS — which is precisely what the
+// byte-identity CI gate checks. Reference stability on erase (tombstones,
+// no backward shift) is inherited per-partition; MemoryHierarchy::access
+// still holds the accessed line's state across victim evictions, and the
+// victims may now live in any partition.
+//
+// for_each visits partitions in ascending index. Partition-internal order
+// is hash-table order, as before; callers (invariant checks) must already
+// be order-independent, and gain partition-count independence only in what
+// they *aggregate*, not the visit order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine_shards.hpp"
+#include "sim/line_directory.hpp"
+#include "util/contracts.hpp"
+
+namespace spcd::sim {
+
+template <typename Value>
+class ShardedLineMap {
+ public:
+  /// `partitions == 0` resolves through configured_engine_shards(), so the
+  /// directory layout matches the engine's shard plan by default.
+  explicit ShardedLineMap(unsigned partitions = 0, std::size_t expected = 0)
+      : parts_(partitions == 0 ? configured_engine_shards() : partitions) {
+    SPCD_EXPECTS(!parts_.empty());
+    if (expected != 0) reserve(expected);
+  }
+
+  unsigned num_partitions() const {
+    return static_cast<unsigned>(parts_.size());
+  }
+  LineMap<Value>& partition(unsigned p) { return parts_[p]; }
+  const LineMap<Value>& partition(unsigned p) const { return parts_[p]; }
+
+  /// Home partition of a line (pure function of key and partition count).
+  unsigned partition_of(std::uint64_t key) const {
+    return ShardPlan::shard_of_line(key, static_cast<unsigned>(parts_.size()));
+  }
+
+  void reserve(std::size_t expected) {
+    const std::size_t per = expected / parts_.size() + 1;
+    for (auto& part : parts_) part.reserve(per);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& part : parts_) n += part.size();
+    return n;
+  }
+
+  void prefetch(std::uint64_t key) const {
+    parts_[partition_of(key)].prefetch(key);
+  }
+
+  Value* find(std::uint64_t key) { return parts_[partition_of(key)].find(key); }
+  const Value* find(std::uint64_t key) const {
+    return parts_[partition_of(key)].find(key);
+  }
+
+  Value& operator[](std::uint64_t key) {
+    return parts_[partition_of(key)][key];
+  }
+
+  void erase(std::uint64_t key) { parts_[partition_of(key)].erase(key); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& part : parts_) part.for_each(fn);
+  }
+
+ private:
+  std::vector<LineMap<Value>> parts_;
+};
+
+}  // namespace spcd::sim

@@ -1,0 +1,230 @@
+#include "sim/engine_shards.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+
+namespace spcd::sim {
+namespace {
+
+TEST(ConfiguredEngineShardsTest, DefaultsToSerialReadsEnvAndClamps) {
+  ::unsetenv("SPCD_ENGINE_SHARDS");
+  EXPECT_EQ(configured_engine_shards(), 1u);
+  ::setenv("SPCD_ENGINE_SHARDS", "4", 1);
+  EXPECT_EQ(configured_engine_shards(), 4u);
+  ::setenv("SPCD_ENGINE_SHARDS", "9999", 1);
+  EXPECT_EQ(configured_engine_shards(), 256u);
+  // 0 asks for the hardware concurrency.
+  ::setenv("SPCD_ENGINE_SHARDS", "0", 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(configured_engine_shards(), hw == 0 ? 1u : hw);
+  ::unsetenv("SPCD_ENGINE_SHARDS");
+}
+
+TEST(ShardPlanTest, RangesCoverEveryThreadExactlyOnce) {
+  for (const std::uint32_t n : {1u, 2u, 3u, 7u, 8u, 16u, 33u}) {
+    for (const unsigned shards : {1u, 2u, 3u, 4u, 8u}) {
+      ShardPlan plan(n, shards);
+      // Concatenated ranges tile [0, n) with no gap or overlap.
+      std::uint32_t next = 0;
+      for (unsigned s = 0; s < plan.num_shards(); ++s) {
+        const auto [first, last] = plan.thread_range(s);
+        EXPECT_EQ(first, next) << "n=" << n << " shards=" << shards;
+        EXPECT_LE(first, last);
+        next = last;
+      }
+      EXPECT_EQ(next, n);
+      // shard_of_thread agrees with the ranges.
+      for (std::uint32_t tid = 0; tid < n; ++tid) {
+        const unsigned s = plan.shard_of_thread(tid);
+        const auto [first, last] = plan.thread_range(s);
+        EXPECT_GE(tid, first);
+        EXPECT_LT(tid, last);
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, RangesAreBalanced) {
+  // No shard owns more than ceil(n/S) threads, none fewer than floor(n/S).
+  for (const std::uint32_t n : {4u, 10u, 31u, 64u}) {
+    for (const unsigned shards : {2u, 3u, 4u, 7u}) {
+      ShardPlan plan(n, shards);
+      if (plan.num_shards() < 2) continue;
+      const std::uint32_t lo = n / plan.num_shards();
+      const std::uint32_t hi = (n + plan.num_shards() - 1) / plan.num_shards();
+      for (unsigned s = 0; s < plan.num_shards(); ++s) {
+        const auto [first, last] = plan.thread_range(s);
+        EXPECT_GE(last - first, lo);
+        EXPECT_LE(last - first, hi);
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, ShardCountClampsToThreadCount) {
+  EXPECT_EQ(ShardPlan(3, 8).num_shards(), 3u);
+  EXPECT_EQ(ShardPlan(1, 8).num_shards(), 1u);
+  EXPECT_FALSE(ShardPlan(4, 1).parallel());
+  EXPECT_TRUE(ShardPlan(4, 2).parallel());
+}
+
+TEST(ShardPlanTest, LineOwnershipIsPureAndInRange) {
+  for (const unsigned shards : {1u, 2u, 5u, 8u}) {
+    for (std::uint64_t line = 0; line < 4096; ++line) {
+      const unsigned s = ShardPlan::shard_of_line(line, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardPlan::shard_of_line(line, shards));
+    }
+  }
+  // Single shard owns everything.
+  EXPECT_EQ(ShardPlan::shard_of_line(0xdeadbeef, 1), 0u);
+}
+
+TEST(ShardPlanTest, LineHashSpreadsStridedPatterns) {
+  // Sequential lines (the common striding pattern) must not all land on
+  // one shard — that is the point of the Fibonacci hash.
+  constexpr unsigned kShards = 8;
+  std::vector<std::uint64_t> per_shard(kShards, 0);
+  constexpr std::uint64_t kLines = 64 * 1024;
+  for (std::uint64_t line = 0; line < kLines; ++line) {
+    per_shard[ShardPlan::shard_of_line(line, kShards)]++;
+  }
+  for (unsigned s = 0; s < kShards; ++s) {
+    EXPECT_GT(per_shard[s], kLines / kShards / 2) << "shard " << s;
+    EXPECT_LT(per_shard[s], kLines / kShards * 2) << "shard " << s;
+  }
+}
+
+// --- epoch accounting -----------------------------------------------------
+
+class FixedOps final : public Workload {
+ public:
+  FixedOps(std::uint32_t threads, std::uint32_t cycles_per_op,
+           std::uint64_t ops)
+      : threads_(threads), cycles_(cycles_per_op), ops_(ops) {}
+  std::string name() const override { return "fixed"; }
+  std::uint32_t num_threads() const override { return threads_; }
+  std::unique_ptr<ThreadProgram> make_thread(std::uint32_t,
+                                             std::uint64_t) override {
+    class P final : public ThreadProgram {
+     public:
+      P(std::uint32_t cycles, std::uint64_t ops) : cycles_(cycles), ops_(ops) {}
+      Op next() override {
+        return n_++ < ops_ ? Op::compute(1, cycles_) : Op::finish();
+      }
+
+     private:
+      std::uint32_t cycles_;
+      std::uint64_t ops_, n_ = 0;
+    };
+    return std::make_unique<P>(cycles_, ops_);
+  }
+
+ private:
+  std::uint32_t threads_;
+  std::uint32_t cycles_;
+  std::uint64_t ops_;
+};
+
+TEST(EngineEpochTest, EpochCountTracksSimulatedTime) {
+  // 200 ops x 100 cycles = 20'000 cycles per thread; epoch every 1'000
+  // cycles of simulated time. Epochs fire at commit-loop tops, so the
+  // boundaries at the very end of the run (after the last loop iteration)
+  // may not fire — the count is within a batch of the exact quotient.
+  Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  FixedOps wl(2, 100, 200);
+  EngineConfig cfg;
+  cfg.epoch_interval = 1'000;
+  Engine engine(machine, as, wl, {0, 2}, cfg);
+  engine.run();
+  EXPECT_LE(engine.epoch_count(), engine.finish_time() / 1'000);
+  EXPECT_GE(engine.epoch_count() + 7, engine.finish_time() / 1'000);
+  EXPECT_GE(engine.epoch_count(), 10u);
+}
+
+TEST(EngineEpochTest, EpochsAreIdenticalAtAnyShardCount) {
+  auto run = [](unsigned shards) {
+    Machine machine(arch::tiny_test_machine());
+    auto as = machine.make_address_space();
+    FixedOps wl(4, 50, 500);
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch_interval = 2'000;
+    Engine engine(machine, as, wl, {0, 2, 4, 6}, cfg);
+    engine.run();
+    return std::pair<std::uint64_t, util::Cycles>(engine.epoch_count(),
+                                                  engine.finish_time());
+  };
+  const auto serial = run(1);
+  EXPECT_GT(serial.first, 0u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+}
+
+TEST(EngineEpochTest, EpochHooksFireInRegistrationOrderEveryEpoch) {
+  Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  FixedOps wl(1, 100, 100);  // 10'000 cycles
+  EngineConfig cfg;
+  cfg.epoch_interval = 1'000;
+  Engine engine(machine, as, wl, {0}, cfg);
+  std::vector<int> order;
+  engine.add_epoch_hook([&order](Engine&) { order.push_back(1); });
+  engine.add_epoch_hook([&order](Engine&) { order.push_back(2); });
+  engine.run();
+  ASSERT_EQ(order.size(), 2 * engine.epoch_count());
+  for (std::size_t i = 0; i < order.size(); i += 2) {
+    EXPECT_EQ(order[i], 1);
+    EXPECT_EQ(order[i + 1], 2);
+  }
+}
+
+TEST(EngineEpochTest, ZeroIntervalDisablesEpochs) {
+  Machine machine(arch::tiny_test_machine());
+  auto as = machine.make_address_space();
+  FixedOps wl(1, 100, 100);
+  EngineConfig cfg;
+  cfg.epoch_interval = 0;
+  Engine engine(machine, as, wl, {0}, cfg);
+  engine.run();
+  EXPECT_EQ(engine.epoch_count(), 0u);
+}
+
+TEST(EngineShardsTest, EngineReportsEffectiveShardCount) {
+  Machine machine(arch::tiny_test_machine());
+  FixedOps wl(2, 10, 10);
+  {
+    // Pin the env so the default (cfg.shards == 0) resolves to serial
+    // regardless of the SPCD_ENGINE_SHARDS the suite itself runs under.
+    const char* prev = std::getenv("SPCD_ENGINE_SHARDS");
+    const std::string saved = prev != nullptr ? prev : "";
+    ::unsetenv("SPCD_ENGINE_SHARDS");
+    auto as = machine.make_address_space();
+    Engine engine(machine, as, wl, {0, 2}, {});
+    EXPECT_EQ(engine.shard_count(), 1u);
+    if (prev != nullptr) {
+      ::setenv("SPCD_ENGINE_SHARDS", saved.c_str(), 1);
+    }
+  }
+  {
+    Machine fresh(arch::tiny_test_machine());
+    auto as = fresh.make_address_space();
+    EngineConfig cfg;
+    cfg.shards = 8;  // clamped to the 2 threads
+    Engine engine(fresh, as, wl, {0, 2}, cfg);
+    EXPECT_EQ(engine.shard_count(), 2u);
+    engine.run();
+    EXPECT_FALSE(engine.timed_out());
+  }
+}
+
+}  // namespace
+}  // namespace spcd::sim

@@ -1,0 +1,163 @@
+#include "sim/op_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::sim {
+namespace {
+
+OpChunk make_chunk(std::uint64_t base, std::uint32_t count,
+                   bool final_chunk = false) {
+  OpChunk chunk;
+  chunk.count = count;
+  chunk.final_chunk = final_chunk;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    chunk.ops[i] = Op::access(base + i, false, 1, 0);
+  }
+  return chunk;
+}
+
+TEST(OpStreamBufferTest, PopReturnsChunksInPushOrder) {
+  OpStreamBuffer buf(4);
+  buf.push(make_chunk(100, 3));
+  buf.push(make_chunk(200, 2, /*final_chunk=*/true));
+  OpChunk out;
+  ASSERT_TRUE(buf.pop(out));
+  EXPECT_EQ(out.count, 3u);
+  EXPECT_EQ(out.ops[0].vaddr, 100u);
+  EXPECT_EQ(out.ops[2].vaddr, 102u);
+  EXPECT_FALSE(out.final_chunk);
+  ASSERT_TRUE(buf.pop(out));
+  EXPECT_EQ(out.count, 2u);
+  EXPECT_EQ(out.ops[0].vaddr, 200u);
+  EXPECT_TRUE(out.final_chunk);
+}
+
+TEST(OpStreamBufferTest, HasSpaceReflectsWindowBound) {
+  OpStreamBuffer buf(2);
+  EXPECT_TRUE(buf.has_space());
+  buf.push(make_chunk(0, 1));
+  EXPECT_TRUE(buf.has_space());
+  buf.push(make_chunk(0, 1));
+  EXPECT_FALSE(buf.has_space());
+  EXPECT_EQ(buf.queued(), 2u);
+  OpChunk out;
+  ASSERT_TRUE(buf.pop(out));
+  EXPECT_TRUE(buf.has_space());
+}
+
+TEST(OpStreamBufferTest, CloseUnblocksEmptyPopAndDiscardsPushes) {
+  OpStreamBuffer buf(4);
+  buf.close();
+  OpChunk out;
+  EXPECT_FALSE(buf.pop(out));
+  // Pushes after close are discarded; has_space stays true so a producer
+  // that raced the shutdown never parks forever.
+  EXPECT_TRUE(buf.has_space());
+  buf.push(make_chunk(0, 1));
+  EXPECT_EQ(buf.queued(), 0u);
+  buf.close();  // idempotent
+}
+
+TEST(OpStreamBufferTest, CloseDrainsQueuedChunksFirst) {
+  OpStreamBuffer buf(4);
+  buf.push(make_chunk(7, 1));
+  buf.close();
+  OpChunk out;
+  ASSERT_TRUE(buf.pop(out));  // the queued chunk survives the close
+  EXPECT_EQ(out.ops[0].vaddr, 7u);
+  EXPECT_FALSE(buf.pop(out));
+}
+
+TEST(OpStreamBufferTest, BlockingPopSeesProducerThread) {
+  OpStreamBuffer buf(2);
+  constexpr std::uint32_t kChunks = 64;
+  std::thread producer([&buf] {
+    for (std::uint32_t c = 0; c < kChunks; ++c) {
+      while (!buf.has_space()) std::this_thread::yield();
+      buf.push(make_chunk(c * 1000, OpChunk::kChunkOps,
+                          /*final_chunk=*/c + 1 == kChunks));
+    }
+  });
+  OpChunk out;
+  for (std::uint32_t c = 0; c < kChunks; ++c) {
+    ASSERT_TRUE(buf.pop(out));
+    EXPECT_EQ(out.ops[0].vaddr, c * 1000u);
+    EXPECT_EQ(out.count, OpChunk::kChunkOps);
+    EXPECT_EQ(out.final_chunk, c + 1 == kChunks);
+  }
+  producer.join();
+  EXPECT_EQ(buf.queued(), 0u);
+}
+
+// --- end-to-end: pre-generated streams reproduce the serial engine --------
+
+class RandomAccess final : public Workload {
+ public:
+  RandomAccess(std::uint32_t threads, std::uint64_t ops)
+      : threads_(threads), ops_(ops) {}
+  std::string name() const override { return "random_access"; }
+  std::uint32_t num_threads() const override { return threads_; }
+  std::unique_ptr<ThreadProgram> make_thread(std::uint32_t tid,
+                                             std::uint64_t) override {
+    class P final : public ThreadProgram {
+     public:
+      P(std::uint32_t tid, std::uint64_t ops)
+          : rng_(tid * 131 + 7), ops_(ops) {}
+      Op next() override {
+        if (n_++ >= ops_) return Op::finish();
+        if (n_ % 500 == 0) return Op::barrier();
+        return Op::access(0x4000 + rng_.below(1 << 16), rng_.chance(0.3), 2,
+                          15);
+      }
+
+     private:
+      util::Xoshiro256 rng_;
+      std::uint64_t ops_, n_ = 0;
+    };
+    return std::make_unique<P>(tid, ops_);
+  }
+
+ private:
+  std::uint32_t threads_;
+  std::uint64_t ops_;
+};
+
+TEST(OpStreamEngineTest, ShardedRunMatchesSerialBitForBit) {
+  struct Result {
+    util::Cycles finish;
+    std::uint64_t insns, l2, inval, faults;
+    bool operator==(const Result& o) const {
+      return finish == o.finish && insns == o.insns && l2 == o.l2 &&
+             inval == o.inval && faults == o.faults;
+    }
+  };
+  auto run = [](unsigned shards) {
+    Machine machine(arch::tiny_test_machine());
+    auto as = machine.make_address_space();
+    RandomAccess wl(4, 3'000);
+    EngineConfig cfg;
+    cfg.shards = shards;
+    // Tiny run-ahead window so the producers hit the parking path.
+    cfg.window_chunks = 2;
+    Engine engine(machine, as, wl, {0, 2, 4, 6}, cfg);
+    engine.run();
+    EXPECT_FALSE(engine.timed_out());
+    const auto& c = engine.counters();
+    return Result{engine.finish_time(), c.instructions, c.l2_misses,
+                  c.invalidations, c.minor_faults};
+  };
+  const Result serial = run(1);
+  EXPECT_TRUE(run(2) == serial);
+  EXPECT_TRUE(run(4) == serial);
+}
+
+}  // namespace
+}  // namespace spcd::sim

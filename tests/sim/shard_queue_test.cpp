@@ -1,0 +1,87 @@
+#include "sim/shard_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace spcd::sim {
+namespace {
+
+TEST(ShardSequencedQueueTest, DrainVisitsLanesInShardSequenceOrder) {
+  ShardSequencedQueue<int> queue(3);
+  // Interleave pushes across lanes; drain order must be (shard, seq), not
+  // arrival order.
+  queue.push(2, 20);
+  queue.push(0, 1);
+  queue.push(1, 10);
+  queue.push(0, 2);
+  queue.push(2, 21);
+  queue.push(1, 11);
+  std::vector<std::pair<unsigned, int>> seen;
+  queue.drain([&seen](unsigned s, int v) { seen.emplace_back(s, v); });
+  const std::vector<std::pair<unsigned, int>> expected{
+      {0, 1}, {0, 2}, {1, 10}, {1, 11}, {2, 20}, {2, 21}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ShardSequencedQueueTest, DrainEmptiesAndIsRepeatable) {
+  ShardSequencedQueue<int> queue(2);
+  queue.push(0, 1);
+  queue.push(1, 2);
+  EXPECT_EQ(queue.pending(), 2u);
+  int count = 0;
+  queue.drain([&count](unsigned, int) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(queue.pending(), 0u);
+  // A second drain sees nothing; new pushes land in the next drain.
+  queue.drain([&count](unsigned, int) { ++count; });
+  EXPECT_EQ(count, 2);
+  queue.push(1, 3);
+  queue.drain([&count](unsigned, int) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ShardSequencedQueueTest, PerLanePushOrderSurvivesConcurrentProducers) {
+  // One producer thread per lane (the engine's arrangement): each lane's
+  // items must drain in that producer's push order, for any host schedule.
+  constexpr unsigned kShards = 4;
+  constexpr int kItems = 2'000;
+  ShardSequencedQueue<int> queue(kShards);
+  std::vector<std::thread> producers;
+  for (unsigned s = 0; s < kShards; ++s) {
+    producers.emplace_back([&queue, s] {
+      for (int i = 0; i < kItems; ++i) {
+        queue.push(s, static_cast<int>(s) * kItems + i);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(queue.pending(), static_cast<std::size_t>(kShards) * kItems);
+  std::vector<int> seen;
+  queue.drain([&seen](unsigned, int v) { seen.push_back(v); });
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kShards) * kItems);
+  // Deterministic result: lane 0's 0..N-1, then lane 1's N..2N-1, ...
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<int>(i));
+  }
+}
+
+TEST(ShardSequencedQueueTest, MoveOnlyItemsAreSupported) {
+  ShardSequencedQueue<std::unique_ptr<int>> queue(2);
+  queue.push(1, std::make_unique<int>(42));
+  int got = 0;
+  queue.drain([&got](unsigned, std::unique_ptr<int>& item) { got = *item; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ShardSequencedQueueTest, DeathOnOutOfRangeLane) {
+  ShardSequencedQueue<int> queue(2);
+  EXPECT_DEATH(queue.push(2, 1), "Precondition");
+}
+
+}  // namespace
+}  // namespace spcd::sim

@@ -1,0 +1,118 @@
+#include "sim/sharded_line_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "sim/line_directory.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::sim {
+namespace {
+
+TEST(ShardedLineMapTest, MatchesPlainLineMapAtAnyPartitionCount) {
+  // Drive the same random insert/lookup/erase sequence through a plain
+  // LineMap and sharded maps at several widths; every observable result
+  // must agree (the "semantically transparent" contract the byte-identity
+  // gate rests on).
+  for (const unsigned partitions : {1u, 3u, 8u}) {
+    LineMap<std::uint64_t> plain;
+    ShardedLineMap<std::uint64_t> sharded(partitions);
+    ASSERT_EQ(sharded.num_partitions(), partitions);
+    util::Xoshiro256 rng(99);
+    for (int i = 0; i < 20'000; ++i) {
+      const std::uint64_t key = rng.below(4'000);
+      switch (rng.below(4)) {
+        case 0:
+        case 1:  // insert/update
+          plain[key] = static_cast<std::uint64_t>(i);
+          sharded[key] = static_cast<std::uint64_t>(i);
+          break;
+        case 2: {  // lookup
+          const std::uint64_t* a = plain.find(key);
+          const std::uint64_t* b = sharded.find(key);
+          ASSERT_EQ(a == nullptr, b == nullptr);
+          if (a != nullptr) {
+            EXPECT_EQ(*a, *b);
+          }
+          break;
+        }
+        case 3:  // erase
+          plain.erase(key);
+          sharded.erase(key);
+          break;
+      }
+      if (i % 1'000 == 0) {
+        ASSERT_EQ(plain.size(), sharded.size());
+      }
+    }
+    EXPECT_EQ(plain.size(), sharded.size());
+    // Aggregated contents agree (for_each visit order may differ).
+    std::map<std::uint64_t, std::uint64_t> got_plain, got_sharded;
+    plain.for_each([&](std::uint64_t k, const std::uint64_t& v) {
+      got_plain[k] = v;
+    });
+    sharded.for_each([&](std::uint64_t k, const std::uint64_t& v) {
+      got_sharded[k] = v;
+    });
+    EXPECT_EQ(got_plain, got_sharded);
+  }
+}
+
+TEST(ShardedLineMapTest, KeysLiveInTheirHomePartitionOnly) {
+  ShardedLineMap<int> map(4);
+  for (std::uint64_t key = 0; key < 1'000; ++key) {
+    map[key] = static_cast<int>(key);
+  }
+  std::size_t total = 0;
+  for (unsigned p = 0; p < map.num_partitions(); ++p) {
+    map.partition(p).for_each([&](std::uint64_t k, const int&) {
+      EXPECT_EQ(map.partition_of(k), p) << "key " << k;
+    });
+    total += map.partition(p).size();
+  }
+  EXPECT_EQ(total, map.size());
+  EXPECT_EQ(total, 1'000u);
+}
+
+TEST(ShardedLineMapTest, ReferencesSurviveErasesInOtherPartitions) {
+  // Tombstone semantics are inherited per partition: erasing keys (and the
+  // accompanying rehash-free tombstoning) in *other* partitions must not
+  // move an entry we hold a reference to.
+  ShardedLineMap<int> map(4);
+  const std::uint64_t held_key = 17;
+  for (std::uint64_t key = 0; key < 64; ++key) map[key] = static_cast<int>(key);
+  int& held = map[held_key];
+  const unsigned home = map.partition_of(held_key);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    if (map.partition_of(key) != home) map.erase(key);
+  }
+  EXPECT_EQ(held, 17);
+  held = -1;
+  EXPECT_EQ(*map.find(held_key), -1);
+}
+
+TEST(ShardedLineMapTest, DefaultPartitionCountFollowsEngineShards) {
+  ::setenv("SPCD_ENGINE_SHARDS", "3", 1);
+  ShardedLineMap<int> map;
+  EXPECT_EQ(map.num_partitions(), 3u);
+  ::unsetenv("SPCD_ENGINE_SHARDS");
+  ShardedLineMap<int> serial;
+  EXPECT_EQ(serial.num_partitions(), 1u);
+}
+
+TEST(ShardedLineMapTest, ReserveAndPrefetchAreUsableAtAnyWidth) {
+  ShardedLineMap<int> map(5, /*expected=*/10'000);
+  for (std::uint64_t key = 0; key < 5'000; ++key) {
+    map.prefetch(key);  // cache hint only; must not create entries
+  }
+  EXPECT_EQ(map.size(), 0u);
+  for (std::uint64_t key = 0; key < 5'000; ++key) map[key] = 1;
+  EXPECT_EQ(map.size(), 5'000u);
+}
+
+}  // namespace
+}  // namespace spcd::sim
