@@ -5,6 +5,7 @@
 // execution time.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,37 @@
 #include "workloads/npb.hpp"
 
 namespace spcd::bench {
+
+/// Split a comma-separated list ("cg,mg,sp") into its non-empty items —
+/// the parser behind every SPCD_*_BENCHES-style knob.
+inline std::vector<std::string> split_csv_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!item.empty()) items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+/// Write an ablation CSV and report where it landed (stderr warning on
+/// failure, so a read-only output directory never aborts the sweep).
+inline bool write_csv_file(const std::string& path,
+                           const std::string& contents) {
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(contents.data(), 1, contents.size(), f);
+    std::fclose(f);
+    std::printf("\nCSV written to %s\n", path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  return false;
+}
 
 struct AblationPoint {
   double exec_seconds = 0.0;

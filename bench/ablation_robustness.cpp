@@ -63,20 +63,8 @@ Point run_cell(const Cell& cell) {
 }
 
 std::vector<std::string> configured_benches() {
-  const std::string csv =
-      spcd::util::env_string("SPCD_ROBUSTNESS_BENCHES", "cg,mg,sp");
-  std::vector<std::string> benches;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    const std::size_t comma = csv.find(',', start);
-    const std::string item =
-        csv.substr(start, comma == std::string::npos ? std::string::npos
-                                                     : comma - start);
-    if (!item.empty()) benches.push_back(item);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return benches;
+  return spcd::bench::split_csv_list(
+      spcd::util::env_string("SPCD_ROBUSTNESS_BENCHES", "cg,mg,sp"));
 }
 
 }  // namespace
@@ -145,13 +133,7 @@ int main() {
   }
   std::fputs(table.render().c_str(), stdout);
 
-  if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
-    std::fwrite(csv.data(), 1, csv.size(), f);
-    std::fclose(f);
-    std::printf("\nCSV written to %s\n", csv_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not write %s\n", csv_path.c_str());
-  }
+  bench::write_csv_file(csv_path, csv);
 
   std::printf("\nExpectation: at intensity 0 the counters are all zero and "
               "SPCD keeps its full gain; as intensity grows the degradation "

@@ -17,6 +17,12 @@
 //     --data-mapping        enable SPCD page migration
 //     --chaos <intensity>   deterministic perturbations    (default off,
 //                           or the SPCD_CHAOS_* environment knobs)
+//     --adversary <kind>    adversarial faulter: covert|skew|phase_flip
+//                           (default off, or the SPCD_ADV_* knobs)
+//     --adv-intensity <f>   phantom faults per real fault  (default 1.0
+//                           when --adversary is given)
+//     --harden              enable the hardening defenses  (default off,
+//                           or the SPCD_HARDEN* environment knobs)
 //     --matrix              print the detected matrix (spcd only)
 //     --trace-out <file>    write a Chrome trace_event JSON (sim-time
 //                           events; open in chrome://tracing or Perfetto)
@@ -35,6 +41,7 @@
 #include <fstream>
 #include <string>
 
+#include "chaos/adversary.hpp"
 #include "chaos/perturbation.hpp"
 #include "core/metrics_export.hpp"
 #include "core/runner.hpp"
@@ -51,6 +58,8 @@ const char* kUsage =
     "               [--granularity SHIFT] [--fault-ratio F]\n"
     "               [--window CYCLES] [--no-migration] [--data-mapping]\n"
     "               [--chaos INTENSITY] [--matrix]\n"
+    "               [--adversary covert|skew|phase_flip]\n"
+    "               [--adv-intensity F] [--harden]\n"
     "               [--trace-out FILE] [--metrics-out FILE]\n";
 
 [[noreturn]] void usage_error(const char* fmt, const char* what) {
@@ -102,6 +111,8 @@ int run(int argc, char** argv) {
   std::string metrics_out;
   core::RunnerConfig config;
   config.chaos = chaos::config_from_env();
+  config.adversary = chaos::adversary_from_env();
+  config.spcd.hardening = core::HardeningConfig::from_env();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -136,6 +147,16 @@ int run(int argc, char** argv) {
     } else if (arg == "--chaos") {
       config.chaos = chaos::PerturbationConfig::at_intensity(
           parse_double_flag(arg, value()));
+    } else if (arg == "--adversary") {
+      const char* name = value();
+      if (!chaos::parse_adversary_kind(name, &config.adversary.kind)) {
+        usage_error("unknown adversary %s\n", name);
+      }
+      if (config.adversary.intensity <= 0.0) config.adversary.intensity = 1.0;
+    } else if (arg == "--adv-intensity") {
+      config.adversary.intensity = parse_double_flag(arg, value());
+    } else if (arg == "--harden") {
+      config.spcd.hardening.enabled = true;
     } else if (arg == "--matrix") {
       show_matrix = true;
     } else if (arg == "--trace-out") {
@@ -184,6 +205,11 @@ int run(int argc, char** argv) {
   }
   if (const std::string error = config.chaos.validate(); !error.empty()) {
     std::fprintf(stderr, "invalid chaos configuration: %s\n", error.c_str());
+    return 2;
+  }
+  if (const std::string error = config.adversary.validate(); !error.empty()) {
+    std::fprintf(stderr, "invalid adversary configuration: %s\n",
+                 error.c_str());
     return 2;
   }
 
@@ -256,7 +282,10 @@ int run(int argc, char** argv) {
     t.row({r.label, util::fmt_double(ci.mean, r.precision),
            util::fmt_double(ci.ci95, r.precision)});
   }
-  if (config.chaos.enabled() && policy == core::MappingPolicy::kSpcd) {
+  const bool perturbed = config.chaos.enabled() ||
+                         config.adversary.enabled() ||
+                         config.spcd.hardening.enabled;
+  if (perturbed && policy == core::MappingPolicy::kSpcd) {
     // The degradation counters come from the shared descriptor table, so
     // this table, the robustness ablation and the JSON exporter can never
     // drift apart.

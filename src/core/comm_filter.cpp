@@ -5,16 +5,25 @@
 namespace spcd::core {
 
 CommFilter::CommFilter(std::uint32_t num_threads, std::uint32_t threshold,
-                       double margin)
+                       double margin, std::uint32_t hysteresis_windows)
     : threshold_(threshold),
       margin_(margin),
+      hysteresis_windows_(hysteresis_windows),
       partners_(num_threads, -1),
-      changed_since_remap_(num_threads, false) {
+      changed_since_remap_(num_threads, false),
+      pending_partner_(num_threads, -1),
+      pending_count_(num_threads, 0) {
   SPCD_EXPECTS(num_threads >= 1);
   SPCD_EXPECTS(margin >= 1.0);
 }
 
 bool CommFilter::should_remap(const CommMatrix& matrix) {
+  if (!evaluate(matrix)) return false;
+  commit_trigger();
+  return true;
+}
+
+bool CommFilter::evaluate(const CommMatrix& matrix) {
   SPCD_EXPECTS(matrix.size() == partners_.size());
   ++evaluations_;
 
@@ -23,28 +32,55 @@ bool CommFilter::should_remap(const CommMatrix& matrix) {
     // A thread that has not communicated yet keeps its old partner; the
     // filter only reacts to threads that actively switched partners, and
     // only when the new partner clearly dominates the stored one.
-    if (current == -1 || current == partners_[t]) continue;
+    if (current == -1) continue;
+    if (current == partners_[t]) {
+      // Back on the stored partner: any half-confirmed switch is noise.
+      pending_partner_[t] = -1;
+      pending_count_[t] = 0;
+      continue;
+    }
     const bool dominates =
         partners_[t] == -1 ||
         static_cast<double>(
             matrix.at(t, static_cast<std::uint32_t>(current))) >
             margin_ * static_cast<double>(matrix.at(
                           t, static_cast<std::uint32_t>(partners_[t])));
-    if (dominates) {
-      partners_[t] = current;
-      changed_since_remap_[t] = true;
+    if (!dominates) continue;
+    // Hardening: the same dominating candidate must persist for
+    // hysteresis_windows_ consecutive evaluations before the switch
+    // counts. A phase-flipping pattern resets its own streak every time
+    // the candidate changes.
+    if (hysteresis_windows_ > 1) {
+      if (pending_partner_[t] == current) {
+        ++pending_count_[t];
+      } else {
+        pending_partner_[t] = current;
+        pending_count_[t] = 1;
+      }
+      if (pending_count_[t] < hysteresis_windows_) continue;
+      pending_partner_[t] = -1;
+      pending_count_[t] = 0;
     }
+    partners_[t] = current;
+    changed_since_remap_[t] = true;
   }
   std::uint32_t changes = 0;
   for (std::uint32_t t = 0; t < partners_.size(); ++t) {
     if (changed_since_remap_[t]) ++changes;
   }
   last_changes_ = changes;
+  std::uint32_t pending = 0;
+  for (std::uint32_t t = 0; t < partners_.size(); ++t) {
+    if (pending_partner_[t] != -1) ++pending;
+  }
+  pending_changes_ = pending;
 
-  if (changes < threshold_) return false;
+  return changes >= threshold_;
+}
+
+void CommFilter::commit_trigger() {
   std::fill(changed_since_remap_.begin(), changed_since_remap_.end(), false);
   ++triggers_;
-  return true;
 }
 
 }  // namespace spcd::core

@@ -19,26 +19,53 @@ class CommFilter {
   /// partner's by this factor. Without it, the two near-equal neighbours of
   /// a banded pattern (t-1 vs t+1) flip the argmax on every few samples and
   /// the filter re-triggers indefinitely.
+  /// `hysteresis_windows`: adversarial hardening — a thread's partner
+  /// change only counts once the same new partner has dominated for this
+  /// many *consecutive* evaluations, so an oscillating (phase-flipping)
+  /// fault pattern never accumulates changes. 0 or 1 reproduces the
+  /// paper's immediate-commit behavior exactly.
   CommFilter(std::uint32_t num_threads, std::uint32_t threshold,
-             double margin = 1.5);
+             double margin = 1.5, std::uint32_t hysteresis_windows = 0);
 
-  /// Evaluate the matrix. Partner changes accumulate across evaluations;
-  /// once at least `threshold` distinct threads have changed partner since
-  /// the last remap, the mapping algorithm should run and the accumulator
-  /// resets.
+  /// Evaluate the matrix and decide; equivalent to evaluate() followed by
+  /// commit_trigger() when it fired. Partner changes accumulate across
+  /// evaluations; once at least `threshold` distinct threads have changed
+  /// partner since the last remap, the mapping algorithm should run and
+  /// the accumulator resets.
   bool should_remap(const CommMatrix& matrix);
+
+  /// Evaluate without committing: updates partner state and the change
+  /// accumulator, returns whether the threshold is met. The caller decides
+  /// whether to act — a guarded kernel may defer (rate limit, probation)
+  /// without resetting the accumulator, so the trigger stays pending.
+  bool evaluate(const CommMatrix& matrix);
+
+  /// Consume a pending trigger: count it and reset the change accumulator.
+  /// Call only after evaluate() returned true and the remap actually ran.
+  void commit_trigger();
 
   /// Partner changes seen at the last evaluation.
   std::uint32_t last_changes() const { return last_changes_; }
+  /// Threads whose partner switch is currently held back by the
+  /// persistence (hysteresis) requirement.
+  std::uint32_t pending_changes() const { return pending_changes_; }
   std::uint64_t evaluations() const { return evaluations_; }
   std::uint64_t triggers() const { return triggers_; }
 
  private:
   std::uint32_t threshold_;
   double margin_;
+  std::uint32_t hysteresis_windows_;
   std::vector<std::int32_t> partners_;
   std::vector<bool> changed_since_remap_;
+  /// Persistence tracking: the candidate partner each thread is switching
+  /// to (-1 = none) and for how many consecutive evaluations it has
+  /// dominated. Unused (never allocated reads, always -1/0) when
+  /// hysteresis_windows_ <= 1.
+  std::vector<std::int32_t> pending_partner_;
+  std::vector<std::uint32_t> pending_count_;
   std::uint32_t last_changes_ = 0;
+  std::uint32_t pending_changes_ = 0;
   std::uint64_t evaluations_ = 0;
   std::uint64_t triggers_ = 0;
 };

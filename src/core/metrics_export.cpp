@@ -31,6 +31,10 @@ const std::vector<MetricDescriptor> kDegradation = {
     SPCD_INT_METRIC("migration_giveups", migration_giveups),
     SPCD_INT_METRIC("overrun_skips", overrun_skips),
     SPCD_INT_METRIC("perturbations_injected", perturbations_injected),
+    SPCD_INT_METRIC("anomalies_flagged", anomalies_flagged),
+    SPCD_INT_METRIC("admissions_refused", admissions_refused),
+    SPCD_INT_METRIC("remaps_deferred", remaps_deferred),
+    SPCD_INT_METRIC("remaps_rolled_back", remaps_rolled_back),
 };
 
 std::vector<MetricDescriptor> make_cache() {

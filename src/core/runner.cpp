@@ -24,6 +24,7 @@ constexpr std::uint64_t kRandomPlacementSalt = 0x7a7d;
 constexpr std::uint64_t kOsBalancerSalt = 0xba1a;
 constexpr std::uint64_t kSpcdKernelSalt = 0x5bcd;
 constexpr std::uint64_t kChaosSalt = 0xc4a0;
+constexpr std::uint64_t kAdversarySalt = 0xad5e;
 
 std::uint64_t name_hash(const std::string& name) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -145,6 +146,7 @@ RunMetrics Runner::run_once(const std::string& workload_name,
 
   std::unique_ptr<OsLoadBalancer> balancer;
   std::unique_ptr<chaos::PerturbationEngine> chaos_engine;
+  std::unique_ptr<chaos::AdversaryEngine> adversary_engine;
   std::unique_ptr<SpcdKernel> kernel;
   if (policy == MappingPolicy::kOs) {
     balancer = std::make_unique<OsLoadBalancer>(
@@ -157,9 +159,16 @@ RunMetrics Runner::run_once(const std::string& workload_name,
       chaos_engine = std::make_unique<chaos::PerturbationEngine>(
           config_.chaos, util::derive_seed(rep_seed, kChaosSalt));
     }
+    // Like chaos: a disabled adversary config creates no engine, so the
+    // unattacked path is byte-identical to a build without the subsystem.
+    if (config_.adversary.enabled()) {
+      adversary_engine = std::make_unique<chaos::AdversaryEngine>(
+          config_.adversary, util::derive_seed(rep_seed, kAdversarySalt), n,
+          config_.spcd.table.granularity_shift);
+    }
     kernel = std::make_unique<SpcdKernel>(
         config_.spcd, n, util::derive_seed(rep_seed, kSpcdKernelSalt),
-        chaos_engine.get());
+        chaos_engine.get(), adversary_engine.get());
     kernel->install(engine);
   }
 
@@ -201,6 +210,10 @@ RunMetrics Runner::run_once(const std::string& workload_name,
     if (chaos_engine) {
       m.perturbations_injected = chaos_engine->counters().total();
     }
+    m.anomalies_flagged = kernel->detector().anomalies_flagged();
+    m.admissions_refused = kernel->detector().admissions_refused();
+    m.remaps_deferred = kernel->remaps_deferred();
+    m.remaps_rolled_back = kernel->remaps_rolled_back();
     m.spcd_matrix = std::make_shared<const CommMatrix>(kernel->matrix());
   }
   if (session) {

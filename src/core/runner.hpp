@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/machine_spec.hpp"
+#include "chaos/adversary.hpp"
 #include "chaos/perturbation.hpp"
 #include "core/comm_matrix.hpp"
 #include "core/os_scheduler.hpp"
@@ -65,6 +66,16 @@ struct RunMetrics {
   /// Perturbations the chaos layer injected into this run.
   std::uint64_t perturbations_injected = 0;
 
+  // --- adversarial-hardening counters (all zero unless hardened) ---
+  /// Thread-window anomaly verdicts issued by the detector's scorer.
+  std::uint32_t anomalies_flagged = 0;
+  /// Sharing-table overwrites refused by the admission guard.
+  std::uint64_t admissions_refused = 0;
+  /// Remaps the guards deferred (hysteresis/rate limit/probation).
+  std::uint32_t remaps_deferred = 0;
+  /// Remaps undone by the probation monitor.
+  std::uint32_t remaps_rolled_back = 0;
+
   double injected_fault_ratio() const {
     const auto total = minor_faults + injected_faults;
     return total == 0 ? 0.0
@@ -96,6 +107,9 @@ struct RunnerConfig {
   /// each cell's chaos streams are seeded from its cell seed, so runs stay
   /// bit-identical for any job count).
   chaos::PerturbationConfig chaos;
+  /// Deterministic adversarial fault fabrication applied to kSpcd runs
+  /// (inert by default). Seeded from the cell seed like the chaos streams.
+  chaos::AdversaryConfig adversary;
   /// Worker threads for run_policy(): 0 = the SPCD_JOBS environment knob
   /// (default hardware concurrency), 1 = serial.
   std::uint32_t jobs = 0;

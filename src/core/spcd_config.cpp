@@ -1,6 +1,64 @@
 #include "core/spcd_config.hpp"
 
+#include "util/env.hpp"
+
 namespace spcd::core {
+
+std::string HardeningConfig::validate() const {
+  if (anomaly_window_faults == 0) {
+    return "hardening.anomaly_window_faults must be >= 1";
+  }
+  if (anomaly_entropy_weight < 0.0 || anomaly_entropy_weight > 1.0) {
+    return "hardening.anomaly_entropy_weight must be in [0, 1]";
+  }
+  if (anomaly_flag_threshold <= 0.0) {
+    return "hardening.anomaly_flag_threshold must be > 0";
+  }
+  if (anomaly_discount == 0) {
+    return "hardening.anomaly_discount must be >= 1 (1 = no discount)";
+  }
+  if (admission_max_refusals == 0) {
+    return "hardening.admission_max_refusals must be >= 1";
+  }
+  if (remap_burst == 0) {
+    return "hardening.remap_burst must be >= 1 (the limiter must admit "
+           "some remaps)";
+  }
+  if (remap_refill_interval == 0) {
+    return "hardening.remap_refill_interval must be > 0 cycles";
+  }
+  if (rollback_tolerance < 0.0) {
+    return "hardening.rollback_tolerance must be >= 0";
+  }
+  return {};
+}
+
+HardeningConfig HardeningConfig::from_env() {
+  HardeningConfig c;
+  c.enabled = util::env_u64_clamped("SPCD_HARDEN", 0, 0, 1) != 0;
+  c.anomaly_window_faults = util::env_u64_clamped(
+      "SPCD_HARDEN_WINDOW", c.anomaly_window_faults, 1, 1'000'000'000);
+  c.anomaly_entropy_weight = util::env_double_clamped(
+      "SPCD_HARDEN_ENTROPY_WEIGHT", c.anomaly_entropy_weight, 0.0, 1.0);
+  c.anomaly_flag_threshold = util::env_double_clamped(
+      "SPCD_HARDEN_FLAG_THRESHOLD", c.anomaly_flag_threshold, 1e-9, 1e9);
+  c.anomaly_discount = static_cast<std::uint32_t>(util::env_u64_clamped(
+      "SPCD_HARDEN_DISCOUNT", c.anomaly_discount, 1, 1'000'000));
+  c.admission_max_refusals = static_cast<std::uint32_t>(util::env_u64_clamped(
+      "SPCD_HARDEN_REFUSALS", c.admission_max_refusals, 1, 1'000'000));
+  c.filter_hysteresis = static_cast<std::uint32_t>(util::env_u64_clamped(
+      "SPCD_HARDEN_HYSTERESIS", c.filter_hysteresis, 0, 1'000'000));
+  c.remap_burst = static_cast<std::uint32_t>(util::env_u64_clamped(
+      "SPCD_HARDEN_BURST", c.remap_burst, 1, 1'000'000));
+  c.remap_refill_interval = util::env_u64_clamped(
+      "SPCD_HARDEN_REFILL", c.remap_refill_interval, 1,
+      1'000'000'000'000ULL);
+  c.probation_window = util::env_u64_clamped(
+      "SPCD_HARDEN_PROBATION", c.probation_window, 0, 1'000'000'000'000ULL);
+  c.rollback_tolerance = util::env_double_clamped(
+      "SPCD_HARDEN_TOLERANCE", c.rollback_tolerance, 0.0, 1e9);
+  return c;
+}
 
 std::string SpcdConfig::validate() const {
   if (!(extra_fault_ratio > 0.0 && extra_fault_ratio <= 1.0)) {
@@ -62,6 +120,9 @@ std::string SpcdConfig::validate() const {
   }
   if (migration_max_retries > 0 && migration_retry_backoff == 0) {
     return "migration_retry_backoff must be > 0 when retries are enabled";
+  }
+  if (std::string error = hardening.validate(); !error.empty()) {
+    return error;
   }
   return {};
 }

@@ -29,6 +29,63 @@ class ConfigError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Adversarial-input hardening (DESIGN.md §13). Everything here defaults to
+/// *off*: with `enabled == false` the pipeline computes bit-for-bit what a
+/// build without the hardening layer would — the defenses are opt-in
+/// because the byte-identity CI gates pin the default path's results.
+struct HardeningConfig {
+  /// Master switch for all detection/filter/mapper defenses below.
+  bool enabled = false;
+
+  // --- detection: per-thread fault-rate anomaly scoring ---
+  /// Evaluate anomaly scores every this many delivered faults (the scoring
+  /// window). Per window, a thread's score is its share of the window's
+  /// faults (relative to a uniform share) boosted by the entropy of its
+  /// new communication edges: floods and fabricated-sharing sources fault
+  /// far above their share and/or spray edges across many partners.
+  std::uint64_t anomaly_window_faults = 512;
+  /// Weight of the edge-entropy boost in the score (0 = pure rate spike).
+  double anomaly_entropy_weight = 0.5;
+  /// Threads scoring at or above this are flagged anomalous for the next
+  /// window (score 1.0 = exactly the uniform share, no entropy boost).
+  double anomaly_flag_threshold = 2.5;
+  /// Confidence weighting: matrix increments whose source (or partner) is
+  /// flagged count only once every `anomaly_discount` events.
+  std::uint32_t anomaly_discount = 8;
+
+  // --- sharing table: saturation-aware admission ---
+  /// Guard established entries against flooding: a colliding region must
+  /// knock `admission_max_refusals` times before it may overwrite an entry
+  /// that already holds >= 2 sharers, and accesses by currently-flagged
+  /// threads are always refused. See SharingTableConfig::guard_admission.
+  std::uint32_t admission_max_refusals = 3;
+
+  // --- filter/mapper: guarded remaps ---
+  /// A thread's partner change must persist across this many consecutive
+  /// filter evaluations before it counts (0 or 1 = paper behavior).
+  std::uint32_t filter_hysteresis = 3;
+  /// Token-bucket remap rate limiter: at most `remap_burst` remaps
+  /// back-to-back, refilling one token per `remap_refill_interval` cycles.
+  std::uint32_t remap_burst = 2;
+  util::Cycles remap_refill_interval = 4'000'000;
+  /// Probation: after a remap, watch the remote-traffic rate (cross-socket
+  /// cache-to-cache + remote DRAM) for this many cycles; if it exceeds
+  /// `rollback_tolerance` times the pre-remap rate, restore the previous
+  /// placement (via the migration retry/fallback machinery) and hold off
+  /// further remaps for one probation window. 0 disables probation.
+  util::Cycles probation_window = 2'000'000;
+  double rollback_tolerance = 1.15;
+
+  /// Empty string when valid, else a one-line error (see
+  /// SpcdConfig::validate, which includes this check).
+  std::string validate() const;
+
+  /// Read overrides from SPCD_HARDEN_* environment knobs (SPCD_HARDEN=1
+  /// enables; _WINDOW, _ENTROPY_WEIGHT, _FLAG_THRESHOLD, _DISCOUNT,
+  /// _REFUSALS, _HYSTERESIS, _BURST, _REFILL, _PROBATION, _TOLERANCE).
+  static HardeningConfig from_env();
+};
+
 struct SpcdConfig {
   /// The sharing hash table (granularity, size, collision policy, window).
   mem::SharingTableConfig table;
@@ -145,6 +202,10 @@ struct SpcdConfig {
   util::Cycles matching_cost_per_thread_cubed = 8;
   /// Re-attempting the failed subset of a migration batch.
   util::Cycles migration_retry_cost = 5'000;
+
+  /// Adversarial-input hardening (default: fully disabled; see
+  /// HardeningConfig and DESIGN.md §13).
+  HardeningConfig hardening;
 
   /// Check the configuration for contradictory settings (injection ratio
   /// outside (0, 1], a zero injector period, a degenerate granularity,

@@ -19,11 +19,21 @@
 // a window of faults exceeds a threshold, it ages stale entries out (or
 // resets the table wholesale) instead of silently letting overwrites
 // corrupt the matrix; each such event is counted as a saturation reset.
+//
+// Adversarial hardening (DESIGN.md §13): an optional chaos::AdversaryEngine
+// fabricates phantom faults riding on each delivered real fault (inside the
+// serial drain loop, so the attack is bit-identical across job/shard
+// counts), and — when SpcdConfig::hardening is enabled — the detector
+// scores per-thread fault-rate anomalies per window (rate spike x edge
+// entropy), discounts matrix increments from flagged sources, and feeds the
+// flags to the sharing table's admission guard.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <vector>
 
+#include "chaos/adversary.hpp"
 #include "chaos/perturbation.hpp"
 #include "core/comm_matrix.hpp"
 #include "core/spcd_config.hpp"
@@ -35,7 +45,8 @@ namespace spcd::core {
 class SpcdDetector final : public mem::FaultObserver {
  public:
   SpcdDetector(const SpcdConfig& config, std::uint32_t num_threads,
-               chaos::PerturbationEngine* chaos = nullptr);
+               chaos::PerturbationEngine* chaos = nullptr,
+               chaos::AdversaryEngine* adversary = nullptr);
 
   /// FaultObserver: charge the handler's extra cycles and enqueue the
   /// access for batched detection (see header comment).
@@ -79,6 +90,19 @@ class SpcdDetector final : public mem::FaultObserver {
     return saturation_resets_;
   }
 
+  /// Thread-window anomaly verdicts issued (one per flagged thread per
+  /// scoring window; 0 unless hardening is enabled).
+  std::uint32_t anomalies_flagged() const {
+    flush();
+    return anomalies_flagged_;
+  }
+
+  /// Table overwrites refused by the admission guard (0 unless hardened).
+  std::uint64_t admissions_refused() const {
+    flush();
+    return table_.admissions_refused();
+  }
+
  private:
   /// One undelivered fault. The chaos duplicate decision is drawn at
   /// arrival (its RNG stream must advance in fault order); the delivery
@@ -92,13 +116,20 @@ class SpcdDetector final : public mem::FaultObserver {
   static constexpr std::size_t kRingCapacity = 64;
 
   void drain();
+  /// Fully process one fault (real or phantom): stat/window accounting,
+  /// table/matrix walk, trace event, anomaly + saturation checks.
+  void deliver(const PendingFault& fault);
   void record(const PendingFault& fault);
   void maybe_handle_saturation(util::Cycles now);
+  void maybe_score_anomalies(util::Cycles now);
+
+  bool hardened() const { return !flagged_.empty(); }
 
   SpcdConfig config_;
   mem::SharingTable table_;
   CommMatrix matrix_;
   chaos::PerturbationEngine* chaos_;
+  chaos::AdversaryEngine* adversary_;
   std::array<PendingFault, kRingCapacity> ring_;
   std::size_t ring_size_ = 0;
   std::uint64_t faults_seen_ = 0;
@@ -107,6 +138,14 @@ class SpcdDetector final : public mem::FaultObserver {
   std::uint64_t last_check_faults_ = 0;
   std::uint64_t last_check_accesses_ = 0;
   std::uint64_t last_check_collisions_ = 0;
+
+  // --- hardening state (all vectors empty unless hardening.enabled) ---
+  std::vector<std::uint32_t> window_faults_;  ///< faults per tid, window
+  std::vector<std::uint8_t> flagged_;         ///< last window's verdicts
+  std::vector<std::uint32_t> discount_ctr_;   ///< per-tid discount phase
+  std::uint64_t window_total_ = 0;
+  CommMatrix::Snapshot window_snap_;
+  std::uint32_t anomalies_flagged_ = 0;
 };
 
 }  // namespace spcd::core

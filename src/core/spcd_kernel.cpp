@@ -1,5 +1,6 @@
 #include "core/spcd_kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,13 +10,29 @@
 
 namespace spcd::core {
 
+namespace {
+
+// Reason codes attached to the filter's "suppress" trace event (DESIGN.md
+// §9): why an evaluation did not lead to a remap this tick.
+constexpr std::uint64_t kSuppressBelowThreshold = 0;  ///< too few changes
+constexpr std::uint64_t kSuppressHysteresis = 1;      ///< switches held back
+constexpr std::uint64_t kSuppressRateLimited = 2;     ///< token bucket empty
+constexpr std::uint64_t kSuppressProbation = 3;       ///< remap under watch
+constexpr std::uint64_t kSuppressCooldown = 4;        ///< rollback embargo
+
+}  // namespace
+
 SpcdKernel::SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
-                       std::uint64_t seed, chaos::PerturbationEngine* chaos)
+                       std::uint64_t seed, chaos::PerturbationEngine* chaos,
+                       chaos::AdversaryEngine* adversary)
     : config_(config),
-      detector_(config, num_threads, chaos),
+      detector_(config, num_threads, chaos, adversary),
       injector_(config, util::derive_seed(seed, 0x1), chaos),
-      filter_(num_threads, config.filter_threshold, config.filter_margin),
-      chaos_(chaos) {
+      filter_(num_threads, config.filter_threshold, config.filter_margin,
+              config.hardening.enabled ? config.hardening.filter_hysteresis
+                                       : 0),
+      chaos_(chaos),
+      remap_tokens_(static_cast<double>(config.hardening.remap_burst)) {
   if (const std::string error = config.validate(); !error.empty()) {
     throw ConfigError("SpcdConfig: " + error);
   }
@@ -123,6 +140,7 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
   // mapping decision reads detector state.
   detector_.flush();
   const std::uint32_t n = engine.num_threads();
+  const bool hardened = config_.hardening.enabled;
 
   // Filter evaluation is Theta(N^2); its cost is mapping overhead.
   util::Cycles cost = config_.filter_cost_per_thread_sq *
@@ -135,18 +153,75 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
       mapped_once_ && config_.refine_growth > 0.0 &&
       static_cast<double>(total) >=
           config_.refine_growth * static_cast<double>(last_remap_total_);
+  if (hardened) {
+    // Token-bucket refill: one remap credit per refill interval, capped at
+    // the burst size.
+    remap_tokens_ = std::min(
+        static_cast<double>(config_.hardening.remap_burst),
+        remap_tokens_ +
+            static_cast<double>(engine.now() - last_refill_time_) /
+                static_cast<double>(config_.hardening.remap_refill_interval));
+    last_refill_time_ = engine.now();
+  }
   // The filter only runs once the matrix is warm and migration is on —
   // identical to the short-circuit it replaced, but with the decision
-  // hoisted so the trigger/suppress verdict can be traced.
+  // hoisted so the trigger/suppress verdict can be traced. Committing the
+  // trigger is split from evaluating so a guard-deferred remap keeps its
+  // pending trigger instead of silently counting as served.
+  const bool warm =
+      total >= config_.min_matrix_total && config_.enable_migration;
   bool filter_fired = false;
-  if (total >= config_.min_matrix_total && config_.enable_migration) {
-    filter_fired = filter_.should_remap(detector_.matrix());
-    obs::trace_instant("filter", filter_fired ? "trigger" : "suppress",
-                       engine.now(), {"changes", filter_.last_changes()},
-                       {"evaluations", filter_.evaluations()});
+  if (warm) filter_fired = filter_.evaluate(detector_.matrix());
+
+  bool act = warm && (filter_fired || refine);
+  std::int64_t suppress_reason = -1;
+  if (act && hardened) {
+    // Mapper guards, checked in escalation order: an in-flight probation
+    // blocks everything, then the post-rollback cooldown, then the rate
+    // limiter. A deferral leaves the filter accumulator intact, so the
+    // trigger re-fires once the guard clears.
+    if (probation_.active) {
+      suppress_reason = static_cast<std::int64_t>(kSuppressProbation);
+    } else if (engine.now() < cooldown_until_) {
+      suppress_reason = static_cast<std::int64_t>(kSuppressCooldown);
+    } else if (remap_tokens_ < 1.0) {
+      suppress_reason = static_cast<std::int64_t>(kSuppressRateLimited);
+    }
+    if (suppress_reason >= 0) {
+      act = false;
+      ++remaps_deferred_;
+      obs::trace_instant("mapper", "remap_deferred", engine.now(),
+                         {"reason", static_cast<std::uint64_t>(
+                                        suppress_reason)},
+                         {"changes", filter_.last_changes()});
+    }
   }
-  if (total >= config_.min_matrix_total && config_.enable_migration &&
-      (filter_fired || refine)) {
+  if (warm) {
+    if (filter_fired && act) {
+      filter_.commit_trigger();
+      obs::trace_instant("filter", "trigger", engine.now(),
+                         {"changes", filter_.last_changes()},
+                         {"evaluations", filter_.evaluations()});
+    } else {
+      if (suppress_reason < 0) {
+        // No guard deferral: the accumulator is below threshold, or enough
+        // switches to meet it are still held by the persistence
+        // (hysteresis) requirement.
+        const bool held_back =
+            filter_.pending_changes() > 0 &&
+            filter_.last_changes() + filter_.pending_changes() >=
+                config_.filter_threshold;
+        suppress_reason = static_cast<std::int64_t>(
+            held_back ? kSuppressHysteresis : kSuppressBelowThreshold);
+        if (held_back) ++remaps_deferred_;
+      }
+      obs::trace_instant("filter", "suppress", engine.now(),
+                         {"changes", filter_.last_changes()},
+                         {"reason",
+                          static_cast<std::uint64_t>(suppress_reason)});
+    }
+  }
+  if (act) {
     mapped_once_ = true;
     last_remap_total_ = total;
     cost += config_.matching_base_cost +
@@ -168,6 +243,23 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
       // A fresh remap decision: any retry still pending for the previous
       // target placement is obsolete.
       ++remap_generation_;
+      // Probation bookkeeping *before* any thread moves: the placement to
+      // restore and the remote-traffic rate the remap must beat.
+      const bool probe =
+          hardened && config_.hardening.probation_window > 0;
+      sim::Placement prev_placement;
+      std::uint64_t remote_before = 0;
+      double pre_rate = 0.0;
+      if (probe) {
+        prev_placement = engine.placement();
+        remote_before = remote_traffic(engine);
+        const util::Cycles dt = engine.now() - last_tick_time_;
+        if (dt > 0) {
+          pre_rate = static_cast<double>(remote_before - last_tick_remote_) /
+                     static_cast<double>(dt);
+        }
+      }
+      if (hardened) remap_tokens_ -= 1.0;
       std::vector<sim::ThreadId> movers;
       movers.reserve(would_move);
       for (sim::ThreadId tid = 0; tid < n; ++tid) {
@@ -184,6 +276,24 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
       if (!outcome.failed.empty()) {
         schedule_retry(engine, mapping.placement,
                        std::move(outcome.failed), 0);
+      }
+      if (probe && migrated) {
+        probation_.active = true;
+        probation_.generation = remap_generation_;
+        probation_.prev_placement = std::move(prev_placement);
+        probation_.remote_at = remote_before;
+        probation_.time_at = engine.now();
+        probation_.pre_rate = pre_rate;
+        const std::uint64_t generation = remap_generation_;
+        engine.schedule(engine.now() + config_.hardening.probation_window,
+                        [this, generation](sim::Engine& e) {
+                          probation_check(e, generation);
+                        });
+        obs::trace_instant(
+            "mapper", "probation_start", engine.now(),
+            {"moved", outcome.moved},
+            {"pre_rate_x1000",
+             static_cast<std::uint64_t>(pre_rate * 1000.0)});
       }
     } else {
       // The gain gate rejected the computed placement: the migrations'
@@ -212,6 +322,13 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
     }
   }
 
+  // Remember this tick's remote-traffic sample: the next remap's pre-rate
+  // is measured over the interval since the last tick.
+  if (hardened) {
+    last_tick_remote_ = remote_traffic(engine);
+    last_tick_time_ = engine.now();
+  }
+
   // Charge the analysis to a rotating victim thread, like the injector.
   const sim::ThreadId victim =
       static_cast<sim::ThreadId>(filter_.evaluations() % n);
@@ -221,6 +338,64 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
     engine.schedule(engine.now() + config_.mapping_interval,
                     [this](sim::Engine& e) { mapping_tick(e); });
   }
+}
+
+std::uint64_t SpcdKernel::remote_traffic(const sim::Engine& engine) {
+  const sim::PerfCounters& c = engine.counters();
+  return c.c2c_cross_socket + c.dram_remote;
+}
+
+void SpcdKernel::probation_check(sim::Engine& engine,
+                                 std::uint64_t generation) {
+  // A rollback (or any newer decision) supersedes this check.
+  if (!probation_.active || probation_.generation != generation) return;
+  probation_.active = false;
+  const util::Cycles now = engine.now();
+  const double dt = static_cast<double>(now - probation_.time_at);
+  if (dt <= 0.0) return;
+  const double post_rate =
+      static_cast<double>(remote_traffic(engine) - probation_.remote_at) / dt;
+  // A remap on a healthy signal lowers (or at worst holds) the remote
+  // rate; a remap baited by fabricated sharing raises it. pre_rate == 0
+  // means there was no remote traffic to improve on — nothing to judge.
+  const bool regressed =
+      probation_.pre_rate > 0.0 &&
+      post_rate > config_.hardening.rollback_tolerance * probation_.pre_rate;
+  obs::trace_instant(
+      "mapper", regressed ? "rollback" : "probation_ok", now,
+      {"post_rate_x1000", static_cast<std::uint64_t>(post_rate * 1000.0)},
+      {"pre_rate_x1000",
+       static_cast<std::uint64_t>(probation_.pre_rate * 1000.0)});
+  if (!regressed) return;
+
+  ++remaps_rolled_back_;
+  // The restoration is itself a fresh decision: cancel any retries still
+  // chasing the rolled-back target, then move every misplaced thread back
+  // through the standard apply/retry/fallback machinery.
+  ++remap_generation_;
+  std::vector<sim::ThreadId> movers;
+  const std::uint32_t n = engine.num_threads();
+  for (sim::ThreadId tid = 0; tid < n; ++tid) {
+    if (!engine.thread_finished(tid) &&
+        engine.placement()[tid] != probation_.prev_placement[tid]) {
+      movers.push_back(tid);
+    }
+  }
+  ApplyOutcome outcome = apply_moves(engine, movers,
+                                     probation_.prev_placement,
+                                     /*is_retry=*/false);
+  if (!outcome.failed.empty()) {
+    schedule_retry(engine, probation_.prev_placement,
+                   std::move(outcome.failed), 0);
+  }
+  // Embargo further remaps while the restored placement re-stabilizes (and
+  // the poisoned matrix evidence ages out of the pre-rate window).
+  cooldown_until_ = now + config_.hardening.probation_window;
+  SPCD_LOG_WARN("spcd: remap rolled back at cycle %llu (remote rate "
+                "%.4f -> %.4f, tolerance %.2f); restored %u thread(s)",
+                static_cast<unsigned long long>(now), probation_.pre_rate,
+                post_rate, config_.hardening.rollback_tolerance,
+                outcome.moved);
 }
 
 }  // namespace spcd::core

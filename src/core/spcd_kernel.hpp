@@ -11,11 +11,22 @@
 // Failed migrations are retried with exponential backoff up to
 // migration_max_retries; exhausted retries fall back to keeping the old
 // mapping for the affected threads. Every degradation is counted.
+//
+// Adversarial hardening (DESIGN.md §13): an optional chaos::AdversaryEngine
+// feeds fabricated phantom faults into the detector, and — when
+// SpcdConfig::hardening is enabled — remap decisions pass three guards: a
+// token-bucket rate limiter (at most remap_burst remaps back to back), a
+// probation window after every applied remap during which the remote-
+// traffic rate is watched and the previous placement is restored (through
+// the same retry/fallback machinery) if the predicted benefit does not
+// materialize, and a cooldown after a rollback. Deferred remaps and
+// rollbacks are counted and traced.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "chaos/adversary.hpp"
 #include "chaos/perturbation.hpp"
 #include "core/comm_filter.hpp"
 #include "core/data_mapper.hpp"
@@ -29,10 +40,12 @@ namespace spcd::core {
 
 class SpcdKernel {
  public:
-  /// Throws ConfigError when `config.validate()` fails. `chaos`
-  /// (optional, non-owning, may be nullptr) must outlive the kernel.
+  /// Throws ConfigError when `config.validate()` fails. `chaos` and
+  /// `adversary` (optional, non-owning, may be nullptr) must outlive the
+  /// kernel.
   SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
-             std::uint64_t seed, chaos::PerturbationEngine* chaos = nullptr);
+             std::uint64_t seed, chaos::PerturbationEngine* chaos = nullptr,
+             chaos::AdversaryEngine* adversary = nullptr);
   ~SpcdKernel();
 
   SpcdKernel(const SpcdKernel&) = delete;
@@ -64,8 +77,22 @@ class SpcdKernel {
     return data_mapper_ ? data_mapper_->pages_migrated() : 0;
   }
 
+  /// Remaps the hardening guards deferred (hysteresis hold, rate limit,
+  /// probation, cooldown). 0 unless hardening is enabled.
+  std::uint32_t remaps_deferred() const { return remaps_deferred_; }
+
+  /// Remaps undone by the probation monitor (previous placement restored).
+  std::uint32_t remaps_rolled_back() const { return remaps_rolled_back_; }
+
  private:
   void mapping_tick(sim::Engine& engine);
+  /// End-of-probation verdict: compare the remote-traffic rate during the
+  /// probation window against the pre-remap rate; restore the snapshotted
+  /// placement on regression.
+  void probation_check(sim::Engine& engine, std::uint64_t generation);
+  /// Cross-socket cache-to-cache transfers + remote DRAM accesses — the
+  /// traffic a good mapping is supposed to reduce.
+  static std::uint64_t remote_traffic(const sim::Engine& engine);
 
   struct ApplyOutcome {
     std::uint32_t moved = 0;  ///< migrations applied (or scheduled late)
@@ -99,6 +126,27 @@ class SpcdKernel {
   std::uint64_t last_remap_total_ = 0;
   bool mapped_once_ = false;
   mem::AddressSpace* hooked_space_ = nullptr;
+
+  // --- hardening state (inert unless config_.hardening.enabled) ---
+  /// A remap in flight under probation: the pre-remap placement and
+  /// remote-traffic rate, to compare against and restore from.
+  struct Probation {
+    bool active = false;
+    std::uint64_t generation = 0;      ///< remap_generation_ it guards
+    sim::Placement prev_placement;
+    std::uint64_t remote_at = 0;       ///< remote traffic at the remap
+    util::Cycles time_at = 0;
+    double pre_rate = 0.0;             ///< remote traffic rate before it
+  };
+  Probation probation_;
+  double remap_tokens_ = 0.0;          ///< token bucket (filled on init)
+  util::Cycles last_refill_time_ = 0;
+  util::Cycles cooldown_until_ = 0;    ///< post-rollback remap embargo
+  /// Previous tick's remote-traffic sample, for the pre-remap rate.
+  std::uint64_t last_tick_remote_ = 0;
+  util::Cycles last_tick_time_ = 0;
+  std::uint32_t remaps_deferred_ = 0;
+  std::uint32_t remaps_rolled_back_ = 0;
 };
 
 }  // namespace spcd::core

@@ -57,6 +57,9 @@ CommunicationEvent SharingTable::touch_entry(Entry& entry,
     entry.region = region;
     entry.sharer_count = 0;
   }
+  // An access to the entry's own region re-arms the admission guard: as
+  // long as a region is actively shared its entry stays protected.
+  entry.refusals = 0;
 
   // Collect communication partners and update / insert this thread's stamp.
   std::uint32_t self_idx = entry.sharer_count;  // sentinel: not found
@@ -98,6 +101,26 @@ CommunicationEvent SharingTable::record_access(std::uint64_t vaddr,
   std::uint64_t bucket = bucket_of(region);
   if (bucket_hook_) (void)bucket_hook_(table_.size(), &bucket);
   Entry& head = table_[bucket];
+
+  // Saturation-aware admission (hardening, default off): an established
+  // sharer list may only be overwritten after absorbing
+  // admission_max_refusals collision knocks, and knocks from threads the
+  // anomaly scorer flagged never wear the guard down — a flood evicts
+  // nothing it did not build itself. Refused accesses detect no
+  // communication (the honest path pays nothing: its own region's entry is
+  // exactly the one being protected).
+  if (config_.guard_admission && head.region != region &&
+      head.region != Entry::kEmpty && head.sharer_count >= 2 &&
+      config_.collision_policy == CollisionPolicy::kOverwrite) {
+    const bool suspect =
+        suspect_flags_ != nullptr && tid < suspect_count_ &&
+        suspect_flags_[tid] != 0;
+    if (suspect || head.refusals < config_.admission_max_refusals) {
+      if (!suspect) ++head.refusals;
+      ++admissions_refused_;
+      return CommunicationEvent{};
+    }
+  }
 
   if (config_.collision_policy == CollisionPolicy::kOverwrite ||
       head.region == region || head.region == Entry::kEmpty) {
@@ -158,6 +181,7 @@ void SharingTable::clear() {
   for (auto& e : table_) e = Entry{};
   for (auto& chain : overflow_) chain.clear();
   collisions_ = occupied_ = accesses_ = window_rejects_ = 0;
+  admissions_refused_ = 0;
 }
 
 }  // namespace spcd::mem

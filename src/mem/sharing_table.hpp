@@ -41,6 +41,15 @@ struct SharingTableConfig {
   /// Sharers remembered per region; the kernel module bounds this so an
   /// entry stays ~72 bytes. The oldest sharer is evicted when full.
   std::uint32_t max_sharers = 8;
+
+  // --- adversarial hardening: saturation-aware admission (default off) ---
+  /// Guard established entries (>= 2 sharers) against flooding: a colliding
+  /// region must knock `admission_max_refusals` times before it may
+  /// overwrite one, and accesses by threads marked suspect (see
+  /// set_suspects) are refused outright. Off by default — the paper's
+  /// overwrite-on-collision behavior is byte-identical when disabled.
+  bool guard_admission = false;
+  std::uint32_t admission_max_refusals = 3;
 };
 
 /// Result of recording one access: the other threads this access
@@ -95,12 +104,23 @@ class SharingTable {
   /// so collision-rate monitoring across the reset stays monotonic.
   void reset_entries();
 
+  /// Hardening: per-thread suspect flags consulted by the admission guard
+  /// (non-owning; `flags[tid] != 0` marks tid suspect). The detector points
+  /// this at its anomaly-flag array so freshly flagged flooders are locked
+  /// out of evictions immediately. Ignored unless guard_admission is set.
+  void set_suspects(const std::uint8_t* flags, std::uint32_t count) {
+    suspect_flags_ = flags;
+    suspect_count_ = count;
+  }
+
   // --- statistics ---
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t occupied() const { return occupied_; }
   std::uint64_t accesses() const { return accesses_; }
   /// Accesses suppressed by the temporal window.
   std::uint64_t window_rejects() const { return window_rejects_; }
+  /// Overwrites refused by the admission guard (0 unless guarding).
+  std::uint64_t admissions_refused() const { return admissions_refused_; }
 
   void clear();
 
@@ -113,6 +133,9 @@ class SharingTable {
     static constexpr std::uint64_t kEmpty = ~0ULL;
     std::uint64_t region = kEmpty;
     std::uint32_t sharer_count = 0;
+    /// Admission-guard knocks absorbed since the last touch of this
+    /// entry's own region (only maintained under guard_admission).
+    std::uint32_t refusals = 0;
     Sharer sharers[8];
   };
 
@@ -128,10 +151,14 @@ class SharingTable {
   std::vector<std::vector<Entry>> overflow_;
   BucketHook bucket_hook_;
 
+  const std::uint8_t* suspect_flags_ = nullptr;
+  std::uint32_t suspect_count_ = 0;
+
   std::uint64_t collisions_ = 0;
   std::uint64_t occupied_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t window_rejects_ = 0;
+  std::uint64_t admissions_refused_ = 0;
 };
 
 }  // namespace spcd::mem

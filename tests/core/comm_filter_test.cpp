@@ -92,6 +92,67 @@ TEST(CommFilterTest, HighThresholdNeverTriggersOnPairFlip) {
   EXPECT_FALSE(f.should_remap(m));  // 4 changes < 16
 }
 
+TEST(CommFilterTest, EvaluateLeavesTriggerPendingUntilCommit) {
+  CommFilter f(4, 2);
+  CommMatrix m(4);
+  m.add(0, 1, 10);
+  m.add(2, 3, 10);
+  EXPECT_TRUE(f.evaluate(m));
+  // Deferred (no commit): the accumulator stays armed and re-fires.
+  EXPECT_TRUE(f.evaluate(m));
+  EXPECT_EQ(f.triggers(), 0u);
+  f.commit_trigger();
+  EXPECT_EQ(f.triggers(), 1u);
+  EXPECT_FALSE(f.evaluate(m));  // nothing changed since the commit
+}
+
+TEST(CommFilterTest, HysteresisCommitsOnlyPersistentSwitches) {
+  CommFilter f(2, 1, 1.5, /*hysteresis_windows=*/3);
+  CommMatrix m(2);
+  m.add(0, 1, 10);
+  EXPECT_FALSE(f.evaluate(m));  // streak 1 of 3: held back
+  EXPECT_EQ(f.pending_changes(), 2u);
+  EXPECT_FALSE(f.evaluate(m));  // streak 2 of 3
+  EXPECT_TRUE(f.evaluate(m));   // persisted: both threads commit
+  EXPECT_EQ(f.pending_changes(), 0u);
+}
+
+TEST(CommFilterTest, HysteresisStarvesOscillatingArgmax) {
+  // The phase_flip attack shape: thread 0's argmax leapfrogs between 1 and
+  // 2 every evaluation. The persistence requirement resets the streak on
+  // each flip, so thread 0 never commits a switch; with threshold 3 the
+  // two stable victims alone can never trigger.
+  CommFilter f(3, 3, 1.5, /*hysteresis_windows=*/2);
+  CommMatrix m(3);
+  std::uint64_t w1 = 0;
+  std::uint64_t w2 = 0;
+  for (int round = 0; round < 10; ++round) {
+    if (round % 2 == 0) {
+      const std::uint64_t add = (3 * w2) / 2 + 10 - w1;
+      m.add(0, 1, add);
+      w1 += add;
+    } else {
+      const std::uint64_t add = (3 * w1) / 2 + 10 - w2;
+      m.add(0, 2, add);
+      w2 += add;
+    }
+    EXPECT_FALSE(f.evaluate(m)) << "round " << round;
+  }
+  EXPECT_EQ(f.triggers(), 0u);
+}
+
+TEST(CommFilterTest, HysteresisOneMatchesImmediateCommit) {
+  CommFilter immediate(4, 2);
+  CommFilter one(4, 2, 1.5, /*hysteresis_windows=*/1);
+  CommMatrix m(4);
+  m.add(0, 1, 10);
+  m.add(2, 3, 10);
+  EXPECT_EQ(immediate.should_remap(m), one.should_remap(m));
+  m.add(0, 2, 100);
+  m.add(1, 3, 100);
+  EXPECT_EQ(immediate.should_remap(m), one.should_remap(m));
+}
+
 TEST(CommFilterDeathTest, SizeMismatchAborts) {
   CommFilter f(4, 2);
   CommMatrix m(5);

@@ -171,6 +171,95 @@ TEST(SharingTableTest, ManyRegionsLowCollisionRate) {
   EXPECT_LT(st.collisions(), 500u);
 }
 
+// --- admission guard (adversarial hardening, DESIGN.md §13) ---
+
+SharingTableConfig guarded_config() {
+  SharingTableConfig c;
+  c.num_entries = 1;  // every region collides into the one bucket
+  c.granularity_shift = 12;
+  c.guard_admission = true;
+  c.admission_max_refusals = 3;
+  return c;
+}
+
+TEST(SharingTableTest, AdmissionGuardProtectsEstablishedEntries) {
+  SharingTable st(guarded_config());
+  // Establish region 0x1000 with two sharers: now "established".
+  st.record_access(0x1000, 0, 10);
+  st.record_access(0x1000, 1, 20);
+  // A colliding region must knock max_refusals times before admission.
+  // After two knocks the established entry is still fully intact: a third
+  // sharer sees both originals (this touch also re-arms the guard).
+  st.record_access(0x2000, 2, 31);
+  st.record_access(0x2000, 2, 32);
+  EXPECT_EQ(st.admissions_refused(), 2u);
+  const auto e = st.record_access(0x1000, 3, 40);
+  EXPECT_EQ(partners_of(e), (std::vector<std::uint32_t>{0, 1}));
+  // Three fresh knocks wear the re-armed guard down...
+  for (std::uint64_t knock = 1; knock <= 3; ++knock) {
+    const auto refused = st.record_access(0x2000, 2, 50 + knock);
+    EXPECT_EQ(refused.partner_count, 0u);
+    EXPECT_EQ(st.admissions_refused(), 2 + knock);
+  }
+  // ...and the next one wins the bucket.
+  st.record_access(0x2000, 2, 60);
+  const auto after = st.record_access(0x2000, 4, 70);
+  EXPECT_EQ(partners_of(after), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(SharingTableTest, AdmissionGuardIgnoresSingleSharerEntries) {
+  SharingTable st(guarded_config());
+  st.record_access(0x1000, 0, 10);  // only one sharer: not established
+  st.record_access(0x2000, 1, 20);  // overwrites immediately
+  EXPECT_EQ(st.admissions_refused(), 0u);
+  const auto e = st.record_access(0x2000, 2, 30);
+  EXPECT_EQ(partners_of(e), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(SharingTableTest, OwnRegionTouchReArmsTheGuard) {
+  SharingTable st(guarded_config());
+  st.record_access(0x1000, 0, 10);
+  st.record_access(0x1000, 1, 20);
+  st.record_access(0x2000, 2, 30);  // knock 1
+  st.record_access(0x2000, 2, 31);  // knock 2
+  st.record_access(0x1000, 0, 40);  // entry's own region: refusals reset
+  // The flooder needs three fresh knocks again.
+  st.record_access(0x2000, 2, 50);
+  st.record_access(0x2000, 2, 51);
+  st.record_access(0x2000, 2, 52);
+  const auto still = st.record_access(0x1000, 3, 60);
+  EXPECT_EQ(partners_of(still), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(st.admissions_refused(), 5u);
+}
+
+TEST(SharingTableTest, SuspectThreadsAreRefusedOutright) {
+  SharingTable st(guarded_config());
+  const std::uint8_t suspects[4] = {0, 0, 0, 1};  // tid 3 flagged
+  st.set_suspects(suspects, 4);
+  st.record_access(0x1000, 0, 10);
+  st.record_access(0x1000, 1, 20);
+  // A suspect never wears the guard down, no matter how often it knocks.
+  for (std::uint64_t knock = 0; knock < 16; ++knock) {
+    const auto e = st.record_access(0x2000, 3, 30 + knock);
+    EXPECT_EQ(e.partner_count, 0u);
+  }
+  EXPECT_EQ(st.admissions_refused(), 16u);
+  const auto e = st.record_access(0x1000, 2, 100);
+  EXPECT_EQ(partners_of(e), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(SharingTableTest, GuardOffKeepsPaperOverwriteBehavior) {
+  SharingTableConfig c = guarded_config();
+  c.guard_admission = false;
+  SharingTable st(c);
+  st.record_access(0x1000, 0, 10);
+  st.record_access(0x1000, 1, 20);
+  st.record_access(0x2000, 2, 30);  // overwrites immediately (the paper)
+  EXPECT_EQ(st.admissions_refused(), 0u);
+  const auto e = st.record_access(0x2000, 3, 40);
+  EXPECT_EQ(partners_of(e), (std::vector<std::uint32_t>{2}));
+}
+
 TEST(SharingTableDeathTest, InvalidConfigAborts) {
   SharingTableConfig c;
   c.num_entries = 0;
