@@ -1,0 +1,134 @@
+// perf_regress kernel 5: the multi-tenant service's ingest hot path.
+//
+// Measures sustained fault-event ingest (ns/event, reported also as
+// events/sec) through SpcdService::ingest — journal-less, in-process,
+// no transport — at three tenant scales: 1 (single-app baseline), 16
+// (the contended midpoint), and 100 (the acceptance-criterion fleet,
+// overcommitted 200 threads on 32 contexts, so every arbitration pays
+// the full interference-accounting path). Batches come from the
+// scripted driver workload round-robin across tenants, so the stream —
+// and therefore the folded checksum (per-scale event totals, detected
+// communication, decision digests, interference counters) — is a pure
+// function of the fixed seed.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/perf_kernels.hpp"
+#include "svc/driver.hpp"
+#include "svc/service.hpp"
+
+namespace spcd::bench {
+
+namespace {
+
+// Recorded from the build this kernel was introduced in (service results
+// cross-checked by the svc unit tests); the ingest path must reproduce
+// it bit for bit.
+constexpr std::uint64_t kRefServiceThroughput = 0x7b260de620d6e02dULL;
+
+struct Scale {
+  std::uint32_t tenants;
+  std::uint32_t batches_per_tenant;
+};
+
+constexpr Scale kScales[] = {{1, 64}, {16, 8}, {100, 2}};
+constexpr std::uint32_t kThreadsPerTenant = 2;
+constexpr std::uint32_t kEventsPerBatch = 512;
+
+/// One full pass at one scale; folds the scale's results and returns the
+/// event count ingested.
+std::uint64_t run_scale(const Scale& scale, Checksum& sum, double* ns) {
+  svc::ServiceConfig config;
+  config.table.num_entries = 4096;  // small: capacity interference is real
+  config.arbitration_interval = 8192;
+  svc::SpcdService service(config);
+
+  svc::DriverConfig driver;
+  driver.tenants = scale.tenants;
+  driver.threads_per_tenant = kThreadsPerTenant;
+  driver.batches_per_tenant = scale.batches_per_tenant;
+  driver.events_per_batch = kEventsPerBatch;
+
+  std::vector<std::uint32_t> ids(scale.tenants);
+  for (std::uint32_t t = 0; t < scale.tenants; ++t) {
+    ids[t] = service
+                 .register_tenant("bench-" + std::to_string(t),
+                                  kThreadsPerTenant)
+                 .tenant_id;
+  }
+
+  std::uint64_t events = 0;
+  std::uint64_t comm = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Round-robin: batch 0 of every tenant, then batch 1, ... — the
+  // interleaving a fair scheduler would produce, in one deterministic
+  // order.
+  for (std::uint32_t b = 0; b < scale.batches_per_tenant; ++b) {
+    for (std::uint32_t t = 0; t < scale.tenants; ++t) {
+      const svc::IngestResult r =
+          service.ingest(ids[t], svc::scripted_batch(driver, t, b));
+      events += kEventsPerBatch;
+      comm += r.comm_events;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+
+  sum.fold(events);
+  sum.fold(comm);
+  const core::InterferenceCounters c = service.interference();
+  sum.fold(c.arbitrations);
+  sum.fold(c.contexts_stolen);
+  sum.fold(c.cross_tenant_core_shares);
+  sum.fold(c.tenant_socket_splits);
+  sum.fold(c.cross_tenant_evictions);
+  sum.fold(c.thread_migrations);
+  const std::vector<svc::ArbiterDecision> decisions = service.decisions();
+  sum.fold(decisions.size());
+  if (!decisions.empty()) sum.fold(decisions.back().digest);
+  return events;
+}
+
+}  // namespace
+
+KernelResult run_service_throughput(int repeats) {
+  KernelResult res;
+  res.name = "micro_service_throughput";
+  res.reference = kRefServiceThroughput;
+  for (const Scale& s : kScales) {
+    res.items += static_cast<std::uint64_t>(s.tenants) *
+                 s.batches_per_tenant * kEventsPerBatch;
+  }
+
+  Checksum sum;
+  bool first = true;
+  double best_ns[3] = {1e300, 1e300, 1e300};
+  res.ns_per_op = time_best_of(repeats, res.items, [&] {
+    Checksum local;
+    double ns[3] = {0, 0, 0};
+    std::uint64_t scale_events[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+      scale_events[i] = run_scale(kScales[i], local, &ns[i]);
+    }
+    for (int i = 0; i < 3; ++i) {
+      best_ns[i] = std::min(best_ns[i],
+                            ns[i] / static_cast<double>(scale_events[i]));
+    }
+    if (first) {
+      sum = local;
+      first = false;
+    }
+  });
+  res.checksum = sum.h;
+  for (int i = 0; i < 3; ++i) {
+    const std::string label =
+        "events_per_sec_" + std::to_string(kScales[i].tenants) + "t";
+    res.extras.emplace_back(label, 1e9 / best_ns[i]);
+  }
+  return res;
+}
+
+}  // namespace spcd::bench

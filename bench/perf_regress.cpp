@@ -1,7 +1,8 @@
-// perf_regress — the perf-regression harness: re-runs the three micro
-// benchmark kernels (sharing table, matching/mapping, simulator substrate)
-// with fixed seeds, reports ns/op per kernel, and emits a machine-readable
-// BENCH_*.json ("spcd-bench-v1" schema).
+// perf_regress — the perf-regression harness: re-runs the micro benchmark
+// kernels (sharing table, matching/mapping, simulator substrate, parallel
+// engine, multi-tenant service ingest) with fixed seeds, reports ns/op per
+// kernel, and emits a machine-readable BENCH_*.json ("spcd-bench-v1"
+// schema).
 //
 // Unlike the google-benchmark micros, this harness is also a *correctness*
 // gate: every kernel folds its results into a deterministic FNV-1a
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "arch/topology.hpp"
+#include "bench/perf_kernels.hpp"
 #include "core/comm_filter.hpp"
 #include "core/comm_matrix.hpp"
 #include "core/mapper.hpp"
@@ -55,29 +57,11 @@ namespace {
 
 using namespace spcd;
 
-// --- deterministic result folding -----------------------------------------
-
-struct Checksum {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  void fold(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xffu;
-      h *= 0x100000001b3ULL;
-    }
-  }
-};
-
-struct KernelResult {
-  std::string name;
-  std::uint64_t items = 0;       ///< operations per timed pass
-  double ns_per_op = 0.0;        ///< best-of-repeats wall time per op
-  std::uint64_t checksum = 0;    ///< deterministic result fold
-  std::uint64_t reference = 0;   ///< expected checksum
-  /// Kernel-specific auxiliary measurements, carried into the JSON verbatim
-  /// (e.g. the engine-parallel kernel's serial-mode timing and speedup).
-  std::vector<std::pair<std::string, double>> extras;
-  bool checksum_ok() const { return checksum == reference; }
-};
+// Checksum/KernelResult/time_best_of live in bench/perf_kernels.hpp so
+// out-of-line kernels (micro_service_throughput.cpp) share them.
+using bench::Checksum;
+using bench::KernelResult;
+using bench::time_best_of;
 
 // Reference checksums, recorded from the pre-optimization build (whose
 // matrices/placements/finish times were oracle- and test-verified). The
@@ -86,20 +70,6 @@ constexpr std::uint64_t kRefSharingTable = 0xf229a2e093e5b7b5ULL;
 constexpr std::uint64_t kRefMatching = 0xf4f35063442d88acULL;
 constexpr std::uint64_t kRefSimulator = 0xa0f3aaa4219c0e3fULL;
 constexpr std::uint64_t kRefEngineParallel = 0xa061dd130d873a8bULL;
-
-double time_best_of(int repeats, std::uint64_t items,
-                    const std::function<void()>& pass) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    pass();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ns =
-        std::chrono::duration<double, std::nano>(t1 - t0).count();
-    best = std::min(best, ns / static_cast<double>(items));
-  }
-  return best;
-}
 
 // --- kernel 1: sharing table + detector fault path ------------------------
 //
@@ -548,6 +518,7 @@ int main(int argc, char** argv) {
   results.push_back(run_matching(repeats));
   results.push_back(run_simulator(repeats));
   results.push_back(run_engine_parallel(repeats));
+  results.push_back(bench::run_service_throughput(repeats));
 
   bool ok = true;
   for (const auto& r : results) {

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench/pipeline.hpp"
+#include "util/cli.hpp"
 #include "util/env.hpp"
 
 namespace {
@@ -32,31 +33,6 @@ const char* kUsage =
     "missing cells. Supervision knobs: SPCD_CELL_RETRIES,\n"
     "SPCD_CELL_TIMEOUT_MS, SPCD_CELL_BACKOFF_MS, SPCD_DRAIN_MS.\n";
 
-[[noreturn]] void usage_error(const char* fmt, const char* what) {
-  std::fprintf(stderr, fmt, what);
-  std::fputs(kUsage, stderr);
-  std::exit(2);
-}
-
-std::uint64_t parse_u64_flag(const std::string& flag, const char* text) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (*text == '\0' || *text == '-' || end == text || *end != '\0') {
-    usage_error("%s is not a non-negative integer\n",
-                (flag + "=" + text).c_str());
-  }
-  return static_cast<std::uint64_t>(v);
-}
-
-double parse_double_flag(const std::string& flag, const char* text) {
-  char* end = nullptr;
-  const double v = std::strtod(text, &end);
-  if (*text == '\0' || end == text || *end != '\0') {
-    usage_error("%s is not a number\n", (flag + "=" + text).c_str());
-  }
-  return v;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,38 +44,30 @@ int main(int argc, char** argv) {
   options.handle_signals = true;
   std::string cache = util::env_string("SPCD_CACHE", "spcd_results.cache");
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage_error("missing value for %s\n", arg.c_str());
-      }
-      return argv[++i];
-    };
-    if (arg == "--resume") {
+  util::CliArgs args(argc, argv, kUsage);
+  while (args.next()) {
+    if (args.is("--resume")) {
       options.resume = true;
-    } else if (arg == "--reps") {
-      options.repetitions =
-          static_cast<std::uint32_t>(parse_u64_flag(arg, value()));
+    } else if (args.is("--reps")) {
+      options.repetitions = args.u32();
       if (options.repetitions == 0) {
-        usage_error("%s\n", "--reps must be at least 1");
+        args.fail("%s\n", "--reps must be at least 1");
       }
-    } else if (arg == "--scale") {
-      options.scale = parse_double_flag(arg, value());
+    } else if (args.is("--scale")) {
+      options.scale = args.real();
       if (options.scale <= 0.0) {
-        usage_error("%s\n", "--scale must be positive");
+        args.fail("%s\n", "--scale must be positive");
       }
-    } else if (arg == "--jobs") {
-      options.jobs = static_cast<std::uint32_t>(parse_u64_flag(arg, value()));
-    } else if (arg == "--cache") {
-      cache = value();
-    } else if (arg == "--no-progress") {
+    } else if (args.is("--jobs")) {
+      options.jobs = args.u32();
+    } else if (args.is("--cache")) {
+      cache = args.value();
+    } else if (args.is("--no-progress")) {
       options.progress = false;
-    } else if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
+    } else if (args.help()) {
       return 0;
     } else {
-      usage_error("unknown option %s\n", arg.c_str());
+      args.unknown();
     }
   }
   options.journal_path = cache + ".journal";

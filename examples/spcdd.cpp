@@ -1,0 +1,313 @@
+// spcdd — the multi-tenant SPCD service daemon.
+//
+// Three modes:
+//   --serve    bind a Unix-domain socket, accept tenant sessions (one
+//              supervised job each), arbitrate placements globally, and
+//              journal every commit. SIGINT/SIGTERM drains gracefully:
+//              sessions get kShutdown, the supervisor drains within
+//              SPCD_DRAIN_MS, and the final metrics land on stdout.
+//   --drive    run the scripted tenant fleet. With --socket it connects
+//              to a running daemon; without, it hosts service + server +
+//              tenants in-process (the self-contained demo).
+//   --replay   rebuild a session from its journal and byte-compare the
+//              recomputed arbiter decisions against the journaled ones.
+//              Exit 0 only if every digest matches.
+//
+// Exit codes: 0 success, 1 runtime failure (socket, journal, replay
+// divergence), 2 usage error.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "svc/driver.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/transport.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: spcdd (--serve | --drive | --replay JOURNAL) [options]\n"
+    "\n"
+    "modes\n"
+    "  --serve               accept tenants on --socket until SIGINT/TERM\n"
+    "  --drive               run scripted tenants (in-process, or against\n"
+    "                        a daemon when --socket is given)\n"
+    "  --replay JOURNAL      recompute a journaled session and verify the\n"
+    "                        arbiter decision digests\n"
+    "\n"
+    "service options\n"
+    "  --socket PATH         Unix-domain socket path\n"
+    "  --journal PATH        session journal (omit to run journal-less)\n"
+    "  --sockets N           topology: sockets (default 2)\n"
+    "  --cores N             topology: cores per socket (default 8)\n"
+    "  --smt N               topology: SMT contexts per core (default 2)\n"
+    "  --shards N            sharing-table shards (default 8)\n"
+    "  --entries N           total sharing-table entries (default 4096)\n"
+    "  --interval N          arbitrate every N events (default 4096)\n"
+    "\n"
+    "driver options\n"
+    "  --tenants N           scripted tenants (default 4)\n"
+    "  --threads N           threads per tenant (default 4)\n"
+    "  --batches N           batches per tenant (default 16)\n"
+    "  --events N            events per batch (default 256)\n"
+    "  --seed N              workload seed (default 42)\n"
+    "\n"
+    "output options\n"
+    "  --metrics-out PATH    write the service metrics JSON\n"
+    "  --decisions-out PATH  write the arbiter decision lines\n"
+    "  --trace-out PATH      write a Chrome trace of the svc events\n"
+    "  --quiet               suppress the stdout summary\n";
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "spcdd: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+struct Options {
+  enum class Mode { kNone, kServe, kDrive, kReplay } mode = Mode::kNone;
+  std::string replay_journal;
+  std::string socket_path;
+  spcd::svc::ServiceConfig service;
+  spcd::svc::DriverConfig driver;
+  std::string metrics_out;
+  std::string decisions_out;
+  std::string trace_out;
+  bool quiet = false;
+};
+
+/// Emit the session's outputs (stdout summary + requested files).
+/// Returns false if any file write failed.
+bool emit_outputs(const spcd::svc::SpcdService& service,
+                  const Options& opt, spcd::obs::Session* trace) {
+  const std::string metrics = service.metrics_json();
+  if (!opt.quiet) {
+    std::printf("%s\n", metrics.c_str());
+  }
+  bool ok = true;
+  if (!opt.metrics_out.empty()) ok &= write_file(opt.metrics_out, metrics);
+  if (!opt.decisions_out.empty()) {
+    ok &= write_file(opt.decisions_out, service.decisions_text());
+  }
+  if (!opt.trace_out.empty() && trace != nullptr) {
+    const spcd::obs::RunCapture capture = trace->capture();
+    ok &= write_file(opt.trace_out, spcd::obs::export_chrome_trace(
+                                        {{"spcdd", &capture}}));
+  }
+  return ok;
+}
+
+int run_serve(const Options& opt) {
+  using namespace spcd;
+  if (opt.socket_path.empty()) {
+    std::fprintf(stderr, "spcdd: --serve requires --socket\n");
+    return 2;
+  }
+  svc::SpcdService service(opt.service);
+  obs::TraceConfig trace_cfg;
+  trace_cfg.enabled = !opt.trace_out.empty();
+  obs::Session trace(trace_cfg);
+  if (trace_cfg.enabled) service.set_trace_session(&trace);
+
+  svc::ServerConfig server_cfg;
+  server_cfg.supervisor.stop_poll = [] { return g_signal != 0; };
+  svc::ServiceServer server(service, server_cfg);
+
+  std::string error;
+  std::unique_ptr<svc::Listener> listener =
+      svc::listen_unix(opt.socket_path, &error);
+  if (listener == nullptr) {
+    std::fprintf(stderr, "spcdd: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("spcdd: listening on %s\n", opt.socket_path.c_str());
+  std::fflush(stdout);
+
+  server.accept_loop(*listener);  // returns once a stop was requested
+  const util::SupervisorReport report = server.drain();
+  if (service.active_tenants() > 0) service.arbitrate_now();
+
+  if (!opt.quiet) {
+    std::printf(
+        "spcdd: drained %llu sessions (completed=%llu skipped=%llu "
+        "watchdog=%llu)\n",
+        static_cast<unsigned long long>(server.sessions_started()),
+        static_cast<unsigned long long>(report.completed),
+        static_cast<unsigned long long>(report.skipped),
+        static_cast<unsigned long long>(report.watchdog_fires));
+  }
+  return emit_outputs(service, opt, trace_cfg.enabled ? &trace : nullptr)
+             ? 0
+             : 1;
+}
+
+int run_drive(const Options& opt) {
+  using namespace spcd;
+  if (!opt.socket_path.empty()) {
+    // Client-only: drive a daemon that is already serving --socket.
+    svc::DriverStats stats = svc::drive(opt.driver, [&] {
+      std::string error;
+      return svc::connect_unix(opt.socket_path, 5000, &error);
+    });
+    if (!opt.quiet) {
+      std::printf(
+          "spcdd: drove %u tenants (acked=%llu events=%llu comm=%llu "
+          "errors=%llu)\n",
+          stats.tenants_completed,
+          static_cast<unsigned long long>(stats.batches_acked),
+          static_cast<unsigned long long>(stats.events_sent),
+          static_cast<unsigned long long>(stats.comm_events),
+          static_cast<unsigned long long>(stats.errors));
+    }
+    return stats.errors == 0 &&
+                   stats.tenants_completed == opt.driver.tenants
+               ? 0
+               : 1;
+  }
+
+  // Self-contained: service, server, and tenants in one process.
+  svc::SpcdService service(opt.service);
+  obs::TraceConfig trace_cfg;
+  trace_cfg.enabled = !opt.trace_out.empty();
+  obs::Session trace(trace_cfg);
+  if (trace_cfg.enabled) service.set_trace_session(&trace);
+
+  svc::ServerConfig server_cfg;
+  svc::ServiceServer server(service, server_cfg);
+  svc::InProcListener listener;
+  std::thread acceptor([&] { server.accept_loop(listener); });
+
+  const svc::DriverStats stats =
+      svc::drive(opt.driver, [&] { return listener.connect(); });
+
+  server.request_stop();
+  server.drain();
+  acceptor.join();
+  if (service.active_tenants() > 0) service.arbitrate_now();
+
+  if (!opt.quiet) {
+    std::printf(
+        "spcdd: drove %u tenants (acked=%llu events=%llu comm=%llu "
+        "errors=%llu)\n",
+        stats.tenants_completed,
+        static_cast<unsigned long long>(stats.batches_acked),
+        static_cast<unsigned long long>(stats.events_sent),
+        static_cast<unsigned long long>(stats.comm_events),
+        static_cast<unsigned long long>(stats.errors));
+  }
+  const bool drove_ok =
+      stats.errors == 0 && stats.tenants_completed == opt.driver.tenants;
+  const bool emitted =
+      emit_outputs(service, opt, trace_cfg.enabled ? &trace : nullptr);
+  return drove_ok && emitted ? 0 : 1;
+}
+
+int run_replay(const Options& opt) {
+  using namespace spcd;
+  const svc::SpcdService::ReplayResult result =
+      svc::SpcdService::replay(opt.replay_journal);
+  if (result.service == nullptr) {
+    std::fprintf(stderr, "spcdd: replay failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (!opt.quiet) {
+    std::printf(
+        "spcdd: replayed %llu records (decisions=%llu mismatches=%llu%s)\n",
+        static_cast<unsigned long long>(result.records_applied),
+        static_cast<unsigned long long>(result.decisions_checked),
+        static_cast<unsigned long long>(result.digest_mismatches),
+        result.torn_tail ? ", torn tail discarded" : "");
+  }
+  if (!emit_outputs(*result.service, opt, nullptr)) return 1;
+  if (!result.ok) {
+    std::fprintf(stderr, "spcdd: replay diverged: %s\n",
+                 result.error.empty() ? "digest mismatch"
+                                      : result.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using spcd::util::CliArgs;
+  Options opt;
+  CliArgs args(argc, argv, kUsage);
+  while (args.next()) {
+    if (args.is("--serve")) {
+      opt.mode = Options::Mode::kServe;
+    } else if (args.is("--drive")) {
+      opt.mode = Options::Mode::kDrive;
+    } else if (args.is("--replay")) {
+      opt.mode = Options::Mode::kReplay;
+      opt.replay_journal = args.value();
+    } else if (args.is("--socket")) {
+      opt.socket_path = args.value();
+    } else if (args.is("--journal")) {
+      opt.service.journal_path = args.value();
+    } else if (args.is("--sockets")) {
+      opt.service.topology.sockets = args.u32();
+    } else if (args.is("--cores")) {
+      opt.service.topology.cores_per_socket = args.u32();
+    } else if (args.is("--smt")) {
+      opt.service.topology.smt_per_core = args.u32();
+    } else if (args.is("--shards")) {
+      opt.service.shards = args.u32();
+    } else if (args.is("--entries")) {
+      opt.service.table.num_entries = args.u64();
+    } else if (args.is("--interval")) {
+      opt.service.arbitration_interval = args.u64();
+    } else if (args.is("--tenants")) {
+      opt.driver.tenants = args.u32();
+    } else if (args.is("--threads")) {
+      opt.driver.threads_per_tenant = args.u32();
+    } else if (args.is("--batches")) {
+      opt.driver.batches_per_tenant = args.u32();
+    } else if (args.is("--events")) {
+      opt.driver.events_per_batch = args.u32();
+    } else if (args.is("--seed")) {
+      opt.driver.seed = args.u64();
+    } else if (args.is("--metrics-out")) {
+      opt.metrics_out = args.value();
+    } else if (args.is("--decisions-out")) {
+      opt.decisions_out = args.value();
+    } else if (args.is("--trace-out")) {
+      opt.trace_out = args.value();
+    } else if (args.is("--quiet")) {
+      opt.quiet = true;
+    } else if (args.help()) {
+      return 0;
+    } else {
+      args.unknown();
+    }
+  }
+  switch (opt.mode) {
+    case Options::Mode::kServe:
+      return run_serve(opt);
+    case Options::Mode::kDrive:
+      return run_drive(opt);
+    case Options::Mode::kReplay:
+      return run_replay(opt);
+    case Options::Mode::kNone:
+      break;
+  }
+  args.fail("%s\n", "one of --serve, --drive, --replay is required");
+}

@@ -46,6 +46,7 @@
 #include "core/metrics_export.hpp"
 #include "core/runner.hpp"
 #include "obs/export.hpp"
+#include "util/cli.hpp"
 #include "util/heatmap.hpp"
 #include "util/table.hpp"
 #include "workloads/npb.hpp"
@@ -61,33 +62,6 @@ const char* kUsage =
     "               [--adversary covert|skew|phase_flip]\n"
     "               [--adv-intensity F] [--harden]\n"
     "               [--trace-out FILE] [--metrics-out FILE]\n";
-
-[[noreturn]] void usage_error(const char* fmt, const char* what) {
-  std::fprintf(stderr, fmt, what);
-  std::fputs(kUsage, stderr);
-  std::exit(2);
-}
-
-/// Strict numeric parsing: spcdsim rejects "--reps x" instead of silently
-/// running with atoi's 0, matching the validate() contract for bad input.
-std::uint64_t parse_u64_flag(const std::string& flag, const char* text) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (*text == '\0' || *text == '-' || end == text || *end != '\0') {
-    usage_error("%s is not a non-negative integer\n",
-                (flag + "=" + text).c_str());
-  }
-  return static_cast<std::uint64_t>(v);
-}
-
-double parse_double_flag(const std::string& flag, const char* text) {
-  char* end = nullptr;
-  const double v = std::strtod(text, &end);
-  if (*text == '\0' || end == text || *end != '\0') {
-    usage_error("%s is not a number\n", (flag + "=" + text).c_str());
-  }
-  return v;
-}
 
 bool write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -114,60 +88,52 @@ int run(int argc, char** argv) {
   config.adversary = chaos::adversary_from_env();
   config.spcd.hardening = core::HardeningConfig::from_env();
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage_error("missing value for %s\n", arg.c_str());
-      }
-      return argv[++i];
-    };
-    if (arg == "--bench") {
-      bench = value();
-    } else if (arg == "--policy") {
-      policy_name = value();
-    } else if (arg == "--reps") {
-      reps = static_cast<std::uint32_t>(parse_u64_flag(arg, value()));
-    } else if (arg == "--jobs") {
-      config.jobs = static_cast<std::uint32_t>(parse_u64_flag(arg, value()));
-    } else if (arg == "--scale") {
-      scale = parse_double_flag(arg, value());
-    } else if (arg == "--granularity") {
+  util::CliArgs args(argc, argv, kUsage);
+  while (args.next()) {
+    if (args.is("--bench")) {
+      bench = args.value();
+    } else if (args.is("--policy")) {
+      policy_name = args.value();
+    } else if (args.is("--reps")) {
+      reps = args.u32();
+    } else if (args.is("--jobs")) {
+      config.jobs = args.u32();
+    } else if (args.is("--scale")) {
+      scale = args.real();
+    } else if (args.is("--granularity")) {
       config.spcd.table.granularity_shift =
-          static_cast<unsigned>(parse_u64_flag(arg, value()));
-    } else if (arg == "--fault-ratio") {
-      config.spcd.extra_fault_ratio = parse_double_flag(arg, value());
-    } else if (arg == "--window") {
-      config.spcd.table.time_window =
-          static_cast<util::Cycles>(parse_u64_flag(arg, value()));
-    } else if (arg == "--no-migration") {
+          static_cast<unsigned>(args.u64());
+    } else if (args.is("--fault-ratio")) {
+      config.spcd.extra_fault_ratio = args.real();
+    } else if (args.is("--window")) {
+      config.spcd.table.time_window = static_cast<util::Cycles>(args.u64());
+    } else if (args.is("--no-migration")) {
       config.spcd.enable_migration = false;
-    } else if (arg == "--data-mapping") {
+    } else if (args.is("--data-mapping")) {
       config.spcd.enable_data_mapping = true;
-    } else if (arg == "--chaos") {
-      config.chaos = chaos::PerturbationConfig::at_intensity(
-          parse_double_flag(arg, value()));
-    } else if (arg == "--adversary") {
-      const char* name = value();
+    } else if (args.is("--chaos")) {
+      config.chaos =
+          chaos::PerturbationConfig::at_intensity(args.real());
+    } else if (args.is("--adversary")) {
+      const char* name = args.value();
       if (!chaos::parse_adversary_kind(name, &config.adversary.kind)) {
-        usage_error("unknown adversary %s\n", name);
+        args.fail("unknown adversary %s\n", name);
       }
       if (config.adversary.intensity <= 0.0) config.adversary.intensity = 1.0;
-    } else if (arg == "--adv-intensity") {
-      config.adversary.intensity = parse_double_flag(arg, value());
-    } else if (arg == "--harden") {
+    } else if (args.is("--adv-intensity")) {
+      config.adversary.intensity = args.real();
+    } else if (args.is("--harden")) {
       config.spcd.hardening.enabled = true;
-    } else if (arg == "--matrix") {
+    } else if (args.is("--matrix")) {
       show_matrix = true;
-    } else if (arg == "--trace-out") {
-      trace_out = value();
-    } else if (arg == "--metrics-out") {
-      metrics_out = value();
-    } else if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
+    } else if (args.is("--trace-out")) {
+      trace_out = args.value();
+    } else if (args.is("--metrics-out")) {
+      metrics_out = args.value();
+    } else if (args.help()) {
       return 0;
     } else {
-      usage_error("unknown option %s\n", arg.c_str());
+      args.unknown();
     }
   }
 
@@ -179,7 +145,7 @@ int run(int argc, char** argv) {
   const std::optional<core::MappingPolicy> parsed =
       core::parse_policy(policy_name);
   if (!parsed) {
-    usage_error("unknown policy %s\n", policy_name.c_str());
+    args.fail("unknown policy %s\n", policy_name.c_str());
   }
   const core::MappingPolicy policy = *parsed;
 
@@ -192,7 +158,7 @@ int run(int argc, char** argv) {
     try {
       (void)workloads::make_nas(bench, 0, scale);  // validate the name
     } catch (const std::exception& e) {
-      usage_error("%s\n", e.what());
+      args.fail("%s\n", e.what());
     }
     factory = workloads::nas_factory(bench, scale);
   }
@@ -363,7 +329,7 @@ int run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   // Backstop for configuration errors that slip past the early validate()
-  // checks (e.g. future config sources): same exit code as usage_error.
+  // checks (e.g. future config sources): same exit code as args.fail().
   try {
     return run(argc, argv);
   } catch (const spcd::core::ConfigError& e) {

@@ -83,6 +83,28 @@ const std::vector<MetricDescriptor>& cache_metric_descriptors() {
   return cache;
 }
 
+#define SPCD_INTERFERENCE_METRIC(key, field)                          \
+  InterferenceDescriptor {                                            \
+    key, [](const InterferenceCounters& c) { return c.field; },       \
+        [](InterferenceCounters& c, std::uint64_t v) { c.field = v; } \
+  }
+
+const std::vector<InterferenceDescriptor>& interference_metric_descriptors() {
+  static const std::vector<InterferenceDescriptor> all = {
+      SPCD_INTERFERENCE_METRIC("arbitrations", arbitrations),
+      SPCD_INTERFERENCE_METRIC("contexts_stolen", contexts_stolen),
+      SPCD_INTERFERENCE_METRIC("cross_tenant_core_shares",
+                               cross_tenant_core_shares),
+      SPCD_INTERFERENCE_METRIC("tenant_socket_splits", tenant_socket_splits),
+      SPCD_INTERFERENCE_METRIC("cross_tenant_evictions",
+                               cross_tenant_evictions),
+      SPCD_INTERFERENCE_METRIC("thread_migrations", thread_migrations),
+  };
+  return all;
+}
+
+#undef SPCD_INTERFERENCE_METRIC
+
 std::string metrics_json(const std::string& benchmark,
                          const std::string& policy,
                          const std::vector<RunMetrics>& runs,

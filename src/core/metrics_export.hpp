@@ -48,6 +48,41 @@ struct SupervisionCounters {
   std::uint64_t watchdog_fires = 0;
 };
 
+/// Inter-application interference counters of the multi-tenant service
+/// (spcdd's RunMetrics analogue): how much the tenants sharing one
+/// topology cost each other. Defined here, next to the run-metric
+/// descriptor tables, so the service JSON, the spcdd status table, and
+/// the tests all render the same fields from one definition.
+struct InterferenceCounters {
+  /// Global placement decisions the arbiter took.
+  std::uint64_t arbitrations = 0;
+  /// Threads that shared a hardware context with another tenant's thread
+  /// at decision time (overcommit: stolen contexts), summed over
+  /// decisions.
+  std::uint64_t contexts_stolen = 0;
+  /// Cores whose SMT contexts hosted threads of >= 2 tenants (shared
+  /// L1/L2), summed over decisions.
+  std::uint64_t cross_tenant_core_shares = 0;
+  /// Tenants whose threads spanned more than one socket (forced remote
+  /// accesses within the application), summed over decisions.
+  std::uint64_t tenant_socket_splits = 0;
+  /// Sharing-table entries one tenant's collisions evicted from another
+  /// tenant (capacity interference in the detection substrate).
+  std::uint64_t cross_tenant_evictions = 0;
+  /// Thread placements changed between consecutive arbitrations.
+  std::uint64_t thread_migrations = 0;
+};
+
+/// Field descriptor for InterferenceCounters (all integral).
+struct InterferenceDescriptor {
+  const char* name;  ///< stable machine-readable key
+  std::uint64_t (*get)(const InterferenceCounters&);
+  void (*set)(InterferenceCounters&, std::uint64_t);
+};
+
+/// Every InterferenceCounters field, in declaration order.
+const std::vector<InterferenceDescriptor>& interference_metric_descriptors();
+
 /// Machine-readable JSON dump of one policy's repetitions: per-run metric
 /// objects via run_metric_descriptors(), plus — when the run carried an
 /// observability session — its metrics registry and trace accounting.

@@ -53,6 +53,7 @@ CommunicationEvent SharingTable::touch_entry(Entry& entry,
       ++occupied_;
     } else {
       ++collisions_;
+      if (eviction_hook_) eviction_hook_(entry.region, region);
     }
     entry.region = region;
     entry.sharer_count = 0;

@@ -95,6 +95,17 @@ class SharingTable {
       std::function<bool(std::uint64_t num_buckets, std::uint64_t* bucket)>;
   void set_bucket_hook(BucketHook hook) { bucket_hook_ = std::move(hook); }
 
+  /// Optional eviction observer: called whenever a collision overwrites an
+  /// established entry, with the evicted and the incoming region key. The
+  /// multi-tenant service keys regions by tenant and uses this to count
+  /// cross-tenant evictions — capacity interference between tenants that
+  /// never share an entry. An unset hook costs one branch per collision.
+  using EvictionHook =
+      std::function<void(std::uint64_t evicted_region, std::uint64_t region)>;
+  void set_eviction_hook(EvictionHook hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
   /// Graceful degradation for a saturated table: evict entries whose most
   /// recent access is older than `now - window` (and stale whole overflow
   /// chains in chained mode). Returns the number of entries evicted.
@@ -150,6 +161,7 @@ class SharingTable {
   // Chained mode keeps per-bucket overflow lists (ablation only).
   std::vector<std::vector<Entry>> overflow_;
   BucketHook bucket_hook_;
+  EvictionHook eviction_hook_;
 
   const std::uint8_t* suspect_flags_ = nullptr;
   std::uint32_t suspect_count_ = 0;

@@ -1,0 +1,162 @@
+#include "svc/arbiter.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/mapper.hpp"
+#include "util/contracts.hpp"
+
+namespace spcd::svc {
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void fold(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t decision_digest(const ArbiterDecision& decision) {
+  Fnv1a d;
+  d.fold(decision.seq);
+  d.fold(decision.event_time);
+  d.fold(decision.placements.size());
+  for (const TenantPlacement& p : decision.placements) {
+    d.fold(p.tenant_id);
+    d.fold(p.contexts.size());
+    for (arch::ContextId ctx : p.contexts) d.fold(ctx);
+  }
+  d.fold(decision.contexts_stolen);
+  d.fold(decision.cross_tenant_cores);
+  d.fold(decision.tenants_split);
+  d.fold(decision.moved);
+  return d.h;
+}
+
+ArbiterDecision PlacementArbiter::decide(
+    const std::vector<const Tenant*>& active, std::uint64_t event_time) {
+  ArbiterDecision decision;
+  decision.seq = ++decisions_;
+  decision.event_time = event_time;
+
+  // Dense slot space: tenants in id order, each tenant's local tids in
+  // order. slot -> (tenant index, local tid) and slot -> global tid.
+  std::uint32_t total = 0;
+  for (const Tenant* t : active) {
+    SPCD_EXPECTS(t != nullptr);
+    total += t->num_threads;
+  }
+  const std::uint32_t contexts = topology_.num_contexts();
+  const std::uint32_t mapped = std::min(total, contexts);
+
+  std::vector<std::uint32_t> slot_tenant(total);   // index into `active`
+  std::vector<std::uint32_t> slot_local(total);    // local tid
+  std::vector<std::uint32_t> slot_global(total);   // global tid
+  {
+    std::uint32_t slot = 0;
+    for (std::uint32_t i = 0; i < active.size(); ++i) {
+      for (std::uint32_t lt = 0; lt < active[i]->num_threads; ++lt) {
+        slot_tenant[slot] = i;
+        slot_local[slot] = lt;
+        slot_global[slot] = active[i]->base_tid + lt;
+        ++slot;
+      }
+    }
+  }
+
+  std::vector<arch::ContextId> slot_ctx(total, 0);
+  if (mapped > 0) {
+    // Block-diagonal combined matrix over the first `mapped` slots: only
+    // same-tenant pairs communicate, so the mapper clusters within apps
+    // and separates across them.
+    core::CommMatrix combined(mapped);
+    for (std::uint32_t a = 0; a < mapped; ++a) {
+      for (std::uint32_t b = a + 1; b < mapped; ++b) {
+        if (slot_tenant[a] != slot_tenant[b]) continue;
+        const std::uint64_t w =
+            active[slot_tenant[a]]->matrix.at(slot_local[a], slot_local[b]);
+        if (w != 0) combined.add(a, b, w);
+      }
+    }
+    // Stability: seed the mapper with the previous decision's contexts so
+    // symmetric choices keep threads where they were.
+    sim::Placement current(mapped, 0);
+    bool any_prev = false;
+    for (std::uint32_t s = 0; s < mapped; ++s) {
+      auto it = prev_.find(slot_global[s]);
+      if (it != prev_.end()) {
+        current[s] = it->second;
+        any_prev = true;
+      } else {
+        current[s] = s % contexts;
+      }
+    }
+    const core::MappingResult result = core::compute_mapping(
+        combined, topology_, any_prev ? current : sim::Placement{});
+    for (std::uint32_t s = 0; s < mapped; ++s) {
+      slot_ctx[s] = result.placement[s];
+    }
+  }
+  // Overcommit: overflow slots wrap onto contexts round-robin. They will
+  // share contexts with mapped threads — counted below as stolen.
+  for (std::uint32_t s = mapped; s < total; ++s) {
+    slot_ctx[s] = s % contexts;
+  }
+
+  // Per-tenant placements, in the id order of `active`.
+  decision.placements.reserve(active.size());
+  for (const Tenant* t : active) {
+    TenantPlacement p;
+    p.tenant_id = t->id;
+    p.contexts.resize(t->num_threads);
+    decision.placements.push_back(std::move(p));
+  }
+  for (std::uint32_t s = 0; s < total; ++s) {
+    decision.placements[slot_tenant[s]].contexts[slot_local[s]] = slot_ctx[s];
+  }
+
+  // --- interference accounting ---
+  // Tenants present on each context / core; sockets touched per tenant.
+  std::vector<std::unordered_set<std::uint32_t>> ctx_tenants(contexts);
+  std::vector<std::unordered_set<std::uint32_t>> core_tenants(
+      topology_.num_cores());
+  std::vector<std::unordered_set<std::uint32_t>> tenant_sockets(
+      active.size());
+  for (std::uint32_t s = 0; s < total; ++s) {
+    const arch::ContextId ctx = slot_ctx[s];
+    ctx_tenants[ctx].insert(slot_tenant[s]);
+    core_tenants[topology_.core_of(ctx)].insert(slot_tenant[s]);
+    tenant_sockets[slot_tenant[s]].insert(topology_.socket_of(ctx));
+  }
+  for (std::uint32_t s = 0; s < total; ++s) {
+    if (ctx_tenants[slot_ctx[s]].size() > 1) ++decision.contexts_stolen;
+  }
+  for (const auto& tenants : core_tenants) {
+    if (tenants.size() > 1) ++decision.cross_tenant_cores;
+  }
+  for (const auto& sockets : tenant_sockets) {
+    if (sockets.size() > 1) ++decision.tenants_split;
+  }
+  for (std::uint32_t s = 0; s < total; ++s) {
+    auto it = prev_.find(slot_global[s]);
+    if (it != prev_.end() && it->second != slot_ctx[s]) ++decision.moved;
+  }
+
+  // Remember this decision's contexts; drop tids of exited tenants so the
+  // map stays bounded by the live tid space.
+  prev_.clear();
+  for (std::uint32_t s = 0; s < total; ++s) {
+    prev_.emplace(slot_global[s], slot_ctx[s]);
+  }
+
+  decision.digest = decision_digest(decision);
+  return decision;
+}
+
+}  // namespace spcd::svc

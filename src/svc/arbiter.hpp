@@ -1,0 +1,82 @@
+// The global placement arbiter: the one component that sees every
+// tenant at once. Each decision combines the active tenants' per-app
+// communication matrices into one block-diagonal matrix over a dense
+// slot space (tenants in id order, local tids in order within each
+// tenant) and runs the paper's hierarchical mapper on the shared
+// topology — so each application's threads cluster by their own
+// communication, and the applications partition the machine.
+//
+// When the active thread count exceeds the hardware contexts
+// (overcommit), the first num_contexts slots are mapped properly and
+// the overflow slots wrap onto contexts round-robin; every thread that
+// ends up sharing a context with another tenant's thread is counted as
+// a stolen context. Decisions are pure functions of (active tenants,
+// previous decision), so replaying the journal reproduces the exact
+// decision stream — each decision carries an FNV-1a digest for the
+// byte-compare.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "svc/tenant.hpp"
+
+namespace spcd::svc {
+
+/// One tenant's slice of a global placement decision.
+struct TenantPlacement {
+  std::uint32_t tenant_id = 0;
+  /// Local tid -> hardware context on the shared topology.
+  std::vector<arch::ContextId> contexts;
+};
+
+struct ArbiterDecision {
+  std::uint64_t seq = 0;         ///< 1-based decision number
+  std::uint64_t event_time = 0;  ///< total ingested events at decision time
+  /// Active tenants' placements, in tenant-id order.
+  std::vector<TenantPlacement> placements;
+
+  // --- interference observed in this decision ---
+  /// Threads sharing a hardware context with another tenant's thread.
+  std::uint64_t contexts_stolen = 0;
+  /// Cores hosting threads of two or more tenants.
+  std::uint64_t cross_tenant_cores = 0;
+  /// Tenants whose threads span more than one socket.
+  std::uint64_t tenants_split = 0;
+  /// Threads moved relative to the previous decision.
+  std::uint64_t moved = 0;
+
+  /// FNV-1a digest over the full decision content (seq, time, tenant
+  /// ids, placements, counters) — the replay-equivalence fingerprint.
+  std::uint64_t digest = 0;
+};
+
+class PlacementArbiter {
+ public:
+  explicit PlacementArbiter(const arch::Topology& topology)
+      : topology_(topology) {}
+
+  /// Place the given active tenants (must be in id order) on the shared
+  /// topology. Deterministic: depends only on the tenants' matrices and
+  /// the previous decision's placements (migration minimization).
+  ArbiterDecision decide(const std::vector<const Tenant*>& active,
+                         std::uint64_t event_time);
+
+  const arch::Topology& topology() const { return topology_; }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  const arch::Topology& topology_;
+  std::uint64_t decisions_ = 0;
+  /// Previous decision's context per global tid (for move counting and
+  /// mapper stability). Keyed by global tid: survives tenant churn.
+  std::unordered_map<std::uint32_t, arch::ContextId> prev_;
+};
+
+/// FNV-1a digest of a decision's content; exposed so the replay test can
+/// recompute fingerprints from journal text.
+std::uint64_t decision_digest(const ArbiterDecision& decision);
+
+}  // namespace spcd::svc

@@ -1,0 +1,128 @@
+#include "svc/driver.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace spcd::svc {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<FaultRecord> scripted_batch(const DriverConfig& config,
+                                        std::uint32_t tenant,
+                                        std::uint32_t batch) {
+  std::vector<FaultRecord> events;
+  events.reserve(config.events_per_batch);
+  const std::uint64_t base =
+      mix64(config.seed ^ (static_cast<std::uint64_t>(tenant) << 32));
+  const std::uint32_t threads = config.threads_per_tenant;
+  const std::uint64_t regions =
+      config.regions_per_pair == 0 ? 1 : config.regions_per_pair;
+  for (std::uint32_t i = 0; i < config.events_per_batch; ++i) {
+    const std::uint64_t draw =
+        mix64(base ^ (static_cast<std::uint64_t>(batch) << 24) ^ i);
+    FaultRecord e;
+    // Adjacent tids form a pair sharing one region pool: both touch the
+    // same pages, so the sharing table reports them as partners.
+    e.tid = static_cast<std::uint32_t>(draw % threads);
+    const std::uint32_t pair = e.tid / 2;
+    e.vaddr = ((static_cast<std::uint64_t>(pair) << 20) |
+               ((draw >> 8) % regions))
+              << 12;
+    e.time = static_cast<std::uint64_t>(batch) * config.events_per_batch + i;
+    events.push_back(e);
+  }
+  return events;
+}
+
+bool drive_tenant(Transport& transport, const DriverConfig& config,
+                  std::uint32_t tenant, DriverStats* stats) {
+  const std::string name = "tenant-" + std::to_string(tenant);
+  if (!transport.send(encode_hello(name, config.threads_per_tenant))) {
+    ++stats->errors;
+    return false;
+  }
+  std::string payload;
+  if (transport.recv(&payload, -1) != Transport::RecvStatus::kFrame) {
+    ++stats->errors;
+    return false;
+  }
+  std::optional<Message> reply = parse_message(payload);
+  if (!reply.has_value() || reply->type != MessageType::kWelcome) {
+    ++stats->errors;
+    return false;
+  }
+  for (std::uint32_t b = 0; b < config.batches_per_tenant; ++b) {
+    const std::vector<FaultRecord> events =
+        scripted_batch(config, tenant, b);
+    if (!transport.send(encode_fault_batch(events))) {
+      ++stats->errors;
+      return false;
+    }
+    if (transport.recv(&payload, -1) != Transport::RecvStatus::kFrame) {
+      ++stats->errors;
+      return false;
+    }
+    reply = parse_message(payload);
+    if (!reply.has_value()) {
+      ++stats->errors;
+      return false;
+    }
+    if (reply->type == MessageType::kShutdown) return false;  // drained
+    if (reply->type != MessageType::kBatchAck) {
+      ++stats->errors;
+      return false;
+    }
+    ++stats->batches_acked;
+    stats->events_sent += events.size();
+    stats->comm_events += reply->comm_events;
+  }
+  transport.send(encode_bye());
+  // Wait for the server to close: once it does, the exit record is
+  // committed (the session loop journals the bye before closing).
+  while (transport.recv(&payload, -1) == Transport::RecvStatus::kFrame) {
+  }
+  transport.close();
+  ++stats->tenants_completed;
+  return true;
+}
+
+DriverStats drive(
+    const DriverConfig& config,
+    const std::function<std::unique_ptr<Transport>()>& connect) {
+  std::mutex mu;
+  DriverStats total;
+  std::vector<std::thread> threads;
+  threads.reserve(config.tenants);
+  for (std::uint32_t t = 0; t < config.tenants; ++t) {
+    threads.emplace_back([&, t] {
+      DriverStats local;
+      std::unique_ptr<Transport> transport = connect();
+      if (transport == nullptr) {
+        ++local.errors;
+      } else {
+        drive_tenant(*transport, config, t, &local);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      total.tenants_completed += local.tenants_completed;
+      total.batches_acked += local.batches_acked;
+      total.events_sent += local.events_sent;
+      total.comm_events += local.comm_events;
+      total.errors += local.errors;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return total;
+}
+
+}  // namespace spcd::svc

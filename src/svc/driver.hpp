@@ -1,0 +1,58 @@
+// Scripted tenant clients: the deterministic load generator behind
+// `spcdd --drive`, the service smoke test, and the throughput benchmark.
+// Each tenant runs the full protocol conversation (hello, N fault
+// batches, bye) with a workload derived purely from (seed, tenant,
+// batch), so every batch's content is reproducible even though the
+// interleaving of concurrent tenants is not — whatever order the journal
+// recorded is exactly re-derivable from it (the property the
+// replay-equivalence test leans on). Thread
+// pairs within a tenant fault on shared regions (adjacent tids share),
+// so detected communication forms the paper's nearest-neighbor pattern
+// and the arbiter has real structure to place.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/transport.hpp"
+
+namespace spcd::svc {
+
+struct DriverConfig {
+  std::uint32_t tenants = 4;
+  std::uint32_t threads_per_tenant = 4;
+  std::uint32_t batches_per_tenant = 16;
+  std::uint32_t events_per_batch = 256;
+  /// Distinct regions each thread pair touches (table pressure knob).
+  std::uint64_t regions_per_pair = 32;
+  std::uint64_t seed = 42;
+};
+
+struct DriverStats {
+  std::uint32_t tenants_completed = 0;  ///< full hello..bye conversations
+  std::uint64_t batches_acked = 0;
+  std::uint64_t events_sent = 0;
+  std::uint64_t comm_events = 0;  ///< partner pairs reported by acks
+  std::uint64_t errors = 0;       ///< protocol/transport failures
+};
+
+/// The deterministic fault batch tenant `tenant` sends as its batch
+/// number `batch` (0-based). Pure function of (config, tenant, batch).
+std::vector<FaultRecord> scripted_batch(const DriverConfig& config,
+                                        std::uint32_t tenant,
+                                        std::uint32_t batch);
+
+/// Run one tenant's full conversation over a connected transport.
+/// Returns false (and bumps stats->errors) on any unexpected reply.
+bool drive_tenant(Transport& transport, const DriverConfig& config,
+                  std::uint32_t tenant, DriverStats* stats);
+
+/// Drive all configured tenants concurrently, one thread per tenant,
+/// each over a fresh transport from `connect`. Aggregated stats.
+DriverStats drive(const DriverConfig& config,
+                  const std::function<std::unique_ptr<Transport>()>& connect);
+
+}  // namespace spcd::svc

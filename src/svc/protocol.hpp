@@ -1,0 +1,100 @@
+// The spcdd wire protocol: length-prefixed frames carrying fixed-layout
+// little-endian messages. Tenants speak it over a Unix-domain socket (or
+// the in-process transport in tests); the daemon side never trusts a byte
+// — every decode is bounds-checked and a malformed frame yields
+// std::nullopt, not UB.
+//
+// Frame:   u32 LE payload length (<= kMaxFrameBytes), then the payload.
+// Payload: u8 message type, then type-specific fields:
+//
+//   kHello      u32 num_threads, u16 name_len, name bytes
+//   kWelcome    u32 tenant_id, u32 base_tid, u16 protocol version
+//   kFaultBatch u32 count, count x { u64 vaddr, u32 tid, u64 time }
+//   kBatchAck   u64 seq (journal sequence the batch committed under),
+//               u32 comm_events (partner pairs this batch detected)
+//   kBye        (empty)
+//   kStats      (empty; requests a kStatsReply)
+//   kStatsReply u32 json_len, json bytes (the service metrics JSON)
+//   kError      u16 text_len, text bytes
+//   kShutdown   (empty; server -> client on graceful drain)
+//
+// The protocol is deliberately version-stamped (kWelcome carries
+// kProtocolVersion) so future fields extend messages at the tail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spcd::svc {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Upper bound on one frame's payload; a length prefix above this is a
+/// protocol violation and closes the connection.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+/// Upper bound on fault events per batch (keeps frames under the cap).
+inline constexpr std::uint32_t kMaxBatchEvents = 32768;
+/// Tenant names: 1..64 chars from [A-Za-z0-9_.-] (journal records and
+/// metrics JSON embed them verbatim).
+inline constexpr std::size_t kMaxTenantName = 64;
+/// Upper bound on one tenant's thread count (a hello above this is
+/// rejected — the arbiter's slot space stays bounded per tenant).
+inline constexpr std::uint32_t kMaxTenantThreads = 4096;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kFaultBatch = 3,
+  kBatchAck = 4,
+  kBye = 5,
+  kStats = 6,
+  kStatsReply = 7,
+  kError = 8,
+  kShutdown = 9,
+};
+
+/// One simulated page-fault observation a tenant reports: thread `tid`
+/// (tenant-local) touched `vaddr` at tenant-logical time `time`.
+struct FaultRecord {
+  std::uint64_t vaddr = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t time = 0;
+
+  bool operator==(const FaultRecord&) const = default;
+};
+
+/// Decoded message: `type` says which fields are meaningful.
+struct Message {
+  MessageType type = MessageType::kBye;
+  std::string name;                  ///< kHello
+  std::uint32_t num_threads = 0;     ///< kHello
+  std::uint32_t tenant_id = 0;       ///< kWelcome
+  std::uint32_t base_tid = 0;        ///< kWelcome
+  std::uint16_t version = 0;         ///< kWelcome
+  std::vector<FaultRecord> events;   ///< kFaultBatch
+  std::uint64_t seq = 0;             ///< kBatchAck
+  std::uint32_t comm_events = 0;     ///< kBatchAck
+  std::string text;                  ///< kStatsReply / kError
+};
+
+/// True iff `name` is a valid tenant name (see kMaxTenantName).
+bool valid_tenant_name(std::string_view name);
+
+// --- encoders (return the frame payload, without the length prefix) ---
+std::string encode_hello(std::string_view name, std::uint32_t num_threads);
+std::string encode_welcome(std::uint32_t tenant_id, std::uint32_t base_tid);
+std::string encode_fault_batch(const std::vector<FaultRecord>& events);
+std::string encode_batch_ack(std::uint64_t seq, std::uint32_t comm_events);
+std::string encode_bye();
+std::string encode_stats();
+std::string encode_stats_reply(std::string_view json);
+std::string encode_error(std::string_view text);
+std::string encode_shutdown();
+
+/// Decode one frame payload. std::nullopt on any malformed input: unknown
+/// type, short buffer, oversized count, trailing bytes.
+std::optional<Message> parse_message(std::string_view payload);
+
+}  // namespace spcd::svc

@@ -1,0 +1,107 @@
+#include "svc/server.hpp"
+
+#include <utility>
+
+#include "svc/protocol.hpp"
+
+namespace spcd::svc {
+
+ServiceServer::ServiceServer(SpcdService& service, const ServerConfig& config)
+    : service_(service),
+      config_(config),
+      supervisor_(config.threads, config.supervisor) {}
+
+void ServiceServer::serve(std::unique_ptr<Transport> transport) {
+  const std::uint64_t n =
+      sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Shared ownership: the lambda is copyable (std::function), and the
+  // transport must survive retries of the job object.
+  std::shared_ptr<Transport> shared(std::move(transport));
+  supervisor_.submit(
+      "session-" + std::to_string(n), n,
+      [this, shared](const util::CancelToken& token, std::uint32_t) {
+        session_loop(*shared, token);
+      });
+}
+
+void ServiceServer::accept_loop(Listener& listener) {
+  while (!supervisor_.stop_requested()) {
+    std::unique_ptr<Transport> t = listener.accept(config_.recv_timeout_ms);
+    if (t != nullptr) serve(std::move(t));
+  }
+  listener.close();
+}
+
+void ServiceServer::request_stop() { supervisor_.request_stop(); }
+
+util::SupervisorReport ServiceServer::drain() { return supervisor_.wait(); }
+
+void ServiceServer::session_loop(Transport& transport,
+                                 const util::CancelToken& token) {
+  std::uint32_t tenant_id = 0;  // 0 until a hello registered us
+  std::string payload;
+  while (true) {
+    if (token.cancelled() || supervisor_.stop_requested()) {
+      transport.send(encode_shutdown());
+      break;
+    }
+    const Transport::RecvStatus status =
+        transport.recv(&payload, config_.recv_timeout_ms);
+    if (status == Transport::RecvStatus::kTimeout) continue;
+    if (status != Transport::RecvStatus::kFrame) break;  // closed or error
+
+    const std::optional<Message> msg = parse_message(payload);
+    if (!msg.has_value()) {
+      transport.send(encode_error("malformed frame"));
+      break;
+    }
+    switch (msg->type) {
+      case MessageType::kHello: {
+        if (tenant_id != 0) {
+          transport.send(encode_error("already registered"));
+          break;
+        }
+        const RegisterResult r =
+            service_.register_tenant(msg->name, msg->num_threads);
+        if (!r.ok) {
+          transport.send(encode_error(r.error));
+          break;
+        }
+        tenant_id = r.tenant_id;
+        transport.send(encode_welcome(r.tenant_id, r.base_tid));
+        break;
+      }
+      case MessageType::kFaultBatch: {
+        if (tenant_id == 0) {
+          transport.send(encode_error("hello first"));
+          break;
+        }
+        const IngestResult r = service_.ingest(tenant_id, msg->events);
+        if (!r.ok) {
+          transport.send(encode_error(r.error));
+          break;
+        }
+        // The ack is sent only after the service journaled the batch:
+        // an acked record survives SIGKILL.
+        transport.send(encode_batch_ack(r.seq, r.comm_events));
+        break;
+      }
+      case MessageType::kStats:
+        transport.send(encode_stats_reply(service_.metrics_json()));
+        break;
+      case MessageType::kBye:
+        if (tenant_id != 0) service_.tenant_exit(tenant_id);
+        transport.close();
+        return;
+      default:
+        // Server-to-client message types (or garbage) from a client are
+        // protocol violations.
+        transport.send(encode_error("unexpected message type"));
+        transport.close();
+        return;
+    }
+  }
+  transport.close();
+}
+
+}  // namespace spcd::svc

@@ -1,0 +1,66 @@
+// The daemon's session layer: one supervised job per tenant connection.
+// Each accepted transport runs a session loop on the util::Supervisor
+// pool, so tenant isolation rides the same machinery as the experiment
+// pipeline's cells — a hung session trips the watchdog's CancelToken, a
+// graceful shutdown (request_stop) drains every session within
+// SPCD_DRAIN_MS, and the final SupervisorReport counts what happened.
+// Session errors are contained: a malformed frame or dead peer closes
+// that session; it never throws into the supervisor's retry path (a
+// closed socket is not retryable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "svc/service.hpp"
+#include "svc/transport.hpp"
+#include "util/supervisor.hpp"
+
+namespace spcd::svc {
+
+struct ServerConfig {
+  /// Supervisor pool size. Sessions are blocking-I/O jobs that live for
+  /// the whole connection, so the pool bounds *concurrent tenants*, not
+  /// CPU parallelism — the default admits well past the 100-tenant mark
+  /// instead of inheriting the CPU-count default a compute pool wants.
+  unsigned threads = 160;
+  /// Supervision knobs (watchdog, drain); see SupervisorConfig::from_env.
+  util::SupervisorConfig supervisor = util::SupervisorConfig::from_env();
+  /// Session recv poll period: the latency of noticing a stop request.
+  int recv_timeout_ms = 50;
+};
+
+class ServiceServer {
+ public:
+  ServiceServer(SpcdService& service, const ServerConfig& config);
+
+  /// Run an accepted connection as a supervised session job.
+  void serve(std::unique_ptr<Transport> transport);
+
+  /// Accept connections until request_stop() (or listener close); runs on
+  /// the calling thread. Each connection is handed to serve().
+  void accept_loop(Listener& listener);
+
+  /// Stop accepting and drain sessions: every session loop notices via
+  /// its CancelToken or the stop flag, sends kShutdown, and exits.
+  void request_stop();
+  bool stop_requested() const { return supervisor_.stop_requested(); }
+
+  /// Block until every session drained; returns the supervision report.
+  util::SupervisorReport drain();
+
+  std::uint64_t sessions_started() const {
+    return sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void session_loop(Transport& transport, const util::CancelToken& token);
+
+  SpcdService& service_;
+  ServerConfig config_;
+  util::Supervisor supervisor_;
+  std::atomic<std::uint64_t> sessions_{0};
+};
+
+}  // namespace spcd::svc

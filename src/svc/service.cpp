@@ -1,0 +1,349 @@
+#include "svc/service.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace spcd::svc {
+
+namespace {
+
+ShardedTableConfig sharded_config(const ServiceConfig& config) {
+  ShardedTableConfig cfg;
+  cfg.shards = config.shards;
+  cfg.table = config.table;
+  return cfg;
+}
+
+}  // namespace
+
+SpcdService::SpcdService(const ServiceConfig& config)
+    : config_(config),
+      topology_(config.topology),
+      table_(sharded_config(config)),
+      arbiter_(topology_) {
+  if (!config_.journal_path.empty()) {
+    journal_ =
+        util::Journal::create(config_.journal_path, service_meta(config_));
+  }
+}
+
+bool SpcdService::journal_append_locked(const std::string& record) {
+  ++commit_seq_;
+  if (!journal_.is_open()) return true;
+  return journal_.append(record);
+}
+
+RegisterResult SpcdService::register_tenant(const std::string& name,
+                                            std::uint32_t num_threads) {
+  RegisterResult result;
+  if (!valid_tenant_name(name)) {
+    result.error = "invalid tenant name";
+    return result;
+  }
+  if (num_threads < 1 || num_threads > kMaxTenantThreads) {
+    result.error = "thread count out of range";
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  const std::uint32_t id = registry_.add(name, num_threads);
+  const Tenant* t = registry_.find(id);
+  journal_append_locked(
+      encode_register(id, name, num_threads, t->base_tid));
+  if (trace_ != nullptr) {
+    obs::ScopedSession bind(trace_);
+    obs::trace_instant("svc", "register", total_events_, {"tenant", id},
+                       {"threads", num_threads});
+    obs::trace_counter("svc", "active_tenants", total_events_,
+                       registry_.active_count());
+  }
+  result.ok = true;
+  result.tenant_id = id;
+  result.base_tid = t->base_tid;
+  return result;
+}
+
+IngestResult SpcdService::ingest(std::uint32_t tenant_id,
+                                 const std::vector<FaultRecord>& events) {
+  IngestResult result;
+  if (events.size() > kMaxBatchEvents) {
+    result.error = "batch too large";
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  Tenant* tenant = registry_.find(tenant_id);
+  if (tenant == nullptr) {
+    result.error = "unknown tenant";
+    return result;
+  }
+  if (tenant->state != TenantState::kActive) {
+    result.error = "tenant exited";
+    return result;
+  }
+  for (const FaultRecord& e : events) {
+    if (e.tid >= tenant->num_threads) {
+      result.error = "tid out of range";
+      return result;
+    }
+  }
+
+  // Write-ahead: the record is durable before any state changes, and the
+  // ack carries the commit seq — an acked batch survives SIGKILL.
+  journal_append_locked(
+      encode_batch(tenant_id, tenant->batches + 1, events));
+
+  std::uint64_t comm = 0;
+  for (const FaultRecord& e : events) {
+    const mem::ThreadId global = tenant->base_tid + e.tid;
+    const mem::CommunicationEvent ev =
+        table_.record(tenant_id - 1, e.vaddr, global, e.time);
+    for (std::uint32_t p = 0; p < ev.partner_count; ++p) {
+      // Region salting guarantees partners are same-tenant global tids.
+      const std::uint32_t local = ev.partners[p] - tenant->base_tid;
+      tenant->matrix.add(e.tid, local, 1);
+      ++comm;
+    }
+  }
+  tenant->events += events.size();
+  ++tenant->batches;
+  tenant->comm_events += comm;
+  const std::uint64_t before = total_events_;
+  total_events_ += events.size();
+
+  if (trace_ != nullptr) {
+    obs::ScopedSession bind(trace_);
+    obs::trace_instant("svc", "batch", total_events_, {"tenant", tenant_id},
+                       {"events", events.size()});
+  }
+
+  // Arbitrate once per crossed interval boundary (a huge batch still
+  // yields one decision — decisions are per-boundary, not per-event).
+  const std::uint64_t interval = config_.arbitration_interval;
+  if (interval != 0 && total_events_ / interval > before / interval) {
+    arbitrate_locked();
+  }
+
+  result.ok = true;
+  result.seq = commit_seq_;
+  result.comm_events = static_cast<std::uint32_t>(comm);
+  return result;
+}
+
+bool SpcdService::tenant_exit(std::uint32_t tenant_id) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!registry_.mark_exited(tenant_id)) return false;
+  journal_append_locked(encode_exit(tenant_id));
+  if (trace_ != nullptr) {
+    obs::ScopedSession bind(trace_);
+    obs::trace_instant("svc", "exit", total_events_, {"tenant", tenant_id});
+    obs::trace_counter("svc", "active_tenants", total_events_,
+                       registry_.active_count());
+  }
+  return true;
+}
+
+ArbiterDecision SpcdService::arbitrate_locked() {
+  const ArbiterDecision decision =
+      arbiter_.decide(registry_.active(), total_events_);
+  ++counters_.arbitrations;
+  counters_.contexts_stolen += decision.contexts_stolen;
+  counters_.cross_tenant_core_shares += decision.cross_tenant_cores;
+  counters_.tenant_socket_splits += decision.tenants_split;
+  counters_.thread_migrations += decision.moved;
+  journal_append_locked(
+      encode_decision(decision.seq, decision.event_time, decision.digest));
+  decisions_.push_back(decision);
+  if (trace_ != nullptr) {
+    obs::ScopedSession bind(trace_);
+    obs::trace_instant("svc", "arbitrate", total_events_,
+                       {"seq", decision.seq},
+                       {"stolen", decision.contexts_stolen});
+    obs::trace_counter("svc", "thread_migrations", total_events_,
+                       counters_.thread_migrations);
+  }
+  return decision;
+}
+
+ArbiterDecision SpcdService::arbitrate_now() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return arbitrate_locked();
+}
+
+core::InterferenceCounters SpcdService::interference() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  core::InterferenceCounters c = counters_;
+  c.cross_tenant_evictions = table_.cross_tenant_evictions();
+  return c;
+}
+
+std::string SpcdService::metrics_json() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  core::InterferenceCounters counters = counters_;
+  counters.cross_tenant_evictions = table_.cross_tenant_evictions();
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("spcd-service-v1");
+  w.key("topology").begin_object();
+  w.key("sockets").value(topology_.num_sockets());
+  w.key("cores").value(topology_.num_cores());
+  w.key("contexts").value(topology_.num_contexts());
+  w.end_object();
+  w.key("total_events").value(total_events_);
+  w.key("commits").value(commit_seq_);
+  w.key("tenants").begin_array();
+  for (std::uint32_t id = 1; id <= registry_.registered(); ++id) {
+    const Tenant* t = registry_.find(id);
+    w.begin_object();
+    w.key("id").value(t->id);
+    w.key("name").value(t->name);
+    w.key("threads").value(t->num_threads);
+    w.key("base_tid").value(t->base_tid);
+    w.key("active").value(t->state == TenantState::kActive);
+    w.key("events").value(t->events);
+    w.key("batches").value(t->batches);
+    w.key("comm_events").value(t->comm_events);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("table").begin_object();
+  w.key("shards").value(table_.shards());
+  w.key("accesses").value(table_.accesses());
+  w.key("collisions").value(table_.collisions());
+  w.key("occupied").value(table_.occupied());
+  w.key("window_rejects").value(table_.window_rejects());
+  w.key("memory_bytes").value(table_.memory_bytes());
+  w.end_object();
+  w.key("interference").begin_object();
+  for (const core::InterferenceDescriptor& d :
+       core::interference_metric_descriptors()) {
+    w.key(d.name).value(d.get(counters));
+  }
+  w.end_object();
+  w.key("decisions").value(static_cast<std::uint64_t>(decisions_.size()));
+  w.end_object();
+  return w.str();
+}
+
+std::string SpcdService::decisions_text() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  std::ostringstream os;
+  char buf[128];
+  for (const ArbiterDecision& d : decisions_) {
+    std::snprintf(buf, sizeof(buf),
+                  "arb seq=%" PRIu64 " time=%" PRIu64 " digest=%016" PRIx64
+                  " stolen=%" PRIu64 " cores=%" PRIu64 " splits=%" PRIu64
+                  " moved=%" PRIu64,
+                  d.seq, d.event_time, d.digest, d.contexts_stolen,
+                  d.cross_tenant_cores, d.tenants_split, d.moved);
+    os << buf;
+    for (const TenantPlacement& p : d.placements) {
+      os << " | t" << p.tenant_id << ':';
+      for (arch::ContextId ctx : p.contexts) os << ' ' << ctx;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<ArbiterDecision> SpcdService::decisions() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return decisions_;
+}
+
+std::uint64_t SpcdService::total_events() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return total_events_;
+}
+
+std::uint64_t SpcdService::journal_records() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return commit_seq_;
+}
+
+std::uint32_t SpcdService::registered_tenants() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return registry_.registered();
+}
+
+std::uint32_t SpcdService::active_tenants() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return registry_.active_count();
+}
+
+SpcdService::ReplayResult SpcdService::replay(
+    const std::string& journal_path) {
+  ReplayResult result;
+  const util::Journal::LoadResult loaded = util::Journal::load(journal_path);
+  if (!loaded.valid) {
+    result.error = "journal missing or headerless: " + journal_path;
+    return result;
+  }
+  ServiceConfig config;
+  if (!parse_service_meta(loaded.meta, &config)) {
+    result.error = "unrecognized journal meta: " + loaded.meta;
+    return result;
+  }
+  config.journal_path.clear();  // replay never writes
+  result.torn_tail = loaded.torn_tail;
+  auto service = std::make_unique<SpcdService>(config);
+
+  for (const std::string& line : loaded.records) {
+    const std::optional<SessionRecord> rec = parse_session_record(line);
+    if (!rec.has_value()) {
+      result.error = "malformed session record: " + line;
+      return result;
+    }
+    switch (rec->kind) {
+      case SessionRecord::Kind::kRegister: {
+        const RegisterResult r =
+            service->register_tenant(rec->name, rec->num_threads);
+        if (!r.ok || r.tenant_id != rec->tenant_id ||
+            r.base_tid != rec->base_tid) {
+          result.error = "register replay diverged: " + line;
+          return result;
+        }
+        break;
+      }
+      case SessionRecord::Kind::kBatch: {
+        const IngestResult r = service->ingest(rec->tenant_id, rec->events);
+        if (!r.ok) {
+          result.error = "batch replay refused (" + r.error + "): " + line;
+          return result;
+        }
+        break;
+      }
+      case SessionRecord::Kind::kExit:
+        if (!service->tenant_exit(rec->tenant_id)) {
+          result.error = "exit replay diverged: " + line;
+          return result;
+        }
+        break;
+      case SessionRecord::Kind::kDecision: {
+        // Compare the journaled decision against the recomputed stream:
+        // same index, same seq/time, byte-identical digest.
+        const std::vector<ArbiterDecision> recomputed = service->decisions();
+        const std::uint64_t idx = result.decisions_checked;
+        if (idx >= recomputed.size()) {
+          result.error = "journaled decision has no recomputed twin: " + line;
+          return result;
+        }
+        const ArbiterDecision& d = recomputed[idx];
+        if (d.seq != rec->decision_seq || d.event_time != rec->event_time ||
+            d.digest != rec->digest) {
+          ++result.digest_mismatches;
+        }
+        ++result.decisions_checked;
+        break;
+      }
+    }
+    ++result.records_applied;
+  }
+  result.ok = result.digest_mismatches == 0;
+  result.service = std::move(service);
+  return result;
+}
+
+}  // namespace spcd::svc

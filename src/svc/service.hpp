@@ -1,0 +1,133 @@
+// SpcdService: the daemon's state machine, shared by every transport
+// session. All state mutation — tenant registration, fault-batch
+// ingest, exits, arbitration — commits serially under one mutex, and
+// every commit appends its journal record (fsynced) *before* the result
+// is returned to the caller: a batch ack therefore promises the batch
+// survives SIGKILL, and journal order IS commit order, which is what
+// makes `spcdd --replay` byte-identical. The detection substrate
+// (ShardedSharingTable) stays internally thread-safe so benchmarks and
+// the TSan test can drive it concurrently, but the service's own
+// replayable history is strictly serial by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "core/metrics_export.hpp"
+#include "obs/trace.hpp"
+#include "svc/arbiter.hpp"
+#include "svc/protocol.hpp"
+#include "svc/session_journal.hpp"
+#include "svc/sharded_table.hpp"
+#include "svc/tenant.hpp"
+#include "util/journal.hpp"
+
+namespace spcd::svc {
+
+struct RegisterResult {
+  bool ok = false;
+  std::string error;          ///< set when !ok
+  std::uint32_t tenant_id = 0;
+  std::uint32_t base_tid = 0;
+};
+
+struct IngestResult {
+  bool ok = false;
+  std::string error;           ///< set when !ok
+  std::uint64_t seq = 0;       ///< journal sequence the batch committed as
+  std::uint32_t comm_events = 0;  ///< partner pairs this batch detected
+};
+
+class SpcdService {
+ public:
+  explicit SpcdService(const ServiceConfig& config);
+
+  /// Register a tenant. Fails (without journaling) on an invalid name or
+  /// a thread count outside [1, kMaxTenantThreads].
+  RegisterResult register_tenant(const std::string& name,
+                                 std::uint32_t num_threads);
+
+  /// Commit one fault batch: journal first, then feed the sharded table
+  /// and the tenant's matrix, then arbitrate if an interval boundary was
+  /// crossed. Fails (without journaling) on an unknown/exited tenant, an
+  /// out-of-range local tid, or an oversized batch.
+  IngestResult ingest(std::uint32_t tenant_id,
+                      const std::vector<FaultRecord>& events);
+
+  /// Mark a tenant exited (journaled). False if unknown or already out.
+  bool tenant_exit(std::uint32_t tenant_id);
+
+  /// Force a decision now (spcdd issues one final decision on drain so a
+  /// session always ends with a placement for its survivors).
+  ArbiterDecision arbitrate_now();
+
+  const ServiceConfig& config() const { return config_; }
+  const arch::Topology& topology() const { return topology_; }
+
+  /// Interference counters, with cross_tenant_evictions pulled live from
+  /// the sharded table.
+  core::InterferenceCounters interference() const;
+
+  /// Machine-readable session snapshot ("spcd-service-v1"): tenants,
+  /// table statistics, and the interference counters rendered through
+  /// core::interference_metric_descriptors().
+  std::string metrics_json() const;
+
+  /// One line per arbiter decision, full content (the replay
+  /// byte-compare target): seq, event time, digest, every tenant's
+  /// placement.
+  std::string decisions_text() const;
+
+  std::vector<ArbiterDecision> decisions() const;
+  std::uint64_t total_events() const;
+  std::uint64_t journal_records() const;
+  std::uint32_t registered_tenants() const;
+  std::uint32_t active_tenants() const;
+
+  /// Bind an obs session: commits emit svc trace events stamped with the
+  /// total-event count (the service's deterministic time axis).
+  void set_trace_session(obs::Session* session) { trace_ = session; }
+
+  struct ReplayResult {
+    bool ok = false;
+    std::string error;
+    /// The rebuilt service (journal-less), valid when ok.
+    std::unique_ptr<SpcdService> service;
+    std::uint64_t records_applied = 0;
+    /// Journaled decisions compared against recomputed ones.
+    std::uint64_t decisions_checked = 0;
+    std::uint64_t digest_mismatches = 0;
+    bool torn_tail = false;
+  };
+
+  /// Rebuild a session from its journal by re-committing every record
+  /// through the normal code paths, and byte-compare each journaled
+  /// arbiter digest against the recomputed decision stream.
+  static ReplayResult replay(const std::string& journal_path);
+
+ private:
+  /// Arbitrate under commit_mu_ (already held) and journal the decision.
+  ArbiterDecision arbitrate_locked();
+  bool journal_append_locked(const std::string& record);
+
+  ServiceConfig config_;
+  arch::Topology topology_;
+  ShardedSharingTable table_;
+
+  mutable std::mutex commit_mu_;
+  TenantRegistry registry_;
+  PlacementArbiter arbiter_;
+  util::Journal journal_;
+  std::vector<ArbiterDecision> decisions_;
+  core::InterferenceCounters counters_;
+  std::uint64_t total_events_ = 0;
+  /// Commits so far (== journal records when journaling): the ack seq.
+  std::uint64_t commit_seq_ = 0;
+  obs::Session* trace_ = nullptr;
+};
+
+}  // namespace spcd::svc

@@ -1,0 +1,184 @@
+#include "svc/session_journal.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace spcd::svc {
+
+namespace {
+
+constexpr char kMetaVersion[] = "spcd-service-v1";
+
+/// Split on single spaces; empty tokens (leading/double spaces) are
+/// preserved so malformed records fail parsing instead of aliasing.
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(' ', start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool parse_u64(const std::string& tok, int base, std::uint64_t* out) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, base);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u32(const std::string& tok, int base, std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(tok, base, &v) || v > 0xffffffffULL) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string service_meta(const ServiceConfig& config) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s topo=%ux%ux%u shards=%u entries=%" PRIu64
+                " gran=%u window=%" PRIu64 " interval=%" PRIu64,
+                kMetaVersion, config.topology.sockets,
+                config.topology.cores_per_socket,
+                config.topology.smt_per_core, config.shards,
+                config.table.num_entries, config.table.granularity_shift,
+                static_cast<std::uint64_t>(config.table.time_window),
+                config.arbitration_interval);
+  return buf;
+}
+
+bool parse_service_meta(const std::string& meta, ServiceConfig* out) {
+  ServiceConfig cfg;
+  unsigned gran = 0;
+  std::uint64_t window = 0;
+  // %255s would need a version buffer; match the literal instead.
+  char head[sizeof(kMetaVersion) + 1] = {};
+  const int n = std::sscanf(
+      meta.c_str(),
+      "%16s topo=%ux%ux%u shards=%u entries=%" SCNu64 " gran=%u window=%"
+      SCNu64 " interval=%" SCNu64,
+      head, &cfg.topology.sockets, &cfg.topology.cores_per_socket,
+      &cfg.topology.smt_per_core, &cfg.shards, &cfg.table.num_entries,
+      &gran, &window, &cfg.arbitration_interval);
+  if (n != 9 || std::strcmp(head, kMetaVersion) != 0) return false;
+  cfg.table.granularity_shift = gran;
+  cfg.table.time_window = window;
+  *out = cfg;
+  return true;
+}
+
+std::string encode_register(std::uint32_t tenant_id, const std::string& name,
+                            std::uint32_t num_threads,
+                            std::uint32_t base_tid) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "reg %u %u %u %s", tenant_id, num_threads,
+                base_tid, name.c_str());
+  return buf;
+}
+
+std::string encode_batch(std::uint32_t tenant_id, std::uint64_t seq,
+                         const std::vector<FaultRecord>& events) {
+  std::ostringstream os;
+  os << "batch " << tenant_id << ' ' << seq << ' ' << events.size();
+  char buf[64];
+  for (const FaultRecord& e : events) {
+    std::snprintf(buf, sizeof(buf), " %" PRIx64 ",%x,%" PRIx64, e.vaddr,
+                  e.tid, e.time);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string encode_exit(std::uint32_t tenant_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "exit %u", tenant_id);
+  return buf;
+}
+
+std::string encode_decision(std::uint64_t seq, std::uint64_t event_time,
+                            std::uint64_t digest) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "arb %" PRIu64 " %" PRIu64 " %016" PRIx64,
+                seq, event_time, digest);
+  return buf;
+}
+
+std::optional<SessionRecord> parse_session_record(const std::string& line) {
+  const std::vector<std::string> tok = split(line);
+  if (tok.empty()) return std::nullopt;
+  SessionRecord rec;
+  if (tok[0] == "reg") {
+    if (tok.size() != 5) return std::nullopt;
+    rec.kind = SessionRecord::Kind::kRegister;
+    if (!parse_u32(tok[1], 10, &rec.tenant_id) ||
+        !parse_u32(tok[2], 10, &rec.num_threads) ||
+        !parse_u32(tok[3], 10, &rec.base_tid) ||
+        !valid_tenant_name(tok[4])) {
+      return std::nullopt;
+    }
+    rec.name = tok[4];
+    return rec;
+  }
+  if (tok[0] == "batch") {
+    if (tok.size() < 4) return std::nullopt;
+    rec.kind = SessionRecord::Kind::kBatch;
+    std::uint64_t count = 0;
+    if (!parse_u32(tok[1], 10, &rec.tenant_id) ||
+        !parse_u64(tok[2], 10, &rec.batch_seq) ||
+        !parse_u64(tok[3], 10, &count) || count > kMaxBatchEvents ||
+        tok.size() != 4 + count) {
+      return std::nullopt;
+    }
+    rec.events.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string& ev = tok[4 + i];
+      const std::size_t c1 = ev.find(',');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : ev.find(',', c1 + 1);
+      if (c2 == std::string::npos) return std::nullopt;
+      FaultRecord fr;
+      if (!parse_u64(ev.substr(0, c1), 16, &fr.vaddr) ||
+          !parse_u32(ev.substr(c1 + 1, c2 - c1 - 1), 16, &fr.tid) ||
+          !parse_u64(ev.substr(c2 + 1), 16, &fr.time)) {
+        return std::nullopt;
+      }
+      rec.events.push_back(fr);
+    }
+    return rec;
+  }
+  if (tok[0] == "exit") {
+    if (tok.size() != 2) return std::nullopt;
+    rec.kind = SessionRecord::Kind::kExit;
+    if (!parse_u32(tok[1], 10, &rec.tenant_id)) return std::nullopt;
+    return rec;
+  }
+  if (tok[0] == "arb") {
+    if (tok.size() != 4) return std::nullopt;
+    rec.kind = SessionRecord::Kind::kDecision;
+    if (!parse_u64(tok[1], 10, &rec.decision_seq) ||
+        !parse_u64(tok[2], 10, &rec.event_time) ||
+        !parse_u64(tok[3], 16, &rec.digest)) {
+      return std::nullopt;
+    }
+    return rec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace spcd::svc

@@ -1,0 +1,86 @@
+// Codec for the daemon's session journal: the text records that make a
+// multi-tenant session replayable. Every state transition the service
+// commits — a tenant registering, a fault batch, an exit — is one
+// journal record, appended (and fsynced, via util::Journal) *before* the
+// daemon acknowledges it to the tenant; arbiter decisions are journaled
+// as digest records so a replay can byte-compare its recomputed
+// decisions against the original session's.
+//
+// The journal meta line binds the session to its ServiceConfig (topology
+// shape, sharding, table geometry, arbitration interval): replaying a
+// journal under a different config is refused rather than silently
+// diverging.
+//
+// Record grammar (single line each, space-separated, hex for bulk data):
+//   reg <tenant_id> <num_threads> <base_tid> <name>
+//   batch <tenant_id> <seq> <n> <vaddr,tid,time>*n    (fields in hex)
+//   exit <tenant_id>
+//   arb <seq> <event_time> <digest-hex>
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "mem/sharing_table.hpp"
+#include "svc/protocol.hpp"
+
+namespace spcd::svc {
+
+/// Everything that shapes a service session's deterministic behavior.
+struct ServiceConfig {
+  arch::TopologySpec topology;
+  /// Sharding and total entry budget of the detection substrate.
+  std::uint32_t shards = 8;
+  mem::SharingTableConfig table;
+  /// Arbitrate after every `arbitration_interval` ingested fault events
+  /// (0 disables automatic arbitration).
+  std::uint64_t arbitration_interval = 4096;
+  /// Journal path; empty runs journal-less (benchmarks, unit tests).
+  std::string journal_path;
+};
+
+/// Meta line for util::Journal::create binding the config; no newlines.
+std::string service_meta(const ServiceConfig& config);
+/// Parse a meta line back into the deterministic subset of the config
+/// (journal_path is not part of the meta). False on any mismatch in
+/// shape or version.
+bool parse_service_meta(const std::string& meta, ServiceConfig* out);
+
+struct SessionRecord {
+  enum class Kind : std::uint8_t { kRegister, kBatch, kExit, kDecision };
+  Kind kind = Kind::kRegister;
+
+  std::uint32_t tenant_id = 0;  // kRegister, kBatch, kExit
+
+  // kRegister
+  std::string name;
+  std::uint32_t num_threads = 0;
+  std::uint32_t base_tid = 0;
+
+  // kBatch
+  std::uint64_t batch_seq = 0;
+  std::vector<FaultRecord> events;
+
+  // kDecision
+  std::uint64_t decision_seq = 0;
+  std::uint64_t event_time = 0;
+  std::uint64_t digest = 0;
+};
+
+std::string encode_register(std::uint32_t tenant_id, const std::string& name,
+                            std::uint32_t num_threads,
+                            std::uint32_t base_tid);
+std::string encode_batch(std::uint32_t tenant_id, std::uint64_t seq,
+                         const std::vector<FaultRecord>& events);
+std::string encode_exit(std::uint32_t tenant_id);
+std::string encode_decision(std::uint64_t seq, std::uint64_t event_time,
+                            std::uint64_t digest);
+
+/// Strict parse of one record line; nullopt on any malformation (unknown
+/// kind, wrong field count, non-hex payload, event count mismatch).
+std::optional<SessionRecord> parse_session_record(const std::string& line);
+
+}  // namespace spcd::svc

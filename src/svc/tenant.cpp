@@ -1,0 +1,47 @@
+#include "svc/tenant.hpp"
+
+#include "util/contracts.hpp"
+
+namespace spcd::svc {
+
+std::uint32_t TenantRegistry::add(const std::string& name,
+                                  std::uint32_t num_threads) {
+  SPCD_EXPECTS(num_threads >= 1);
+  const auto id = static_cast<std::uint32_t>(tenants_.size() + 1);
+  tenants_.push_back(
+      std::make_unique<Tenant>(id, name, num_threads, next_tid_));
+  next_tid_ += num_threads;
+  ++active_count_;
+  active_threads_ += num_threads;
+  return id;
+}
+
+Tenant* TenantRegistry::find(std::uint32_t id) {
+  if (id == 0 || id > tenants_.size()) return nullptr;
+  return tenants_[id - 1].get();
+}
+
+const Tenant* TenantRegistry::find(std::uint32_t id) const {
+  if (id == 0 || id > tenants_.size()) return nullptr;
+  return tenants_[id - 1].get();
+}
+
+bool TenantRegistry::mark_exited(std::uint32_t id) {
+  Tenant* t = find(id);
+  if (t == nullptr || t->state == TenantState::kExited) return false;
+  t->state = TenantState::kExited;
+  --active_count_;
+  active_threads_ -= t->num_threads;
+  return true;
+}
+
+std::vector<const Tenant*> TenantRegistry::active() const {
+  std::vector<const Tenant*> out;
+  out.reserve(active_count_);
+  for (const auto& t : tenants_) {
+    if (t->state == TenantState::kActive) out.push_back(t.get());
+  }
+  return out;
+}
+
+}  // namespace spcd::svc

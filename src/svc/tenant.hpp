@@ -1,0 +1,79 @@
+// The daemon's tenant registry: every application that registered over
+// the IPC protocol, its lifecycle state, its slice of the global thread-id
+// space, and its own communication matrix (fed by the sharded sharing
+// table). Tenant ids and base tids are allocated monotonically and never
+// reused, so journal records stay unambiguous across arrivals and exits;
+// the arbiter compacts the *active* tenants into a dense slot space per
+// decision.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+
+namespace spcd::svc {
+
+enum class TenantState : std::uint8_t {
+  kActive,  ///< registered, threads participate in arbitration
+  kExited,  ///< said kBye (or was drained); keeps its stats, frees its slots
+};
+
+struct Tenant {
+  std::uint32_t id = 0;           ///< 1-based; 0 is reserved for "invalid"
+  std::string name;
+  std::uint32_t num_threads = 0;
+  /// First global thread id of this tenant's contiguous tid block.
+  std::uint32_t base_tid = 0;
+  TenantState state = TenantState::kActive;
+
+  /// Per-tenant communication matrix over the tenant's local tids.
+  core::CommMatrix matrix;
+
+  // --- per-tenant accounting ---
+  std::uint64_t events = 0;       ///< fault events ingested
+  std::uint64_t batches = 0;      ///< batches committed
+  std::uint64_t comm_events = 0;  ///< partner pairs detected
+
+  Tenant(std::uint32_t id_, std::string name_, std::uint32_t threads,
+         std::uint32_t base)
+      : id(id_), name(std::move(name_)), num_threads(threads),
+        base_tid(base), matrix(threads) {}
+};
+
+class TenantRegistry {
+ public:
+  /// Register a tenant; returns its id (>= 1). `name` must already be
+  /// protocol-valid; duplicate names are allowed (ids disambiguate).
+  std::uint32_t add(const std::string& name, std::uint32_t num_threads);
+
+  /// Null for an id that was never allocated.
+  Tenant* find(std::uint32_t id);
+  const Tenant* find(std::uint32_t id) const;
+
+  /// Mark a tenant exited; false if unknown or already exited.
+  bool mark_exited(std::uint32_t id);
+
+  /// Active tenants in id order (the arbiter's deterministic input).
+  std::vector<const Tenant*> active() const;
+
+  std::uint32_t registered() const {
+    return static_cast<std::uint32_t>(tenants_.size());
+  }
+  std::uint32_t active_count() const { return active_count_; }
+  std::uint32_t exited() const { return registered() - active_count_; }
+  /// Sum of active tenants' thread counts.
+  std::uint32_t active_threads() const { return active_threads_; }
+  /// One past the highest allocated global tid.
+  std::uint32_t tid_space() const { return next_tid_; }
+
+ private:
+  std::vector<std::unique_ptr<Tenant>> tenants_;  ///< index = id - 1
+  std::uint32_t next_tid_ = 0;
+  std::uint32_t active_count_ = 0;
+  std::uint32_t active_threads_ = 0;
+};
+
+}  // namespace spcd::svc

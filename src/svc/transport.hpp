@@ -1,0 +1,95 @@
+// Byte transports for the spcdd protocol: a frame-oriented stream with a
+// blocking-with-timeout receive, behind one interface so the service core
+// and the tests never care which wire the bytes took.
+//
+//   * InProcTransport — a pair of in-memory frame queues (mutex + cv).
+//     Deterministic and dependency-free; the unit tests and the
+//     throughput benchmark run the whole service on it.
+//   * UnixSocketTransport — AF_UNIX SOCK_STREAM. recv() polls the fd so
+//     session threads can observe stop flags / cancel tokens between
+//     frames; send() loops over partial writes and EINTR.
+//
+// Listeners mirror the split: UnixSocketListener binds a filesystem
+// socket; InProcListener hands out transport pairs to in-process clients
+// via connect().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace spcd::svc {
+
+class Transport {
+ public:
+  enum class RecvStatus : std::uint8_t {
+    kFrame,    ///< *payload holds one complete frame
+    kTimeout,  ///< no frame within the deadline; try again
+    kClosed,   ///< peer closed cleanly (EOF between frames)
+    kError,    ///< I/O error or protocol violation (oversized frame)
+  };
+
+  virtual ~Transport() = default;
+
+  /// Send one frame (length prefix + payload). False once the peer is
+  /// gone or the transport failed; sends never block indefinitely on the
+  /// in-proc transport and rely on OS buffering plus the frame cap for
+  /// sockets.
+  virtual bool send(std::string_view payload) = 0;
+
+  /// Receive one complete frame, waiting at most `timeout_ms`
+  /// (0 = only what is already buffered, negative = wait forever).
+  virtual RecvStatus recv(std::string* payload, int timeout_ms) = 0;
+
+  /// Close this endpoint; the peer's recv() returns kClosed once drained.
+  /// Idempotent and callable concurrently with a blocked recv().
+  virtual void close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accept one connection, waiting at most `timeout_ms` (negative =
+  /// forever). Null on timeout or once the listener is closed.
+  virtual std::unique_ptr<Transport> accept(int timeout_ms) = 0;
+
+  /// Stop accepting; a blocked accept() returns null. Idempotent.
+  virtual void close() = 0;
+};
+
+/// A connected pair of in-process transports: first = client end,
+/// second = server end.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_inproc_pair();
+
+/// In-process listener: connect() returns the client end and queues the
+/// server end for accept().
+class InProcListener : public Listener {
+ public:
+  InProcListener();
+  ~InProcListener() override;
+
+  /// Client side of a fresh connection, or null when closed.
+  std::unique_ptr<Transport> connect();
+
+  std::unique_ptr<Transport> accept(int timeout_ms) override;
+  void close() override;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Bind a Unix-domain stream socket at `path` (an existing socket file is
+/// replaced). Null + a message in *error on failure.
+std::unique_ptr<Listener> listen_unix(const std::string& path,
+                                      std::string* error);
+
+/// Connect to a Unix-domain socket, retrying until the server binds or
+/// `timeout_ms` elapses (daemon startup is asynchronous to its clients).
+std::unique_ptr<Transport> connect_unix(const std::string& path,
+                                        int timeout_ms, std::string* error);
+
+}  // namespace spcd::svc

@@ -5,6 +5,7 @@
 #include "bench/pipeline.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,7 +21,11 @@ constexpr std::uint32_t kReps = 1;
 constexpr double kScale = 0.02;
 
 std::string temp_journal(const char* tag) {
-  return testing::TempDir() + "resume_eq_" + tag + ".journal";
+  // Pid-unique: ctest runs each TEST as its own process, and concurrent
+  // processes each build the shared full-sweep reference — same-path
+  // journals would clobber each other under `ctest -j`.
+  return testing::TempDir() + "resume_eq_" + tag + "_" +
+         std::to_string(::getpid()) + ".journal";
 }
 
 bench::PipelineOptions small_grid(const std::string& journal_path,

@@ -1,0 +1,134 @@
+// Wire-protocol contract: every message round-trips encode -> parse, and
+// every malformed payload — truncated, oversized, trailing bytes, bogus
+// type — yields nullopt, never UB (the daemon parses attacker-controlled
+// bytes).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+
+namespace spcd::svc {
+namespace {
+
+TEST(SvcProtocolTest, TenantNameValidation) {
+  EXPECT_TRUE(valid_tenant_name("app-0"));
+  EXPECT_TRUE(valid_tenant_name("A.b_c-9"));
+  EXPECT_TRUE(valid_tenant_name(std::string(kMaxTenantName, 'x')));
+  EXPECT_FALSE(valid_tenant_name(""));
+  EXPECT_FALSE(valid_tenant_name(std::string(kMaxTenantName + 1, 'x')));
+  EXPECT_FALSE(valid_tenant_name("has space"));
+  EXPECT_FALSE(valid_tenant_name("new\nline"));
+  EXPECT_FALSE(valid_tenant_name(std::string("nul\0byte", 8)));
+}
+
+TEST(SvcProtocolTest, HelloRoundTrip) {
+  const auto msg = parse_message(encode_hello("tenant-7", 12));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kHello);
+  EXPECT_EQ(msg->name, "tenant-7");
+  EXPECT_EQ(msg->num_threads, 12u);
+}
+
+TEST(SvcProtocolTest, WelcomeRoundTripCarriesVersion) {
+  const auto msg = parse_message(encode_welcome(3, 40));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kWelcome);
+  EXPECT_EQ(msg->tenant_id, 3u);
+  EXPECT_EQ(msg->base_tid, 40u);
+  EXPECT_EQ(msg->version, kProtocolVersion);
+}
+
+TEST(SvcProtocolTest, FaultBatchRoundTrip) {
+  std::vector<FaultRecord> events;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    events.push_back({0x1000u * i + 0xabcdef0123ULL, i % 8, 77u + i});
+  }
+  const auto msg = parse_message(encode_fault_batch(events));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kFaultBatch);
+  EXPECT_EQ(msg->events, events);
+}
+
+TEST(SvcProtocolTest, EmptyFaultBatchRoundTrip) {
+  const auto msg = parse_message(encode_fault_batch({}));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->events.empty());
+}
+
+TEST(SvcProtocolTest, BatchAckRoundTrip) {
+  const auto msg = parse_message(encode_batch_ack(0x1122334455667788ULL, 9));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kBatchAck);
+  EXPECT_EQ(msg->seq, 0x1122334455667788ULL);
+  EXPECT_EQ(msg->comm_events, 9u);
+}
+
+TEST(SvcProtocolTest, SmallMessagesRoundTrip) {
+  EXPECT_EQ(parse_message(encode_bye())->type, MessageType::kBye);
+  EXPECT_EQ(parse_message(encode_stats())->type, MessageType::kStats);
+  EXPECT_EQ(parse_message(encode_shutdown())->type, MessageType::kShutdown);
+  const auto reply = parse_message(encode_stats_reply("{\"a\":1}"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MessageType::kStatsReply);
+  EXPECT_EQ(reply->text, "{\"a\":1}");
+  const auto err = parse_message(encode_error("bad tenant"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->type, MessageType::kError);
+  EXPECT_EQ(err->text, "bad tenant");
+}
+
+TEST(SvcProtocolTest, RejectsEmptyAndUnknownType) {
+  EXPECT_FALSE(parse_message("").has_value());
+  EXPECT_FALSE(parse_message(std::string(1, '\x00')).has_value());
+  EXPECT_FALSE(parse_message(std::string(1, '\x7f')).has_value());
+}
+
+TEST(SvcProtocolTest, RejectsTruncation) {
+  // Every proper prefix of a valid payload must fail to parse (except the
+  // degenerate empty prefix, covered above).
+  for (const std::string& payload :
+       {encode_hello("t", 4), encode_welcome(1, 0),
+        encode_fault_batch({{0x1000, 0, 1}}), encode_batch_ack(5, 1),
+        encode_stats_reply("{}"), encode_error("x")}) {
+    for (std::size_t len = 1; len < payload.size(); ++len) {
+      EXPECT_FALSE(parse_message(payload.substr(0, len)).has_value())
+          << "prefix of length " << len << " parsed";
+    }
+  }
+}
+
+TEST(SvcProtocolTest, RejectsTrailingBytes) {
+  for (std::string payload :
+       {encode_hello("t", 4), encode_fault_batch({{0x1000, 0, 1}}),
+        encode_bye(), encode_batch_ack(5, 1)}) {
+    payload.push_back('\x00');
+    EXPECT_FALSE(parse_message(payload).has_value());
+  }
+}
+
+TEST(SvcProtocolTest, RejectsOversizedDeclaredCounts) {
+  // A fault batch declaring more events than the payload carries (or than
+  // the cap allows) must not be trusted.
+  std::string payload = encode_fault_batch({{0x1000, 0, 1}});
+  payload[1] = '\xff';  // count LSB: declares 255+ events, carries one
+  EXPECT_FALSE(parse_message(payload).has_value());
+
+  std::string hello = encode_hello("ab", 1);
+  // name_len is the u16 after type + u32 num_threads.
+  hello[5] = '\x40';
+  hello[6] = '\x00';  // declares 64 name bytes, carries 2
+  EXPECT_FALSE(parse_message(hello).has_value());
+}
+
+TEST(SvcProtocolTest, BatchEventCapIsEnforced) {
+  const std::vector<FaultRecord> max_events(kMaxBatchEvents,
+                                            FaultRecord{0x1000, 0, 1});
+  const std::string ok = encode_fault_batch(max_events);
+  EXPECT_LE(ok.size() + 4, kMaxFrameBytes);
+  ASSERT_TRUE(parse_message(ok).has_value());
+}
+
+}  // namespace
+}  // namespace spcd::svc

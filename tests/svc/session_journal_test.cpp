@@ -1,0 +1,98 @@
+// Session-journal codec: every record kind round-trips encode -> parse,
+// the meta line binds the deterministic config shape, and malformed lines
+// are rejected strictly (the replayer parses crash leftovers).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/session_journal.hpp"
+
+namespace spcd::svc {
+namespace {
+
+TEST(SvcSessionJournalTest, RegisterRoundTrip) {
+  const auto rec =
+      parse_session_record(encode_register(3, "tenant-x", 16, 42));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->kind, SessionRecord::Kind::kRegister);
+  EXPECT_EQ(rec->tenant_id, 3u);
+  EXPECT_EQ(rec->name, "tenant-x");
+  EXPECT_EQ(rec->num_threads, 16u);
+  EXPECT_EQ(rec->base_tid, 42u);
+}
+
+TEST(SvcSessionJournalTest, BatchRoundTrip) {
+  std::vector<FaultRecord> events;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    events.push_back({0xdeadbeef000ULL + i * 0x1000, i % 4, 1'000'000u + i});
+  }
+  const auto rec = parse_session_record(encode_batch(7, 99, events));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->kind, SessionRecord::Kind::kBatch);
+  EXPECT_EQ(rec->tenant_id, 7u);
+  EXPECT_EQ(rec->batch_seq, 99u);
+  EXPECT_EQ(rec->events, events);
+}
+
+TEST(SvcSessionJournalTest, ExitAndDecisionRoundTrip) {
+  const auto exit_rec = parse_session_record(encode_exit(5));
+  ASSERT_TRUE(exit_rec.has_value());
+  EXPECT_EQ(exit_rec->kind, SessionRecord::Kind::kExit);
+  EXPECT_EQ(exit_rec->tenant_id, 5u);
+
+  const auto arb = parse_session_record(
+      encode_decision(12, 8192, 0xfedcba9876543210ULL));
+  ASSERT_TRUE(arb.has_value());
+  EXPECT_EQ(arb->kind, SessionRecord::Kind::kDecision);
+  EXPECT_EQ(arb->decision_seq, 12u);
+  EXPECT_EQ(arb->event_time, 8192u);
+  EXPECT_EQ(arb->digest, 0xfedcba9876543210ULL);
+}
+
+TEST(SvcSessionJournalTest, RejectsMalformedLines) {
+  for (const char* line :
+       {"", "bogus 1 2 3", "reg", "reg x 2 0 name", "reg 1 2 0",
+        "batch 1 2", "batch 1 2 2 1000,0,1", "batch 1 2 1 nothex,0,1",
+        "exit", "exit notanumber", "arb 1 2", "arb 1 2 xyzq",
+        "reg 1 2 0 name extra"}) {
+    EXPECT_FALSE(parse_session_record(line).has_value()) << line;
+  }
+}
+
+TEST(SvcSessionJournalTest, MetaRoundTripBindsConfigShape) {
+  ServiceConfig config;
+  config.topology = arch::TopologySpec{4, 6, 2};
+  config.shards = 16;
+  config.table.num_entries = 100'000;
+  config.table.granularity_shift = 6;
+  config.table.time_window = 5'000;
+  config.arbitration_interval = 2048;
+  config.journal_path = "/irrelevant/to/meta";
+
+  ServiceConfig parsed;
+  ASSERT_TRUE(parse_service_meta(service_meta(config), &parsed));
+  EXPECT_EQ(parsed.topology.sockets, 4u);
+  EXPECT_EQ(parsed.topology.cores_per_socket, 6u);
+  EXPECT_EQ(parsed.topology.smt_per_core, 2u);
+  EXPECT_EQ(parsed.shards, 16u);
+  EXPECT_EQ(parsed.table.num_entries, 100'000u);
+  EXPECT_EQ(parsed.table.granularity_shift, 6u);
+  EXPECT_EQ(parsed.table.time_window, 5'000u);
+  EXPECT_EQ(parsed.arbitration_interval, 2048u);
+  EXPECT_TRUE(parsed.journal_path.empty());
+}
+
+TEST(SvcSessionJournalTest, MetaRejectsForeignVersions) {
+  ServiceConfig parsed;
+  EXPECT_FALSE(parse_service_meta("", &parsed));
+  EXPECT_FALSE(parse_service_meta("spcd-journal v1 something", &parsed));
+  EXPECT_FALSE(parse_service_meta(
+      "spcd-service-v999 topo=2x8x2 shards=8 entries=256000 gran=12 "
+      "window=0 interval=4096",
+      &parsed));
+}
+
+}  // namespace
+}  // namespace spcd::svc

@@ -1,0 +1,144 @@
+// Transport contract, exercised on both wires: frames arrive whole and in
+// order, recv honors its timeout, close() wakes a blocked peer with
+// kClosed, and the Unix-socket path survives a real filesystem bind.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/transport.hpp"
+
+namespace spcd::svc {
+namespace {
+
+std::string tmp_socket(const char* name) { return testing::TempDir() + name; }
+
+TEST(SvcTransportTest, InProcFramesArriveWholeAndInOrder) {
+  auto [client, server] = make_inproc_pair();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client->send("frame-" + std::to_string(i)));
+  }
+  std::string payload;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(server->recv(&payload, 0), Transport::RecvStatus::kFrame);
+    EXPECT_EQ(payload, "frame-" + std::to_string(i));
+  }
+  EXPECT_EQ(server->recv(&payload, 0), Transport::RecvStatus::kTimeout);
+}
+
+TEST(SvcTransportTest, InProcIsBidirectional) {
+  auto [client, server] = make_inproc_pair();
+  ASSERT_TRUE(client->send("ping"));
+  std::string payload;
+  ASSERT_EQ(server->recv(&payload, 100), Transport::RecvStatus::kFrame);
+  ASSERT_TRUE(server->send("pong"));
+  ASSERT_EQ(client->recv(&payload, 100), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, "pong");
+}
+
+TEST(SvcTransportTest, InProcCloseDrainsThenReportsClosed) {
+  auto [client, server] = make_inproc_pair();
+  ASSERT_TRUE(client->send("last"));
+  client->close();
+  EXPECT_FALSE(client->send("after close"));
+  std::string payload;
+  // The frame sent before close is still delivered; only then kClosed.
+  ASSERT_EQ(server->recv(&payload, 100), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, "last");
+  EXPECT_EQ(server->recv(&payload, 100), Transport::RecvStatus::kClosed);
+}
+
+TEST(SvcTransportTest, InProcCloseWakesBlockedRecv) {
+  auto [client, server] = make_inproc_pair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    client->close();
+  });
+  std::string payload;
+  EXPECT_EQ(server->recv(&payload, -1), Transport::RecvStatus::kClosed);
+  closer.join();
+}
+
+TEST(SvcTransportTest, InProcListenerHandsOutConnectedPairs) {
+  InProcListener listener;
+  auto client = listener.connect();
+  ASSERT_NE(client, nullptr);
+  auto server = listener.accept(100);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(client->send("hello"));
+  std::string payload;
+  ASSERT_EQ(server->recv(&payload, 100), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, "hello");
+  listener.close();
+  EXPECT_EQ(listener.accept(10), nullptr);
+  EXPECT_EQ(listener.connect(), nullptr);
+}
+
+TEST(SvcTransportTest, UnixSocketRoundTrip) {
+  const std::string path = tmp_socket("svc_transport_rt.sock");
+  std::string error;
+  auto listener = listen_unix(path, &error);
+  ASSERT_NE(listener, nullptr) << error;
+
+  auto client = connect_unix(path, 2000, &error);
+  ASSERT_NE(client, nullptr) << error;
+  auto server = listener->accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  const std::string big(100'000, 'x');
+  ASSERT_TRUE(client->send(big));
+  ASSERT_TRUE(client->send("tail"));
+  std::string payload;
+  ASSERT_EQ(server->recv(&payload, 2000), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, big);
+  ASSERT_EQ(server->recv(&payload, 2000), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, "tail");
+
+  client->close();
+  EXPECT_EQ(server->recv(&payload, 2000), Transport::RecvStatus::kClosed);
+  listener->close();
+}
+
+TEST(SvcTransportTest, UnixSocketRecvTimesOutWithoutData) {
+  const std::string path = tmp_socket("svc_transport_to.sock");
+  std::string error;
+  auto listener = listen_unix(path, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  auto client = connect_unix(path, 2000, &error);
+  ASSERT_NE(client, nullptr) << error;
+  auto server = listener->accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  std::string payload;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(server->recv(&payload, 50), Transport::RecvStatus::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(40));
+  listener->close();
+}
+
+TEST(SvcTransportTest, ConnectTimesOutWithoutServer) {
+  std::string error;
+  EXPECT_EQ(connect_unix(tmp_socket("svc_transport_none.sock"), 100, &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SvcTransportTest, RebindReplacesStaleSocketFile) {
+  const std::string path = tmp_socket("svc_transport_stale.sock");
+  std::string error;
+  auto first = listen_unix(path, &error);
+  ASSERT_NE(first, nullptr) << error;
+  first->close();
+  first.reset();
+  // The socket file is left behind; a fresh daemon must be able to bind.
+  auto second = listen_unix(path, &error);
+  ASSERT_NE(second, nullptr) << error;
+  second->close();
+}
+
+}  // namespace
+}  // namespace spcd::svc
