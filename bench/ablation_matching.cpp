@@ -6,6 +6,7 @@
 
 #include "bench/ablation_common.hpp"
 #include "core/mapper.hpp"
+#include "core/mapping_strategy.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -19,6 +20,13 @@ int main() {
   config.repetitions = 1;
   core::Runner runner(config);
   arch::Topology topo(config.machine.topology);
+
+  // Both contestants come from the strategy registry; map() is const and
+  // stateless, so one instance serves all pool workers.
+  core::MappingConfig greedy_cfg;
+  greedy_cfg.strategy = "greedy";
+  const auto greedy_mapper = core::make_mapping_strategy(greedy_cfg);
+  const auto edmonds_mapper = core::make_mapping_strategy({});
 
   util::TextTable table;
   table.header({"bench", "os spread", "greedy", "edmonds",
@@ -44,10 +52,9 @@ int main() {
         c.spread = core::placement_comm_cost(
             *matrix, topo, core::os_spread_placement(topo, matrix->size()));
         c.greedy = core::placement_comm_cost(
-            *matrix, topo,
-            core::compute_mapping_greedy(*matrix, topo).placement);
+            *matrix, topo, greedy_mapper->map(*matrix, topo).placement);
         c.edmonds = core::placement_comm_cost(
-            *matrix, topo, core::compute_mapping(*matrix, topo).placement);
+            *matrix, topo, edmonds_mapper->map(*matrix, topo).placement);
         c.valid = true;
         return c;
       });

@@ -57,4 +57,10 @@ inline double time_best_of(int repeats, std::uint64_t items,
 /// through the multi-tenant service at 1, 16, and 100 tenants.
 KernelResult run_service_throughput(int repeats);
 
+/// Kernel 6 (micro_mapper_scale.cpp): one hierarchical remap decision for
+/// 1024 threads on the 8-socket deep-NUMA topology plus one Blossom
+/// decision for 256 threads; extras carry the per-decision milliseconds
+/// CI gates on.
+KernelResult run_mapper_scale(int repeats);
+
 }  // namespace spcd::bench

@@ -519,6 +519,7 @@ int main(int argc, char** argv) {
   results.push_back(run_simulator(repeats));
   results.push_back(run_engine_parallel(repeats));
   results.push_back(bench::run_service_throughput(repeats));
+  results.push_back(bench::run_mapper_scale(repeats));
 
   bool ok = true;
   for (const auto& r : results) {

@@ -212,10 +212,11 @@ bool parse_metrics_row(const std::string& row, std::string& bench,
   return true;
 }
 
-std::string journal_meta(std::uint32_t repetitions, double scale) {
+std::string journal_meta(std::uint32_t repetitions, double scale,
+                         const std::string& mapper) {
   std::ostringstream out;
   out << "cache-v" << kCacheVersion << " reps=" << repetitions
-      << " scale=" << scale;
+      << " scale=" << scale << " mapper=" << mapper;
   return std::move(out).str();
 }
 
@@ -317,6 +318,7 @@ PipelineOutcome run_pipeline_supervised(const PipelineOptions& options) {
 
   core::RunnerConfig config;
   config.repetitions = out.repetitions;
+  config.spcd.mapping = options.mapping;
   core::Runner runner(config);
   // Worker-level fault injection (SPCD_CHAOS_WORKER_*): applied around the
   // cell, never inside the simulation, so a successful attempt computes
@@ -364,7 +366,8 @@ PipelineOutcome run_pipeline_supervised(const PipelineOptions& options) {
   // or duplicate tails never accumulate.
   std::vector<char> done(cells.size(), 0);
   util::Journal journal;
-  const std::string meta = journal_meta(options.repetitions, options.scale);
+  const std::string meta = journal_meta(options.repetitions, options.scale,
+                                        options.mapping.strategy);
   if (!options.journal_path.empty()) {
     std::vector<std::string> kept;
     bool fresh = true;

@@ -63,6 +63,12 @@ struct PipelineOptions {
   double scale = 1.0;
   std::uint32_t jobs = 0;  ///< 0 = SPCD_JOBS / hardware concurrency
   bool progress = true;    ///< per-cell progress lines on stderr
+  /// Mapping strategy every cell's SPCD kernel and oracle run through.
+  /// A whole-run setting, not a grid axis: the cache format is unchanged
+  /// and the default (blossom) keeps the cache byte-identical to prior
+  /// releases. The strategy name is bound into the journal meta, so a
+  /// resume under a different mapper recomputes instead of merging.
+  core::MappingConfig mapping;
 
   // --- supervision / crash safety (run_pipeline_supervised) ---
   /// Journal file for completed cells; empty disables journaling.
@@ -117,9 +123,11 @@ bool parse_metrics_row(const std::string& row, std::string& bench,
                        core::MappingPolicy& policy, std::uint32_t& rep,
                        core::RunMetrics& m);
 
-/// The journal header meta binding a journal to one experiment shape; a
-/// journal whose meta does not match is discarded, never merged.
-std::string journal_meta(std::uint32_t repetitions, double scale);
+/// The journal header meta binding a journal to one experiment shape
+/// (repetitions, scale, mapping strategy); a journal whose meta does not
+/// match is discarded, never merged.
+std::string journal_meta(std::uint32_t repetitions, double scale,
+                         const std::string& mapper = "blossom");
 
 /// Where the pipeline journals in-progress sweeps: "<cache path>.journal".
 std::string default_journal_path();

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench/pipeline.hpp"
+#include "core/mapping_strategy.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 
@@ -25,6 +26,7 @@ namespace {
 
 const char* kUsage =
     "usage: spcd_pipeline [--resume] [--reps N] [--scale F] [--jobs N]\n"
+    "                     [--mapper blossom|greedy|hierarchical]\n"
     "                     [--cache FILE] [--no-progress]\n"
     "\n"
     "Runs the 10x4xN experiment grid under supervision and writes the\n"
@@ -60,6 +62,14 @@ int main(int argc, char** argv) {
       }
     } else if (args.is("--jobs")) {
       options.jobs = args.u32();
+    } else if (args.is("--mapper")) {
+      options.mapping.strategy = args.value();
+      if (!core::parse_mapping_strategy(options.mapping.strategy)) {
+        const std::string what = options.mapping.strategy +
+                                 " (choose from " +
+                                 core::mapping_strategy_list() + ")";
+        args.fail("unknown mapper %s\n", what.c_str());
+      }
     } else if (args.is("--cache")) {
       cache = args.value();
     } else if (args.is("--no-progress")) {

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/mapper.hpp"
+#include "core/mapping_strategy.hpp"
 #include "core/oracle.hpp"
 #include "core/policy.hpp"
 #include "sim/engine.hpp"
@@ -54,7 +55,9 @@ sim::Placement mapped_placement(const arch::MachineSpec& spec,
   core::OracleTracer tracer(threads);
   tracer.install(engine);
   engine.run();
-  return core::compute_mapping(tracer.matrix(), machine.topology()).placement;
+  return core::make_mapping_strategy({})
+      ->map(tracer.matrix(), machine.topology())
+      .placement;
 }
 
 }  // namespace

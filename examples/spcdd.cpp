@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 
+#include "core/mapping_strategy.hpp"
 #include "obs/export.hpp"
 #include "svc/driver.hpp"
 #include "svc/server.hpp"
@@ -51,6 +52,7 @@ constexpr char kUsage[] =
     "  --shards N            sharing-table shards (default 8)\n"
     "  --entries N           total sharing-table entries (default 4096)\n"
     "  --interval N          arbitrate every N events (default 4096)\n"
+    "  --mapper NAME         arbiter mapping strategy (default blossom)\n"
     "\n"
     "driver options\n"
     "  --tenants N           scripted tenants (default 4)\n"
@@ -275,6 +277,14 @@ int main(int argc, char** argv) {
       opt.service.table.num_entries = args.u64();
     } else if (args.is("--interval")) {
       opt.service.arbitration_interval = args.u64();
+    } else if (args.is("--mapper")) {
+      opt.service.mapping.strategy = args.value();
+      if (!spcd::core::parse_mapping_strategy(opt.service.mapping.strategy)) {
+        const std::string what = opt.service.mapping.strategy +
+                                 " (choose from " +
+                                 spcd::core::mapping_strategy_list() + ")";
+        args.fail("unknown mapper %s\n", what.c_str());
+      }
     } else if (args.is("--tenants")) {
       opt.driver.tenants = args.u32();
     } else if (args.is("--threads")) {

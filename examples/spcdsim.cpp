@@ -7,6 +7,7 @@
 //   spcdsim [options]
 //     --bench <bt|cg|dc|ep|ft|is|lu|mg|sp|ua|prodcons>   (default sp)
 //     --policy <os|random|oracle|spcd>                   (default spcd)
+//     --mapper <blossom|greedy|hierarchical>             (default blossom)
 //     --reps <n>            repetitions                  (default 3)
 //     --jobs <n>            worker threads, 1 = serial   (default SPCD_JOBS)
 //     --scale <f>           workload length multiplier   (default 1.0)
@@ -43,6 +44,7 @@
 
 #include "chaos/adversary.hpp"
 #include "chaos/perturbation.hpp"
+#include "core/mapping_strategy.hpp"
 #include "core/metrics_export.hpp"
 #include "core/runner.hpp"
 #include "obs/export.hpp"
@@ -55,6 +57,7 @@ namespace {
 
 const char* kUsage =
     "usage: spcdsim [--bench NAME] [--policy os|random|oracle|spcd]\n"
+    "               [--mapper blossom|greedy|hierarchical]\n"
     "               [--reps N] [--jobs N] [--scale F]\n"
     "               [--granularity SHIFT] [--fault-ratio F]\n"
     "               [--window CYCLES] [--no-migration] [--data-mapping]\n"
@@ -94,6 +97,8 @@ int run(int argc, char** argv) {
       bench = args.value();
     } else if (args.is("--policy")) {
       policy_name = args.value();
+    } else if (args.is("--mapper")) {
+      config.spcd.mapping.strategy = args.value();
     } else if (args.is("--reps")) {
       reps = args.u32();
     } else if (args.is("--jobs")) {
@@ -148,6 +153,12 @@ int run(int argc, char** argv) {
     args.fail("unknown policy %s\n", policy_name.c_str());
   }
   const core::MappingPolicy policy = *parsed;
+
+  if (!core::parse_mapping_strategy(config.spcd.mapping.strategy)) {
+    const std::string what = config.spcd.mapping.strategy + " (choose from " +
+                             core::mapping_strategy_list() + ")";
+    args.fail("unknown mapper %s\n", what.c_str());
+  }
 
   core::WorkloadFactory factory;
   if (bench == "prodcons") {

@@ -43,4 +43,46 @@ MachineSpec single_socket_machine() {
   return m;
 }
 
+MachineSpec quad_socket_numa() {
+  MachineSpec m = dual_xeon_e5_2650();
+  m.name = "4-socket NUMA (256 contexts)";
+  m.topology = TopologySpec{.sockets = 4, .cores_per_socket = 32,
+                            .smt_per_core = 2};
+  m.l3 = CacheGeometry{.size_bytes = 32 * util::kMiB, .associativity = 16,
+                       .line_bytes = 64};
+  // One-hop remote is slightly worse than the 2-socket part (longer
+  // board traces, snoop filter), and the opposite corner of the ring
+  // pays one extra hop.
+  m.latency.c2c_cross_socket = 260;
+  m.latency.dram_remote = 360;
+  m.latency.c2c_hop_extra = 60;
+  m.latency.dram_hop_extra = 80;
+  return m;
+}
+
+MachineSpec octo_socket_numa() {
+  MachineSpec m = quad_socket_numa();
+  m.name = "8-socket deep NUMA (1024 contexts)";
+  m.topology = TopologySpec{.sockets = 8, .cores_per_socket = 64,
+                            .smt_per_core = 2};
+  m.l3 = CacheGeometry{.size_bytes = 64 * util::kMiB, .associativity = 16,
+                       .line_bytes = 64};
+  // Up to 4 ring hops: the far corner costs 360 + 3*90 = 630 cycles to
+  // DRAM — the depth that makes hop-blind mapping expensive.
+  m.latency.c2c_cross_socket = 280;
+  m.latency.dram_remote = 360;
+  m.latency.c2c_hop_extra = 70;
+  m.latency.dram_hop_extra = 90;
+  return m;
+}
+
+MachineSpec octo_socket_numa_smt4() {
+  MachineSpec m = octo_socket_numa();
+  m.name = "8-socket deep NUMA SMT4 (2048 contexts)";
+  m.topology = TopologySpec{.sockets = 8, .cores_per_socket = 64,
+                            .smt_per_core = 4};
+  m.smt_penalty = 1.6;  // four contexts sharing one core's pipelines
+  return m;
+}
+
 }  // namespace spcd::arch

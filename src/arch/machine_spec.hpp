@@ -35,6 +35,17 @@ struct LatencySpec {
   std::uint32_t c2c_cross_socket = 230;
   std::uint32_t dram_local = 200;
   std::uint32_t dram_remote = 320;
+  // --- deep NUMA (multi-hop interconnects; see Topology::numa_hops) ---
+  // On 4-/8-socket boards not every socket pair is directly linked; each
+  // extra ring hop adds latency on top of the one-hop cross-socket cost.
+  // Both default to 0, which reproduces the flat two-socket model exactly
+  // (and on 2-socket machines every remote pair is one hop anyway).
+  /// Extra cycles per ring hop beyond the first for a cross-socket
+  /// cache-to-cache transfer.
+  std::uint32_t c2c_hop_extra = 0;
+  /// Extra cycles per ring hop beyond the first for a remote DRAM access.
+  std::uint32_t dram_hop_extra = 0;
+
   /// Page-table walk on a TLB miss (page-walk caches assumed warm).
   std::uint32_t tlb_walk = 30;
   /// Kernel entry/exit plus fault handling for a regular minor fault.
@@ -116,5 +127,25 @@ MachineSpec tiny_test_machine();
 
 /// Single-socket machine without SMT, for degenerate-case tests.
 MachineSpec single_socket_machine();
+
+// --- large NUMA presets (mapping / arbiter scale) ---
+// These model the 4-8 socket deep-NUMA boxes a production mapper faces:
+// per-level latencies span L1 -> L2 -> L3 -> 1-hop remote -> multi-hop
+// remote (Topology::numa_hops ring distances with the *_hop_extra knobs).
+// They drive the mapping strategies, the placement arbiter, and the
+// mapper-scale figure/benchmarks; the cycle-accurate coherence engine
+// remains capped at 32 cores (its directory masks), so these are not
+// simulatable machines.
+
+/// 4 sockets x 32 cores x 2-way SMT = 256 hardware contexts.
+MachineSpec quad_socket_numa();
+
+/// 8 sockets x 64 cores x 2-way SMT = 1024 hardware contexts, ring
+/// interconnect with up to 4 hops between sockets.
+MachineSpec octo_socket_numa();
+
+/// 8 sockets x 64 cores x 4-way SMT = 2048 hardware contexts (POWER-style
+/// SMT4) — the "1024+" end of the mapper-scale sweep.
+MachineSpec octo_socket_numa_smt4();
 
 }  // namespace spcd::arch

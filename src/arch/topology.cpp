@@ -1,5 +1,6 @@
 #include "arch/topology.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/contracts.hpp"
@@ -50,6 +51,12 @@ std::vector<CoreId> Topology::cores_of_socket(SocketId socket) const {
     out.push_back(socket * spec_.cores_per_socket + c);
   }
   return out;
+}
+
+std::uint32_t Topology::numa_hops(SocketId a, SocketId b) const {
+  SPCD_EXPECTS(a < num_sockets() && b < num_sockets());
+  const std::uint32_t d = a > b ? a - b : b - a;
+  return std::min(d, spec_.sockets - d);
 }
 
 Proximity Topology::proximity(ContextId a, ContextId b) const {

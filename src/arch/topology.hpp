@@ -63,6 +63,15 @@ class Topology {
   /// Proximity classification between two contexts.
   Proximity proximity(ContextId a, ContextId b) const;
 
+  /// NUMA distance between two sockets in interconnect hops, with the
+  /// sockets arranged on a ring (the usual 4-/8-socket board layout:
+  /// adjacent sockets are directly linked, others route through
+  /// neighbors). 0 for the same socket, 1 for adjacent — so every pair on
+  /// a 2-socket machine is at most one hop and the deep-NUMA latency
+  /// extras (LatencySpec::c2c_hop_extra / dram_hop_extra) never apply
+  /// there. Maximum is num_sockets() / 2.
+  std::uint32_t numa_hops(SocketId a, SocketId b) const;
+
   /// Group arities from the leaf upward, e.g. {2, 8, 2} for
   /// 2-way SMT cores, 8 cores per socket, 2 sockets. The hierarchical mapper
   /// folds the grouping tree along this path.

@@ -1,0 +1,252 @@
+#include "core/hierarchical_mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <utility>
+
+#include "core/mapper_detail.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spcd::core {
+
+namespace {
+
+/// Below this many threads the refinement evaluates gains inline: spawning
+/// workers costs more than the O(n^2) sweep. The results are identical
+/// either way (parallel_map preserves input order and the scorer is pure).
+constexpr std::uint32_t kParallelRefineThreshold = 128;
+
+/// One thread's nonzero communication partners, sorted by partner id.
+/// Communication matrices are sparse (a thread talks to a handful of
+/// peers), so scoring a swap over neighbor lists is O(degree) instead of
+/// the O(n) dense row scan — the difference between milliseconds and
+/// tens of milliseconds per refinement pass at 1024 threads.
+using Adjacency =
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>;
+
+Adjacency build_adjacency(const CommMatrix& matrix) {
+  const std::uint32_t n = matrix.size();
+  Adjacency adj(n);
+  const std::span<const std::uint64_t> tri = matrix.triangle();
+  std::size_t k = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j, ++k) {
+      const std::uint64_t w = tri[k];
+      if (w != 0) {
+        adj[i].emplace_back(j, w);
+        adj[j].emplace_back(i, w);
+      }
+    }
+  }
+  return adj;
+}
+
+/// Exact cost change (positive = improvement) of moving `mover` to `dest`,
+/// swapping with the thread currently there (`displaced`, -1 if the slot is
+/// free). Only the mover's and the displaced thread's rows change; the
+/// mover<->displaced distance itself is symmetric under the swap.
+double swap_gain(const Adjacency& adj, const arch::Topology& topology,
+                 const sim::Placement& placement, std::uint32_t mover,
+                 arch::ContextId dest, std::int32_t displaced) {
+  const arch::ContextId src = placement[mover];
+  if (src == dest) return 0.0;
+  double gain = 0.0;
+  for (const auto& [t, w] : adj[mover]) {
+    if (static_cast<std::int32_t>(t) == displaced) continue;
+    const arch::ContextId pt = placement[t];
+    gain += static_cast<double>(w) *
+            (proximity_weight(topology.proximity(pt, src)) -
+             proximity_weight(topology.proximity(pt, dest)));
+  }
+  if (displaced >= 0) {
+    for (const auto& [t, w] : adj[static_cast<std::uint32_t>(displaced)]) {
+      if (t == mover) continue;
+      const arch::ContextId pt = placement[t];
+      gain += static_cast<double>(w) *
+              (proximity_weight(topology.proximity(pt, dest)) -
+               proximity_weight(topology.proximity(pt, src)));
+    }
+  }
+  return gain;
+}
+
+struct SwapCandidate {
+  std::uint32_t mover = 0;      ///< thread to pull toward its partner
+  arch::ContextId dest = 0;     ///< SMT sibling slot on the partner's core
+  std::int32_t displaced = -1;  ///< occupant of dest at scoring time
+};
+
+}  // namespace
+
+Coarsening coarsen_comm_matrix(const CommMatrix& matrix,
+                               std::uint32_t target_groups) {
+  const std::uint32_t n = matrix.size();
+  const std::uint32_t target = std::max<std::uint32_t>(target_groups, 1);
+  Coarsening out;
+  out.num_threads = n;
+
+  std::vector<detail::Group> groups;
+  groups.reserve(n);
+  for (std::uint32_t t = 0; t < n; ++t) groups.push_back(detail::Group{t});
+  detail::MergeWorkspace ws;
+  ws.init(matrix);
+
+  while (groups.size() > target) {
+    const std::size_t old_g = groups.size();
+    groups = detail::merge_round_heavy_edge(ws, groups);
+    SPCD_ASSERT(groups.size() < old_g);
+    CoarsenLevel level;
+    level.num_coarse = static_cast<std::uint32_t>(groups.size());
+    level.parent.assign(old_g, 0);
+    for (std::size_t x = 0; x < ws.sources.size(); ++x) {
+      for (const std::int32_t src : ws.sources[x]) {
+        if (src >= 0) {
+          level.parent[static_cast<std::size_t>(src)] =
+              static_cast<std::uint32_t>(x);
+        }
+      }
+    }
+    out.levels.push_back(std::move(level));
+  }
+
+  out.groups.assign(groups.begin(), groups.end());
+  out.weights = ws.weight;
+  return out;
+}
+
+std::vector<std::uint32_t> coarse_group_of(const Coarsening& coarsening) {
+  std::vector<std::uint32_t> ids(coarsening.num_threads);
+  std::iota(ids.begin(), ids.end(), 0U);
+  for (const CoarsenLevel& level : coarsening.levels) {
+    for (std::uint32_t& id : ids) id = level.parent[id];
+  }
+  return ids;
+}
+
+std::vector<std::uint32_t> uncoarsen_assignment(
+    const Coarsening& coarsening,
+    std::span<const std::uint32_t> coarse_assignment) {
+  SPCD_EXPECTS(coarse_assignment.size() == coarsening.groups.size());
+  const std::vector<std::uint32_t> group = coarse_group_of(coarsening);
+  std::vector<std::uint32_t> out(coarsening.num_threads);
+  for (std::uint32_t t = 0; t < coarsening.num_threads; ++t) {
+    out[t] = coarse_assignment[group[t]];
+  }
+  return out;
+}
+
+RefineStats refine_placement(const CommMatrix& matrix,
+                             const arch::Topology& topology,
+                             sim::Placement& placement, std::uint32_t passes,
+                             std::uint32_t jobs) {
+  const std::uint32_t n = matrix.size();
+  SPCD_EXPECTS(placement.size() == n);
+  RefineStats stats;
+  if (n < 2 || passes == 0) return stats;
+  if (topology.spec().smt_per_core < 2) return stats;  // no sibling slots
+
+  // Context occupancy. Overcommitted placements (two threads co-scheduled
+  // on one context, as the service arbiter produces under overload) have
+  // no well-defined swap, so they are left untouched.
+  std::vector<std::int32_t> occ(topology.num_contexts(), -1);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    if (occ[placement[t]] != -1) return stats;
+    occ[placement[t]] = static_cast<std::int32_t>(t);
+  }
+
+  util::ThreadPool pool(n >= kParallelRefineThreshold ? jobs : 1);
+  const Adjacency adj = build_adjacency(matrix);
+
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    // A thread whose strongest partner sits beyond its core nominates one
+    // candidate: pull the partner onto the first sibling slot of its core.
+    std::vector<SwapCandidate> candidates;
+    for (std::uint32_t anchor = 0; anchor < n; ++anchor) {
+      const std::int32_t partner = matrix.partner_of(anchor);
+      if (partner < 0) continue;
+      const auto p = static_cast<std::uint32_t>(partner);
+      const auto prox = topology.proximity(placement[anchor], placement[p]);
+      if (prox == arch::Proximity::kSameContext ||
+          prox == arch::Proximity::kSameCore) {
+        continue;
+      }
+      const arch::CoreId core = topology.core_of(placement[anchor]);
+      for (const arch::ContextId ctx : topology.contexts_of_core(core)) {
+        if (ctx == placement[anchor]) continue;
+        candidates.push_back(SwapCandidate{p, ctx, occ[ctx]});
+        break;
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Score every candidate against the frozen placement, in parallel.
+    const std::vector<double> gains =
+        util::parallel_map(pool, candidates, [&](const SwapCandidate& sc) {
+          return swap_gain(adj, topology, placement, sc.mover, sc.dest,
+                           sc.displaced);
+        });
+
+    // Apply serially, best frozen gain first, re-scoring each swap against
+    // the *current* placement so earlier swaps cannot turn a stale gain
+    // into a regression — the cost is monotonically non-increasing.
+    std::vector<std::uint32_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0U);
+    std::stable_sort(order.begin(), order.end(),
+                     [&gains](std::uint32_t a, std::uint32_t b) {
+                       return gains[a] > gains[b];
+                     });
+    std::uint32_t applied = 0;
+    for (const std::uint32_t i : order) {
+      if (!(gains[i] > 0.0)) break;  // sorted: the rest are no better
+      const SwapCandidate& sc = candidates[i];
+      const std::int32_t displaced = occ[sc.dest];
+      if (displaced == static_cast<std::int32_t>(sc.mover)) continue;
+      const double gain = swap_gain(adj, topology, placement, sc.mover,
+                                    sc.dest, displaced);
+      if (!(gain > 0.0)) continue;
+      const arch::ContextId src = placement[sc.mover];
+      occ[src] = displaced;
+      if (displaced >= 0) {
+        placement[static_cast<std::uint32_t>(displaced)] = src;
+      }
+      placement[sc.mover] = sc.dest;
+      occ[sc.dest] = static_cast<std::int32_t>(sc.mover);
+      ++applied;
+    }
+    stats.swaps += applied;
+    ++stats.passes;
+    if (applied == 0) break;
+  }
+  return stats;
+}
+
+MappingResult hierarchical_mapping(const CommMatrix& matrix,
+                                   const arch::Topology& topology,
+                                   const sim::Placement& current,
+                                   const MappingConfig& config) {
+  const std::uint32_t n = matrix.size();
+  SPCD_EXPECTS(n <= topology.num_contexts());
+  if (n == 0) return {};
+
+  // The grouping tree of the exact mapper, with the pairing rule switched
+  // by level size: heavy-edge rounds coarsen O(g^2) while the level is
+  // large, exact Blossom rounds take over at or below the cutoff. The
+  // member lists the rounds carry *are* the uncoarsening information, so
+  // expanding back to threads is the driver's normal leaf-order walk.
+  const std::uint32_t cutoff =
+      std::max<std::uint32_t>(config.blossom_cutoff, 2);
+  auto merge = [cutoff](detail::MergeWorkspace& ws,
+                        const std::vector<detail::Group>& groups) {
+    return groups.size() > cutoff
+               ? detail::merge_round_heavy_edge(ws, groups)
+               : detail::merge_round_matched(ws, groups);
+  };
+  MappingResult result = detail::compute_with(matrix, topology, merge, current);
+  refine_placement(matrix, topology, result.placement, config.refine_passes,
+                   config.refine_jobs);
+  return result;
+}
+
+}  // namespace spcd::core

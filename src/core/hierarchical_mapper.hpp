@@ -1,0 +1,98 @@
+// The multilevel hierarchical mapper (DESIGN.md §15): the paper's exact
+// grouping tree costs O(N^3) per Blossom round, which is fine at the
+// paper's 32 contexts and hopeless at 1024. Following the multilevel
+// recipe of *Shared-Memory Hierarchical Process Mapping* (Schulz & Woydt),
+// the hierarchical strategy
+//   1. coarsens the communication matrix by heavy-edge matching — O(g^2)
+//      per round against the memoized group weights — until at most
+//      `blossom_cutoff` groups remain,
+//   2. maps the coarse groups with the exact Edmonds rounds (the same
+//      solver the blossom strategy uses, now at a size where it is cheap),
+//      so the tightest coarse clusters land on the nearest topology levels,
+//   3. expands the grouping tree's leaf order back to threads and assigns
+//      contexts in topology order (placement-stable when the machine is
+//      exactly filled), and
+//   4. runs a deterministic parallel local-refinement pass on
+//      util::ThreadPool: SMT-level swap candidates are gain-scored in
+//      parallel against the frozen placement, then applied serially with
+//      exact re-evaluation, so the cost never increases and the result is
+//      byte-identical at any worker count.
+//
+// The standalone coarsen/uncoarsen/refine pieces are exposed for tests and
+// for callers that want the phases individually.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "core/comm_matrix.hpp"
+#include "core/mapper.hpp"
+#include "core/spcd_config.hpp"
+#include "sim/engine.hpp"
+
+namespace spcd::core {
+
+/// One coarsening round: `parent[i]` is the coarse group that fine group i
+/// of this level's input was merged into.
+struct CoarsenLevel {
+  std::vector<std::uint32_t> parent;
+  std::uint32_t num_coarse = 0;
+};
+
+/// The full coarsening of a communication matrix: the per-round parent
+/// maps (finest first), the surviving top-level groups with their member
+/// threads in leaf order, and the folded dense group-weight matrix
+/// (`weights[x * groups.size() + y]` = Eq. 1 weight between groups x, y).
+struct Coarsening {
+  std::uint32_t num_threads = 0;
+  std::vector<CoarsenLevel> levels;
+  std::vector<std::vector<std::uint32_t>> groups;
+  std::vector<std::uint64_t> weights;
+};
+
+/// Coarsen by repeated heavy-edge matching until at most `target_groups`
+/// groups remain (at least 1). Deterministic; weights are folded exactly
+/// (integer sums), so the coarse weights equal CommMatrix::group_weight of
+/// the member lists.
+Coarsening coarsen_comm_matrix(const CommMatrix& matrix,
+                               std::uint32_t target_groups);
+
+/// Thread -> top-level group id, reconstructed by walking the levels (the
+/// uncoarsening path). Agrees with Coarsening::groups membership.
+std::vector<std::uint32_t> coarse_group_of(const Coarsening& coarsening);
+
+/// Project a per-group assignment back to threads: thread t receives
+/// `coarse_assignment[group_of(t)]`.
+std::vector<std::uint32_t> uncoarsen_assignment(
+    const Coarsening& coarsening,
+    std::span<const std::uint32_t> coarse_assignment);
+
+/// Statistics of one refinement run.
+struct RefineStats {
+  std::uint32_t passes = 0;  ///< sweeps actually executed
+  std::uint32_t swaps = 0;   ///< improving swaps/moves applied
+};
+
+/// Local refinement: for every thread whose strongest partner sits beyond
+/// its core, try swapping the partner onto an SMT sibling slot. Gains are
+/// evaluated in parallel (`jobs` workers; 0 follows SPCD_JOBS) against the
+/// frozen placement, then applied serially in gain order with exact
+/// re-evaluation — placement_comm_cost never increases, and the result is
+/// byte-identical at any job count. Placements with co-scheduled threads
+/// (two threads on one context) are left untouched.
+RefineStats refine_placement(const CommMatrix& matrix,
+                             const arch::Topology& topology,
+                             sim::Placement& placement, std::uint32_t passes,
+                             std::uint32_t jobs);
+
+/// The full multilevel pipeline (coarsen, exact-map, expand, refine).
+/// Behaves like the blossom strategy for matrix.size() <= blossom_cutoff
+/// (the coarsening phase is empty) apart from the refinement pass.
+MappingResult hierarchical_mapping(const CommMatrix& matrix,
+                                   const arch::Topology& topology,
+                                   const sim::Placement& current,
+                                   const MappingConfig& config);
+
+}  // namespace spcd::core

@@ -22,6 +22,10 @@ struct MappingResult {
   std::uint32_t rounds = 0;  ///< matching rounds performed
 };
 
+/// DEPRECATED shim (one release): equivalent to the "blossom" strategy of
+/// core/mapping_strategy.hpp — new code should go through the registry
+/// (`make_mapping_strategy`) so the algorithm stays selectable by name.
+///
 /// Compute a placement for `matrix.size()` threads on the given topology.
 /// Requires matrix.size() <= topology.num_contexts(). Threads with no
 /// communication at all are still placed (arbitrarily, but
@@ -36,6 +40,9 @@ MappingResult compute_mapping(const CommMatrix& matrix,
                               const arch::Topology& topology,
                               const sim::Placement& current = {});
 
+/// DEPRECATED shim (one release): equivalent to the "greedy" strategy of
+/// core/mapping_strategy.hpp.
+///
 /// Greedy baseline for the ablation study (DESIGN.md S5.6): repeatedly pair
 /// the two unmatched threads with the highest mutual communication instead
 /// of solving the matching optimally.
@@ -46,6 +53,13 @@ MappingResult compute_mapping_greedy(const CommMatrix& matrix,
 /// migrations applying `target` over `current` would perform).
 std::uint32_t count_moves(const sim::Placement& current,
                           const sim::Placement& target);
+
+/// Relative cost of one unit of communication at each proximity — the
+/// weights placement_comm_cost integrates: same core 1.0, same socket 2.5,
+/// cross-socket 7.0, same context 0 (co-scheduled threads communicate
+/// through L1). Exposed so the refinement pass scores swap gains with
+/// exactly the weights the cost function will measure them by.
+double proximity_weight(arch::Proximity p);
 
 /// Communication cost of a placement under a matrix: each pair's
 /// communication is weighted by the distance of their contexts (same core

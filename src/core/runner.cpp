@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/mapping_strategy.hpp"
 #include "core/metrics_export.hpp"
 #include "core/oracle.hpp"
 #include "core/parallel_oracle.hpp"
@@ -85,8 +86,13 @@ const sim::Placement& Runner::oracle_placement(
   engine.run();
   tracer.finish();
 
+  // The oracle uses the same strategy the kernel is configured with, so
+  // oracle-vs-SPCD comparisons isolate the detection mechanism, not the
+  // mapping algorithm.
   sim::Placement placement =
-      compute_mapping(tracer.matrix(), machine.topology()).placement;
+      make_mapping_strategy(config_.spcd.mapping)
+          ->map(tracer.matrix(), machine.topology())
+          .placement;
 
   lock.lock();
   it->second.matrix = tracer.matrix();

@@ -124,6 +124,9 @@ std::string SpcdConfig::validate() const {
   if (std::string error = hardening.validate(); !error.empty()) {
     return error;
   }
+  if (std::string error = mapping.validate(); !error.empty()) {
+    return error;
+  }
   return {};
 }
 

@@ -86,6 +86,30 @@ struct HardeningConfig {
   static HardeningConfig from_env();
 };
 
+/// Selection and knobs of the mapping algorithm (core/mapping_strategy.hpp).
+/// `strategy` is a registry name — "blossom" (the paper's exact Edmonds
+/// grouping, the default), "greedy", or "hierarchical" (the multilevel
+/// mapper for large machines, DESIGN.md §15). Validated by
+/// SpcdConfig::validate(): an unknown name or an out-of-range knob is a
+/// ConfigError, never a silent fallback.
+struct MappingConfig {
+  std::string strategy = "blossom";
+
+  // --- hierarchical knobs (ignored by the exact strategies) ---
+  /// Group count at or below which the multilevel mapper stops coarsening
+  /// and switches to exact Blossom rounds. Smaller = faster, coarser.
+  std::uint32_t blossom_cutoff = 32;
+  /// Local-refinement sweeps over the final placement (0 disables).
+  std::uint32_t refine_passes = 2;
+  /// Worker threads for refinement gain evaluation; 0 follows SPCD_JOBS.
+  /// Results are byte-identical at any worker count.
+  std::uint32_t refine_jobs = 0;
+
+  /// Empty string when valid, else a one-line error (folded into
+  /// SpcdConfig::validate()).
+  std::string validate() const;
+};
+
 struct SpcdConfig {
   /// The sharing hash table (granularity, size, collision policy, window).
   mem::SharingTableConfig table;
@@ -206,6 +230,10 @@ struct SpcdConfig {
   /// Adversarial-input hardening (default: fully disabled; see
   /// HardeningConfig and DESIGN.md §13).
   HardeningConfig hardening;
+
+  /// Mapping-strategy selection (default: the paper's exact Blossom
+  /// grouping). The SPCD kernel and the oracle both honor it.
+  MappingConfig mapping;
 
   /// Check the configuration for contradictory settings (injection ratio
   /// outside (0, 1], a zero injector period, a degenerate granularity,

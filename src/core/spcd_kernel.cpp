@@ -36,6 +36,7 @@ SpcdKernel::SpcdKernel(const SpcdConfig& config, std::uint32_t num_threads,
   if (const std::string error = config.validate(); !error.empty()) {
     throw ConfigError("SpcdConfig: " + error);
   }
+  mapper_ = make_mapping_strategy(config_.mapping);
 }
 
 SpcdKernel::~SpcdKernel() {
@@ -224,10 +225,8 @@ void SpcdKernel::mapping_tick(sim::Engine& engine) {
   if (act) {
     mapped_once_ = true;
     last_remap_total_ = total;
-    cost += config_.matching_base_cost +
-            config_.matching_cost_per_thread_cubed *
-                static_cast<util::Cycles>(n) * n * n;
-    const MappingResult mapping = compute_mapping(
+    cost += mapper_->decision_cost(n, config_);
+    const MappingResult mapping = mapper_->map(
         detector_.matrix(), engine.machine().topology(), engine.placement());
     const double current_cost = placement_comm_cost(
         detector_.matrix(), engine.machine().topology(), engine.placement());

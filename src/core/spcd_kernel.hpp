@@ -32,6 +32,7 @@
 #include "core/data_mapper.hpp"
 #include "core/fault_injector.hpp"
 #include "core/mapper.hpp"
+#include "core/mapping_strategy.hpp"
 #include "core/spcd_config.hpp"
 #include "core/spcd_detector.hpp"
 #include "sim/engine.hpp"
@@ -60,6 +61,11 @@ class SpcdKernel {
   const SpcdDetector& detector() const { return detector_; }
   const FaultInjector& injector() const { return injector_; }
   const CommFilter& filter() const { return filter_; }
+
+  /// The mapping algorithm remap decisions go through, selected by
+  /// SpcdConfig::mapping.strategy from the registry
+  /// (core/mapping_strategy.hpp).
+  const MappingStrategy& mapper() const { return *mapper_; }
 
   /// Times the mapping algorithm ran and actually migrated threads
   /// (Table II "Number of migrations").
@@ -112,6 +118,7 @@ class SpcdKernel {
                       std::uint32_t attempt);
 
   SpcdConfig config_;
+  std::unique_ptr<MappingStrategy> mapper_;
   SpcdDetector detector_;
   FaultInjector injector_;
   CommFilter filter_;

@@ -192,12 +192,21 @@ std::uint32_t MemoryHierarchy::access(arch::ContextId ctx, std::uint64_t line,
     const std::uint8_t other_l3 =
         static_cast<std::uint8_t>(st.l3_mask & ~bit(socket));
     if (other_l3 != 0) {
-      // Served by a remote socket's cache: an off-chip c2c transaction.
+      // Served by a remote socket's cache: an off-chip c2c transaction,
+      // provided by the nearest holder (deep NUMA: extra ring hops beyond
+      // the first each add c2c_hop_extra cycles; 0 on flat machines).
       ++counters_.c2c_cross_socket;
+      std::uint32_t provider_hops = topo_.num_sockets();
+      for (arch::SocketId sk = 0; sk < topo_.num_sockets(); ++sk) {
+        if ((other_l3 & bit(sk)) == 0) continue;
+        provider_hops = std::min(provider_hops, topo_.numa_hops(socket, sk));
+      }
       const std::uint64_t q =
           queue_delay(link_free_at_, now, spec_.latency.qpi_occupancy);
       link_queue_cycles_ += q;
-      latency = lat.c2c_cross_socket + static_cast<std::uint32_t>(q);
+      latency = lat.c2c_cross_socket +
+                lat.c2c_hop_extra * (provider_hops - 1) +
+                static_cast<std::uint32_t>(q);
       if (st.dirty_core >= 0 &&
           st.dirty_core != static_cast<std::int16_t>(core)) {
         st.dirty_core = -1;
@@ -210,12 +219,15 @@ std::uint32_t MemoryHierarchy::access(arch::ContextId ctx, std::uint64_t line,
         ++counters_.dram_local;
         latency = lat.dram_local + static_cast<std::uint32_t>(dq);
       } else {
-        // Remote memory crosses the inter-socket link as well.
+        // Remote memory crosses the inter-socket link as well; on deep
+        // NUMA each ring hop beyond the first adds dram_hop_extra cycles.
         ++counters_.dram_remote;
         const std::uint64_t lq =
             queue_delay(link_free_at_, now, spec_.latency.qpi_occupancy);
         link_queue_cycles_ += lq;
-        latency = lat.dram_remote + static_cast<std::uint32_t>(dq + lq);
+        const std::uint32_t hops = topo_.numa_hops(socket, home_node);
+        latency = lat.dram_remote + lat.dram_hop_extra * (hops - 1) +
+                  static_cast<std::uint32_t>(dq + lq);
       }
     }
     const auto ins = l3_[socket].insert(line);

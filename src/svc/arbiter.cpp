@@ -97,7 +97,7 @@ ArbiterDecision PlacementArbiter::decide(
         current[s] = s % contexts;
       }
     }
-    const core::MappingResult result = core::compute_mapping(
+    const core::MappingResult result = mapper_->map(
         combined, topology_, any_prev ? current : sim::Placement{});
     for (std::uint32_t s = 0; s < mapped; ++s) {
       slot_ctx[s] = result.placement[s];

@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "arch/topology.hpp"
+#include "core/mapping_strategy.hpp"
 #include "svc/tenant.hpp"
 
 namespace spcd::svc {
@@ -55,8 +57,13 @@ struct ArbiterDecision {
 
 class PlacementArbiter {
  public:
-  explicit PlacementArbiter(const arch::Topology& topology)
-      : topology_(topology) {}
+  /// `mapping` selects the strategy from core::mapping_registry() that
+  /// global decisions run through (default blossom). Throws
+  /// core::ConfigError on an invalid config.
+  explicit PlacementArbiter(const arch::Topology& topology,
+                            const core::MappingConfig& mapping = {})
+      : topology_(topology),
+        mapper_(core::make_mapping_strategy(mapping)) {}
 
   /// Place the given active tenants (must be in id order) on the shared
   /// topology. Deterministic: depends only on the tenants' matrices and
@@ -66,9 +73,12 @@ class PlacementArbiter {
 
   const arch::Topology& topology() const { return topology_; }
   std::uint64_t decisions() const { return decisions_; }
+  /// The mapping strategy decisions run through.
+  const core::MappingStrategy& mapper() const { return *mapper_; }
 
  private:
   const arch::Topology& topology_;
+  std::unique_ptr<core::MappingStrategy> mapper_;
   std::uint64_t decisions_ = 0;
   /// Previous decision's context per global tid (for move counting and
   /// mapper stability). Keyed by global tid: survives tenant churn.

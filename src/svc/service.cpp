@@ -23,7 +23,7 @@ SpcdService::SpcdService(const ServiceConfig& config)
     : config_(config),
       topology_(config.topology),
       table_(sharded_config(config)),
-      arbiter_(topology_) {
+      arbiter_(topology_, config.mapping) {
   if (!config_.journal_path.empty()) {
     journal_ =
         util::Journal::create(config_.journal_path, service_meta(config_));

@@ -53,13 +53,14 @@ std::string service_meta(const ServiceConfig& config) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s topo=%ux%ux%u shards=%u entries=%" PRIu64
-                " gran=%u window=%" PRIu64 " interval=%" PRIu64,
+                " gran=%u window=%" PRIu64 " interval=%" PRIu64
+                " mapper=%s",
                 kMetaVersion, config.topology.sockets,
                 config.topology.cores_per_socket,
                 config.topology.smt_per_core, config.shards,
                 config.table.num_entries, config.table.granularity_shift,
                 static_cast<std::uint64_t>(config.table.time_window),
-                config.arbitration_interval);
+                config.arbitration_interval, config.mapping.strategy.c_str());
   return buf;
 }
 
@@ -69,16 +70,19 @@ bool parse_service_meta(const std::string& meta, ServiceConfig* out) {
   std::uint64_t window = 0;
   // %255s would need a version buffer; match the literal instead.
   char head[sizeof(kMetaVersion) + 1] = {};
+  char mapper[32] = {};
   const int n = std::sscanf(
       meta.c_str(),
       "%16s topo=%ux%ux%u shards=%u entries=%" SCNu64 " gran=%u window=%"
-      SCNu64 " interval=%" SCNu64,
+      SCNu64 " interval=%" SCNu64 " mapper=%31s",
       head, &cfg.topology.sockets, &cfg.topology.cores_per_socket,
       &cfg.topology.smt_per_core, &cfg.shards, &cfg.table.num_entries,
-      &gran, &window, &cfg.arbitration_interval);
-  if (n != 9 || std::strcmp(head, kMetaVersion) != 0) return false;
+      &gran, &window, &cfg.arbitration_interval, mapper);
+  if (n != 10 || std::strcmp(head, kMetaVersion) != 0) return false;
   cfg.table.granularity_shift = gran;
   cfg.table.time_window = window;
+  cfg.mapping.strategy = mapper;
+  if (!cfg.mapping.validate().empty()) return false;
   *out = cfg;
   return true;
 }

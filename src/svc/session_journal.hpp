@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "arch/topology.hpp"
+#include "core/spcd_config.hpp"
 #include "mem/sharing_table.hpp"
 #include "svc/protocol.hpp"
 
@@ -38,6 +39,10 @@ struct ServiceConfig {
   /// Arbitrate after every `arbitration_interval` ingested fault events
   /// (0 disables automatic arbitration).
   std::uint64_t arbitration_interval = 4096;
+  /// Mapping strategy the arbiter's global decisions run through
+  /// (core/mapping_strategy.hpp registry). The strategy name is part of
+  /// the journal meta: replaying under a different mapper is refused.
+  core::MappingConfig mapping;
   /// Journal path; empty runs journal-less (benchmarks, unit tests).
   std::string journal_path;
 };

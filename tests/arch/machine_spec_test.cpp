@@ -51,6 +51,31 @@ TEST(MachineSpecTest, SingleSocketHasNoSmt) {
   EXPECT_EQ(m.topology.smt_per_core, 1u);
 }
 
+TEST(MachineSpecTest, NumaPresetsScaleTo1024PlusContexts) {
+  const auto quad = quad_socket_numa();
+  EXPECT_EQ(Topology(quad.topology).num_contexts(), 256u);
+  const auto octo = octo_socket_numa();
+  EXPECT_EQ(Topology(octo.topology).num_contexts(), 1024u);
+  const auto smt4 = octo_socket_numa_smt4();
+  EXPECT_EQ(Topology(smt4.topology).num_contexts(), 2048u);
+  EXPECT_EQ(smt4.topology.smt_per_core, 4u);
+  EXPECT_GT(smt4.smt_penalty, octo.smt_penalty);
+}
+
+TEST(MachineSpecTest, NumaPresetsChargeForExtraHops) {
+  // The 2-socket part must keep the flat model (extras zero), the big
+  // boards must make multi-hop traffic strictly worse than one hop.
+  const auto xeon = dual_xeon_e5_2650();
+  EXPECT_EQ(xeon.latency.c2c_hop_extra, 0u);
+  EXPECT_EQ(xeon.latency.dram_hop_extra, 0u);
+  for (const auto& m : {quad_socket_numa(), octo_socket_numa()}) {
+    EXPECT_GT(m.latency.c2c_hop_extra, 0u) << m.name;
+    EXPECT_GT(m.latency.dram_hop_extra, 0u) << m.name;
+    EXPECT_GT(m.latency.c2c_cross_socket, xeon.latency.c2c_same_socket)
+        << m.name;
+  }
+}
+
 TEST(MachineSpecTest, EnergyConstantsArePositive) {
   const auto e = dual_xeon_e5_2650().energy;
   EXPECT_GT(e.pkg_static_watts_per_socket, 0.0);

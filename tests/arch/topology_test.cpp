@@ -117,5 +117,44 @@ TEST(TopologyDeathTest, OutOfRangeContextAborts) {
   EXPECT_DEATH((void)t.socket_of(32), "Precondition");
 }
 
+TEST(TopologyTest, NumaHopsIsRingDistance) {
+  Topology t(TopologySpec{.sockets = 8, .cores_per_socket = 64,
+                          .smt_per_core = 2});
+  EXPECT_EQ(t.numa_hops(3, 3), 0u);
+  EXPECT_EQ(t.numa_hops(0, 1), 1u);
+  EXPECT_EQ(t.numa_hops(0, 7), 1u);  // the ring wraps
+  EXPECT_EQ(t.numa_hops(1, 3), 2u);
+  EXPECT_EQ(t.numa_hops(0, 4), 4u);  // opposite corner: sockets/2
+  for (SocketId a = 0; a < 8; ++a) {
+    for (SocketId b = 0; b < 8; ++b) {
+      EXPECT_EQ(t.numa_hops(a, b), t.numa_hops(b, a));
+      EXPECT_LE(t.numa_hops(a, b), 4u);
+    }
+  }
+}
+
+TEST(TopologyTest, TwoSocketMachinesNeverExceedOneHop) {
+  const auto t = xeon();
+  EXPECT_EQ(t.numa_hops(0, 0), 0u);
+  EXPECT_EQ(t.numa_hops(0, 1), 1u);
+  EXPECT_EQ(t.numa_hops(1, 0), 1u);
+}
+
+TEST(TopologyTest, DeepNumaLayoutStaysConsistentAt1024Contexts) {
+  Topology t(TopologySpec{.sockets = 8, .cores_per_socket = 64,
+                          .smt_per_core = 2});
+  EXPECT_EQ(t.num_contexts(), 1024u);
+  EXPECT_EQ(t.socket_of(0), 0u);
+  EXPECT_EQ(t.socket_of(1023), 7u);
+  EXPECT_EQ(t.proximity(0, 1), Proximity::kSameCore);
+  EXPECT_EQ(t.proximity(0, 2), Proximity::kSameSocket);
+  EXPECT_EQ(t.proximity(0, 128), Proximity::kCrossSocket);
+  const auto arities = t.arity_path();
+  ASSERT_EQ(arities.size(), 3u);
+  EXPECT_EQ(arities[0], 2u);   // SMT
+  EXPECT_EQ(arities[1], 64u);  // cores per socket
+  EXPECT_EQ(arities[2], 8u);   // sockets
+}
+
 }  // namespace
 }  // namespace spcd::arch
