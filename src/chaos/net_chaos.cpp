@@ -1,0 +1,109 @@
+#include "chaos/net_chaos.hpp"
+
+#include "util/env.hpp"
+
+namespace spcd::chaos {
+
+namespace {
+
+/// Stream salt: network faults draw from their own family, so adding a
+/// net-chaos draw can never shift the perturbation engine's streams.
+constexpr std::uint64_t kNetStream = 0x4E3C;
+
+bool probability_ok(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool NetChaosConfig::enabled() const {
+  return tear > 0.0 || drop_conn > 0.0 || duplicate > 0.0 || stall > 0.0;
+}
+
+std::string NetChaosConfig::validate() const {
+  if (!probability_ok(tear)) return "net-chaos: tear not in [0, 1]";
+  if (!probability_ok(drop_conn)) return "net-chaos: drop not in [0, 1]";
+  if (!probability_ok(duplicate)) return "net-chaos: dup not in [0, 1]";
+  if (!probability_ok(stall)) return "net-chaos: stall not in [0, 1]";
+  if (tear + drop_conn + duplicate + stall > 1.0) {
+    return "net-chaos: fault probabilities must sum to <= 1";
+  }
+  if (stall > 0.0 && stall_ms == 0) {
+    return "net-chaos: stall_ms must be > 0 when stall is set";
+  }
+  return {};
+}
+
+NetChaosConfig net_chaos_from_env() {
+  NetChaosConfig c;
+  c.tear = util::env_double_clamped("SPCD_CHAOS_NET_TEAR", 0.0, 0.0, 1.0);
+  c.drop_conn =
+      util::env_double_clamped("SPCD_CHAOS_NET_DROP", 0.0, 0.0, 1.0);
+  c.duplicate =
+      util::env_double_clamped("SPCD_CHAOS_NET_DUP", 0.0, 0.0, 1.0);
+  c.stall = util::env_double_clamped("SPCD_CHAOS_NET_STALL", 0.0, 0.0, 1.0);
+  c.stall_ms =
+      util::env_u64_clamped("SPCD_CHAOS_NET_STALL_MS", 50, 1, 60'000);
+  c.seed = util::env_u64_clamped("SPCD_CHAOS_NET_SEED", 1, 0,
+                                 ~std::uint64_t{0});
+  return c;
+}
+
+const char* send_fate_name(SendFate fate) {
+  switch (fate) {
+    case SendFate::kDeliver: return "deliver";
+    case SendFate::kTear: return "tear";
+    case SendFate::kDrop: return "drop";
+    case SendFate::kDuplicate: return "duplicate";
+    case SendFate::kStall: return "stall";
+  }
+  return "?";
+}
+
+NetChaosEngine::NetChaosEngine(const NetChaosConfig& config,
+                               std::uint64_t connection_id,
+                               std::uint32_t attempt)
+    : config_(config),
+      rng_(util::derive_seed(
+          util::derive_seed(util::derive_seed(config.seed, kNetStream),
+                            connection_id),
+          attempt)) {}
+
+SendFate NetChaosEngine::next_fate() {
+  if (!config_.enabled()) {
+    ++counters_.delivered;
+    return SendFate::kDeliver;
+  }
+  // One draw per send: the fault probabilities partition [0, 1), so a
+  // frame suffers at most one fault and the draw count per frame is
+  // constant — adding a fault kind never shifts later frames' fates.
+  const double x = rng_.uniform();
+  double edge = config_.tear;
+  if (x < edge) {
+    ++counters_.torn;
+    return SendFate::kTear;
+  }
+  edge += config_.drop_conn;
+  if (x < edge) {
+    ++counters_.dropped;
+    return SendFate::kDrop;
+  }
+  edge += config_.duplicate;
+  if (x < edge) {
+    ++counters_.duplicated;
+    return SendFate::kDuplicate;
+  }
+  edge += config_.stall;
+  if (x < edge) {
+    ++counters_.stalled;
+    return SendFate::kStall;
+  }
+  ++counters_.delivered;
+  return SendFate::kDeliver;
+}
+
+std::size_t NetChaosEngine::torn_bytes(std::size_t payload_size) {
+  if (payload_size == 0) return 0;
+  return static_cast<std::size_t>(
+      rng_.below(static_cast<std::uint64_t>(payload_size)));
+}
+
+}  // namespace spcd::chaos

@@ -76,6 +76,20 @@ class PlacementArbiter {
   /// The mapping strategy decisions run through.
   const core::MappingStrategy& mapper() const { return *mapper_; }
 
+  /// Snapshot restore (journal rotation): resume the decision sequence
+  /// at `decisions` so post-restore decisions continue the original seq
+  /// numbering and digests.
+  void restore(std::uint64_t decisions) { decisions_ = decisions; }
+  /// Snapshot restore: re-seed one previous-placement entry (mapper
+  /// stability and move counting survive the rotation boundary).
+  void restore_prev(std::uint32_t global_tid, arch::ContextId ctx) {
+    prev_[global_tid] = ctx;
+  }
+  /// Previous decision's context per global tid, for snapshotting.
+  const std::unordered_map<std::uint32_t, arch::ContextId>& prev() const {
+    return prev_;
+  }
+
  private:
   const arch::Topology& topology_;
   std::unique_ptr<core::MappingStrategy> mapper_;

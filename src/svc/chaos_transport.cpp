@@ -1,0 +1,57 @@
+#include "svc/chaos_transport.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace spcd::svc {
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner,
+                               const chaos::NetChaosConfig& config,
+                               std::uint64_t connection_id,
+                               std::uint32_t attempt)
+    : inner_(std::move(inner)),
+      engine_(config, connection_id, attempt) {}
+
+bool ChaosTransport::send(std::string_view payload) {
+  switch (engine_.next_fate()) {
+    case chaos::SendFate::kDeliver:
+      return inner_->send(payload);
+    case chaos::SendFate::kTear:
+      // The peer sees a mid-frame EOF; the frame was not delivered.
+      return inner_->send_torn(payload, engine_.torn_bytes(payload.size()));
+    case chaos::SendFate::kDrop:
+      inner_->close();
+      return false;
+    case chaos::SendFate::kDuplicate:
+      // Both copies reach the peer back to back: a client frame hits the
+      // server's dedup cache, which must replay the cached reply.
+      return inner_->send(payload) && inner_->send(payload);
+    case chaos::SendFate::kStall:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(engine_.config().stall_ms));
+      return inner_->send(payload);
+  }
+  return false;
+}
+
+Transport::RecvStatus ChaosTransport::recv(std::string* payload,
+                                           int timeout_ms) {
+  return inner_->recv(payload, timeout_ms);
+}
+
+void ChaosTransport::close() { inner_->close(); }
+
+bool ChaosTransport::send_torn(std::string_view payload, std::size_t bytes) {
+  return inner_->send_torn(payload, bytes);
+}
+
+std::unique_ptr<Transport> maybe_wrap_chaos(
+    std::unique_ptr<Transport> inner, const chaos::NetChaosConfig& config,
+    std::uint64_t connection_id, std::uint32_t attempt) {
+  if (inner == nullptr || !config.enabled()) return inner;
+  return std::make_unique<ChaosTransport>(std::move(inner), config,
+                                          connection_id, attempt);
+}
+
+}  // namespace spcd::svc

@@ -1,0 +1,50 @@
+// Chaos decorator for spcdd transports: wraps any Transport and gives
+// each *outgoing* frame a seeded fate (deliver / tear / drop /
+// duplicate / stall) drawn from a per-connection NetChaosEngine. Only
+// the client side wraps its transport — the daemon under test stays
+// oblivious, exactly like a real network fault — and receives are never
+// perturbed (the interesting failures are the ones the sender cannot
+// observe: did the frame commit before the wire died?).
+//
+// A torn or dropped send reports failure to the caller (the frame was
+// not delivered), which is what drives the client's reconnect + re-send
+// path; the server-side dedup cache then proves idempotency under
+// duplicated deliveries.
+#pragma once
+
+#include <memory>
+
+#include "chaos/net_chaos.hpp"
+#include "svc/transport.hpp"
+
+namespace spcd::svc {
+
+class ChaosTransport : public Transport {
+ public:
+  /// Wrap `inner`; the engine's stream is (config.seed, connection_id,
+  /// attempt) so a reconnect (attempt + 1) redraws its fates.
+  ChaosTransport(std::unique_ptr<Transport> inner,
+                 const chaos::NetChaosConfig& config,
+                 std::uint64_t connection_id, std::uint32_t attempt);
+
+  bool send(std::string_view payload) override;
+  RecvStatus recv(std::string* payload, int timeout_ms) override;
+  void close() override;
+  bool send_torn(std::string_view payload, std::size_t bytes) override;
+
+  const chaos::NetChaosEngine::Counters& counters() const {
+    return engine_.counters();
+  }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  chaos::NetChaosEngine engine_;
+};
+
+/// Wrap `inner` iff chaos is enabled; otherwise return it untouched (the
+/// calm path has zero indirection overhead and draws no random numbers).
+std::unique_ptr<Transport> maybe_wrap_chaos(
+    std::unique_ptr<Transport> inner, const chaos::NetChaosConfig& config,
+    std::uint64_t connection_id, std::uint32_t attempt);
+
+}  // namespace spcd::svc

@@ -1,0 +1,132 @@
+// TenantClient: the fault-tolerant client side of the spcdd protocol.
+// Where the scripted driver used to speak raw frames over one connection
+// and give up on the first hiccup, this client owns the full
+// fleet-grade conversation:
+//
+//   * Reconnect with jittered exponential backoff when the connection
+//     dies (or a reply deadline passes), then reattach to its live
+//     tenant with kResume instead of registering a second identity.
+//   * Idempotent re-send: sequenced requests (batches, re-registers)
+//     carry a monotonically increasing client_seq; after a reconnect the
+//     unacked frame is re-sent byte-identically, and the server's dedup
+//     cache guarantees at-most-once commit.
+//   * Backpressure: a kRetry reply means the daemon refused to queue the
+//     commit — the client sleeps the advertised delay and re-sends.
+//   * Desync healing: any reply the client cannot attribute to its
+//     outstanding request (stale duplicates from chaos, half-read
+//     streams) tears the connection down and goes through the
+//     reconnect/resume/re-send path rather than guessing.
+//
+// The connect factory receives the global attempt number so callers can
+// wrap each connection in a fresh ChaosTransport stream (a reconnect
+// redraws its fates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/transport.hpp"
+
+namespace spcd::svc {
+
+struct ClientConfig {
+  /// Produce a connected transport for connection attempt `attempt`
+  /// (0-based, monotonically increasing across reconnects); null on
+  /// connect failure (counts as a failed attempt, backs off, retries).
+  std::function<std::unique_ptr<Transport>(std::uint32_t attempt)> connect;
+  /// Reply deadline per request; exceeding it tears the connection down
+  /// and re-sends after reconnecting. Negative = wait forever (tests).
+  int request_timeout_ms = 2000;
+  /// Connection attempts per request before giving up.
+  std::uint32_t max_attempts = 10;
+  /// Jittered exponential backoff between reconnects: attempt k sleeps
+  /// uniform[1/2, 1] * min(backoff_base_ms << k, backoff_max_ms).
+  std::uint32_t backoff_base_ms = 2;
+  std::uint32_t backoff_max_ms = 250;
+  /// Seed of the jitter stream (deterministic tests pin it).
+  std::uint64_t backoff_seed = 1;
+};
+
+struct ClientStats {
+  std::uint64_t connects = 0;      ///< successful transport connects
+  std::uint64_t reconnects = 0;    ///< connects after the first
+  std::uint64_t resends = 0;       ///< sequenced frames sent again
+  std::uint64_t retries = 0;       ///< kRetry backoffs honored
+  std::uint64_t heartbeats = 0;    ///< heartbeat acks received
+  std::uint64_t stale_frames = 0;  ///< unattributable replies discarded
+};
+
+class TenantClient {
+ public:
+  TenantClient(ClientConfig config, std::string name,
+               std::uint32_t num_threads);
+  ~TenantClient();
+
+  /// Connect and register (kHello). False when the server rejected the
+  /// registration or every attempt failed.
+  bool hello();
+
+  /// Send one fault batch and wait for its ack, reconnecting/re-sending
+  /// as needed. On success *comm_events (optional) receives the ack's
+  /// partner-pair count. False once attempts are exhausted, the tenant
+  /// was reaped, or the server is draining (see shutdown_seen()).
+  bool send_batch(const std::vector<FaultRecord>& events,
+                  std::uint32_t* comm_events = nullptr);
+
+  /// Change the thread count mid-session (kReRegister); on success the
+  /// tenant sits on a fresh tid block (base_tid() reflects it).
+  bool re_register(std::uint32_t new_threads);
+
+  /// Keep a quiet tenant alive; false if the server says we departed.
+  bool heartbeat();
+
+  /// Fetch the daemon's metrics JSON into *json.
+  bool stats_json(std::string* json);
+
+  /// Say goodbye and close. The tenant is gone afterwards.
+  bool bye();
+
+  std::uint32_t tenant_id() const { return tenant_id_; }
+  std::uint32_t base_tid() const { return base_tid_; }
+  std::uint32_t num_threads() const { return num_threads_; }
+  const ClientStats& stats() const { return stats_; }
+  /// True once a kShutdown arrived: the server is draining and further
+  /// requests are pointless.
+  bool shutdown_seen() const { return shutdown_seen_; }
+
+ private:
+  enum class Await : std::uint8_t {
+    kOk,      ///< expected reply consumed
+    kResend,  ///< kRetry honored; send the frame again
+    kBroken,  ///< connection unusable; reconnect and re-send
+    kFatal,   ///< server said no (kError) or is draining
+  };
+
+  /// Connect + handshake (kHello first time, kResume afterwards).
+  bool ensure_connected();
+  void drop_connection();
+  void backoff_sleep(std::uint32_t attempt);
+  /// Send `frame` and await its reply, driving reconnect/re-send.
+  bool request(const std::string& frame, MessageType expect,
+               std::uint64_t seq, Message* reply);
+  Await await_reply(MessageType expect, std::uint64_t seq, Message* reply);
+
+  ClientConfig config_;
+  std::string name_;
+  std::uint32_t num_threads_;
+  std::unique_ptr<Transport> transport_;
+  std::uint32_t tenant_id_ = 0;
+  std::uint32_t base_tid_ = 0;
+  std::uint64_t client_seq_ = 0;   ///< last sequenced request issued
+  std::uint64_t last_acked_ = 0;   ///< highest client_seq acked
+  std::uint32_t attempts_ = 0;     ///< lifetime connection attempts
+  bool shutdown_seen_ = false;
+  ClientStats stats_;
+  std::uint64_t jitter_state_;     ///< splitmix state for backoff jitter
+};
+
+}  // namespace spcd::svc

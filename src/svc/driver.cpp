@@ -1,9 +1,9 @@
 #include "svc/driver.hpp"
 
-#include <atomic>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 namespace spcd::svc {
 
@@ -45,61 +45,49 @@ std::vector<FaultRecord> scripted_batch(const DriverConfig& config,
   return events;
 }
 
-bool drive_tenant(Transport& transport, const DriverConfig& config,
+bool drive_tenant(TenantClient& client, const DriverConfig& config,
                   std::uint32_t tenant, DriverStats* stats) {
-  const std::string name = "tenant-" + std::to_string(tenant);
-  if (!transport.send(encode_hello(name, config.threads_per_tenant))) {
-    ++stats->errors;
-    return false;
-  }
-  std::string payload;
-  if (transport.recv(&payload, -1) != Transport::RecvStatus::kFrame) {
-    ++stats->errors;
-    return false;
-  }
-  std::optional<Message> reply = parse_message(payload);
-  if (!reply.has_value() || reply->type != MessageType::kWelcome) {
+  if (!client.hello()) {
     ++stats->errors;
     return false;
   }
   for (std::uint32_t b = 0; b < config.batches_per_tenant; ++b) {
     const std::vector<FaultRecord> events =
         scripted_batch(config, tenant, b);
-    if (!transport.send(encode_fault_batch(events))) {
-      ++stats->errors;
-      return false;
-    }
-    if (transport.recv(&payload, -1) != Transport::RecvStatus::kFrame) {
-      ++stats->errors;
-      return false;
-    }
-    reply = parse_message(payload);
-    if (!reply.has_value()) {
-      ++stats->errors;
-      return false;
-    }
-    if (reply->type == MessageType::kShutdown) return false;  // drained
-    if (reply->type != MessageType::kBatchAck) {
-      ++stats->errors;
+    std::uint32_t comm = 0;
+    if (!client.send_batch(events, &comm)) {
+      if (!client.shutdown_seen()) ++stats->errors;
       return false;
     }
     ++stats->batches_acked;
     stats->events_sent += events.size();
-    stats->comm_events += reply->comm_events;
+    stats->comm_events += comm;
+    if (config.reregister_every != 0 &&
+        (b + 1) % config.reregister_every == 0) {
+      // Same thread count, fresh tid block: the phase-change path with a
+      // workload that stays valid for the new shape.
+      if (!client.re_register(config.threads_per_tenant)) {
+        if (!client.shutdown_seen()) ++stats->errors;
+        return false;
+      }
+    }
+    if (config.heartbeat_every != 0 &&
+        (b + 1) % config.heartbeat_every == 0) {
+      if (!client.heartbeat()) {
+        if (!client.shutdown_seen()) ++stats->errors;
+        return false;
+      }
+    }
   }
-  transport.send(encode_bye());
-  // Wait for the server to close: once it does, the exit record is
-  // committed (the session loop journals the bye before closing).
-  while (transport.recv(&payload, -1) == Transport::RecvStatus::kFrame) {
+  if (!client.bye()) {
+    ++stats->errors;
+    return false;
   }
-  transport.close();
   ++stats->tenants_completed;
   return true;
 }
 
-DriverStats drive(
-    const DriverConfig& config,
-    const std::function<std::unique_ptr<Transport>()>& connect) {
+DriverStats drive(const DriverConfig& config, const ConnectFn& connect) {
   std::mutex mu;
   DriverStats total;
   std::vector<std::thread> threads;
@@ -107,18 +95,32 @@ DriverStats drive(
   for (std::uint32_t t = 0; t < config.tenants; ++t) {
     threads.emplace_back([&, t] {
       DriverStats local;
-      std::unique_ptr<Transport> transport = connect();
-      if (transport == nullptr) {
-        ++local.errors;
-      } else {
-        drive_tenant(*transport, config, t, &local);
-      }
+      ClientConfig cc;
+      cc.connect = [&connect, t](std::uint32_t attempt) {
+        return connect(t, attempt);
+      };
+      cc.request_timeout_ms = config.request_timeout_ms;
+      cc.max_attempts = config.max_attempts;
+      cc.backoff_base_ms = config.backoff_base_ms;
+      cc.backoff_max_ms = config.backoff_max_ms;
+      cc.backoff_seed = config.seed ^ t;
+      TenantClient client(std::move(cc), "tenant-" + std::to_string(t),
+                          config.threads_per_tenant);
+      drive_tenant(client, config, t, &local);
+      local.reconnects = client.stats().reconnects;
+      local.resends = client.stats().resends;
+      local.retries = client.stats().retries;
+      local.heartbeats = client.stats().heartbeats;
       std::lock_guard<std::mutex> lock(mu);
       total.tenants_completed += local.tenants_completed;
       total.batches_acked += local.batches_acked;
       total.events_sent += local.events_sent;
       total.comm_events += local.comm_events;
       total.errors += local.errors;
+      total.reconnects += local.reconnects;
+      total.resends += local.resends;
+      total.retries += local.retries;
+      total.heartbeats += local.heartbeats;
     });
   }
   for (std::thread& th : threads) th.join();

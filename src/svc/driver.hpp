@@ -1,14 +1,16 @@
 // Scripted tenant clients: the deterministic load generator behind
 // `spcdd --drive`, the service smoke test, and the throughput benchmark.
 // Each tenant runs the full protocol conversation (hello, N fault
-// batches, bye) with a workload derived purely from (seed, tenant,
-// batch), so every batch's content is reproducible even though the
-// interleaving of concurrent tenants is not — whatever order the journal
-// recorded is exactly re-derivable from it (the property the
-// replay-equivalence test leans on). Thread
-// pairs within a tenant fault on shared regions (adjacent tids share),
-// so detected communication forms the paper's nearest-neighbor pattern
-// and the arbiter has real structure to place.
+// batches, bye) through a TenantClient — so reconnect/backoff, resume,
+// idempotent re-send, and kRetry backpressure all work under the
+// scripted load — with a workload derived purely from (seed, tenant,
+// batch): every batch's content is reproducible even though the
+// interleaving of concurrent tenants is not — whatever order the
+// journal recorded is exactly re-derivable from it (the property the
+// replay-equivalence test leans on). Thread pairs within a tenant fault
+// on shared regions (adjacent tids share), so detected communication
+// forms the paper's nearest-neighbor pattern and the arbiter has real
+// structure to place.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "svc/client.hpp"
 #include "svc/protocol.hpp"
 #include "svc/transport.hpp"
 
@@ -29,6 +32,20 @@ struct DriverConfig {
   /// Distinct regions each thread pair touches (table pressure knob).
   std::uint64_t regions_per_pair = 32;
   std::uint64_t seed = 42;
+
+  // --- lifecycle exercise knobs (0 = off; the defaults keep the
+  // conversation identical to the pre-lifecycle driver) ---
+  /// Re-register (same thread count, fresh tid block) after every N
+  /// batches.
+  std::uint32_t reregister_every = 0;
+  /// Send a heartbeat after every N batches.
+  std::uint32_t heartbeat_every = 0;
+
+  /// Client fault-tolerance knobs (timeouts, backoff, attempts).
+  int request_timeout_ms = 2000;
+  std::uint32_t max_attempts = 10;
+  std::uint32_t backoff_base_ms = 2;
+  std::uint32_t backoff_max_ms = 250;
 };
 
 struct DriverStats {
@@ -37,6 +54,11 @@ struct DriverStats {
   std::uint64_t events_sent = 0;
   std::uint64_t comm_events = 0;  ///< partner pairs reported by acks
   std::uint64_t errors = 0;       ///< protocol/transport failures
+  // --- fault-tolerance traffic (aggregated TenantClient stats) ---
+  std::uint64_t reconnects = 0;
+  std::uint64_t resends = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t heartbeats = 0;
 };
 
 /// The deterministic fault batch tenant `tenant` sends as its batch
@@ -45,14 +67,20 @@ std::vector<FaultRecord> scripted_batch(const DriverConfig& config,
                                         std::uint32_t tenant,
                                         std::uint32_t batch);
 
-/// Run one tenant's full conversation over a connected transport.
-/// Returns false (and bumps stats->errors) on any unexpected reply.
-bool drive_tenant(Transport& transport, const DriverConfig& config,
+/// Per-connection transport factory: (tenant, attempt) -> transport.
+/// The attempt number increases across one tenant's reconnects, so a
+/// chaos wrapper can redraw its fault stream per connection.
+using ConnectFn =
+    std::function<std::unique_ptr<Transport>(std::uint32_t tenant,
+                                             std::uint32_t attempt)>;
+
+/// Run one tenant's full conversation through a TenantClient.
+/// Returns false (and bumps stats->errors) on any unrecovered failure.
+bool drive_tenant(TenantClient& client, const DriverConfig& config,
                   std::uint32_t tenant, DriverStats* stats);
 
 /// Drive all configured tenants concurrently, one thread per tenant,
-/// each over a fresh transport from `connect`. Aggregated stats.
-DriverStats drive(const DriverConfig& config,
-                  const std::function<std::unique_ptr<Transport>()>& connect);
+/// each through its own TenantClient over `connect`. Aggregated stats.
+DriverStats drive(const DriverConfig& config, const ConnectFn& connect);
 
 }  // namespace spcd::svc

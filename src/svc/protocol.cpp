@@ -94,8 +94,10 @@ std::string encode_welcome(std::uint32_t tenant_id, std::uint32_t base_tid) {
   return out;
 }
 
-std::string encode_fault_batch(const std::vector<FaultRecord>& events) {
+std::string encode_fault_batch(std::uint64_t client_seq,
+                               const std::vector<FaultRecord>& events) {
   std::string out = typed(MessageType::kFaultBatch);
+  put_u64(&out, client_seq);
   put_u32(&out, static_cast<std::uint32_t>(events.size()));
   for (const FaultRecord& ev : events) {
     put_u64(&out, ev.vaddr);
@@ -105,8 +107,10 @@ std::string encode_fault_batch(const std::vector<FaultRecord>& events) {
   return out;
 }
 
-std::string encode_batch_ack(std::uint64_t seq, std::uint32_t comm_events) {
+std::string encode_batch_ack(std::uint64_t client_seq, std::uint64_t seq,
+                             std::uint32_t comm_events) {
   std::string out = typed(MessageType::kBatchAck);
+  put_u64(&out, client_seq);
   put_u64(&out, seq);
   put_u32(&out, comm_events);
   return out;
@@ -130,6 +134,41 @@ std::string encode_error(std::string_view text) {
 }
 
 std::string encode_shutdown() { return typed(MessageType::kShutdown); }
+
+std::string encode_reregister(std::uint64_t client_seq,
+                              std::uint32_t num_threads) {
+  std::string out = typed(MessageType::kReRegister);
+  put_u64(&out, client_seq);
+  put_u32(&out, num_threads);
+  return out;
+}
+
+std::string encode_heartbeat(std::uint64_t last_acked) {
+  std::string out = typed(MessageType::kHeartbeat);
+  put_u64(&out, last_acked);
+  return out;
+}
+
+std::string encode_heartbeat_ack(std::uint64_t commit_seq) {
+  std::string out = typed(MessageType::kHeartbeatAck);
+  put_u64(&out, commit_seq);
+  return out;
+}
+
+std::string encode_resume(std::uint32_t tenant_id, std::string_view name) {
+  std::string out = typed(MessageType::kResume);
+  put_u32(&out, tenant_id);
+  put_u16(&out, static_cast<std::uint16_t>(name.size()));
+  out.append(name);
+  return out;
+}
+
+std::string encode_retry(std::uint64_t client_seq, std::uint32_t delay_ms) {
+  std::string out = typed(MessageType::kRetry);
+  put_u64(&out, client_seq);
+  put_u32(&out, delay_ms);
+  return out;
+}
 
 std::optional<Message> parse_message(std::string_view payload) {
   Reader r(payload);
@@ -156,7 +195,10 @@ std::optional<Message> parse_message(std::string_view payload) {
     case MessageType::kFaultBatch: {
       msg.type = MessageType::kFaultBatch;
       std::uint32_t count = 0;
-      if (!r.u32(&count) || count > kMaxBatchEvents) return std::nullopt;
+      if (!r.u64(&msg.client_seq) || !r.u32(&count) ||
+          count > kMaxBatchEvents) {
+        return std::nullopt;
+      }
       msg.events.resize(count);
       for (FaultRecord& ev : msg.events) {
         if (!r.u64(&ev.vaddr) || !r.u32(&ev.tid) || !r.u64(&ev.time)) {
@@ -167,7 +209,10 @@ std::optional<Message> parse_message(std::string_view payload) {
     }
     case MessageType::kBatchAck:
       msg.type = MessageType::kBatchAck;
-      if (!r.u64(&msg.seq) || !r.u32(&msg.comm_events)) return std::nullopt;
+      if (!r.u64(&msg.client_seq) || !r.u64(&msg.seq) ||
+          !r.u32(&msg.comm_events)) {
+        return std::nullopt;
+      }
       break;
     case MessageType::kBye:
       msg.type = MessageType::kBye;
@@ -191,6 +236,34 @@ std::optional<Message> parse_message(std::string_view payload) {
     }
     case MessageType::kShutdown:
       msg.type = MessageType::kShutdown;
+      break;
+    case MessageType::kReRegister:
+      msg.type = MessageType::kReRegister;
+      if (!r.u64(&msg.client_seq) || !r.u32(&msg.num_threads)) {
+        return std::nullopt;
+      }
+      break;
+    case MessageType::kHeartbeat:
+      msg.type = MessageType::kHeartbeat;
+      if (!r.u64(&msg.seq)) return std::nullopt;
+      break;
+    case MessageType::kHeartbeatAck:
+      msg.type = MessageType::kHeartbeatAck;
+      if (!r.u64(&msg.seq)) return std::nullopt;
+      break;
+    case MessageType::kResume: {
+      msg.type = MessageType::kResume;
+      std::uint16_t name_len = 0;
+      if (!r.u32(&msg.tenant_id) || !r.u16(&name_len)) return std::nullopt;
+      if (!r.bytes(&msg.name, name_len)) return std::nullopt;
+      if (!valid_tenant_name(msg.name)) return std::nullopt;
+      break;
+    }
+    case MessageType::kRetry:
+      msg.type = MessageType::kRetry;
+      if (!r.u64(&msg.client_seq) || !r.u32(&msg.delay_ms)) {
+        return std::nullopt;
+      }
       break;
     default:
       return std::nullopt;

@@ -1,5 +1,6 @@
 #include "svc/server.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "svc/protocol.hpp"
@@ -10,6 +11,13 @@ ServiceServer::ServiceServer(SpcdService& service, const ServerConfig& config)
     : service_(service),
       config_(config),
       supervisor_(config.threads, config.supervisor) {}
+
+std::uint64_t ServiceServer::now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 void ServiceServer::serve(std::unique_ptr<Transport> transport) {
   const std::uint64_t n =
@@ -28,6 +36,7 @@ void ServiceServer::accept_loop(Listener& listener) {
   while (!supervisor_.stop_requested()) {
     std::unique_ptr<Transport> t = listener.accept(config_.recv_timeout_ms);
     if (t != nullptr) serve(std::move(t));
+    service_.check_liveness(now_ms());
   }
   listener.close();
 }
@@ -36,9 +45,35 @@ void ServiceServer::request_stop() { supervisor_.request_stop(); }
 
 util::SupervisorReport ServiceServer::drain() { return supervisor_.wait(); }
 
+ServerStats ServiceServer::stats() const {
+  ServerStats s;
+  s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  s.retries_sent = retries_sent_.load(std::memory_order_relaxed);
+  s.duplicates_suppressed =
+      duplicates_suppressed_.load(std::memory_order_relaxed);
+  s.sessions_resumed = sessions_resumed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool ServiceServer::overloaded(Transport& transport,
+                               std::uint64_t client_seq) {
+  if (config_.max_pending_commits == 0) return false;
+  if (pending_commits_.load(std::memory_order_relaxed) <
+      config_.max_pending_commits) {
+    return false;
+  }
+  // The request was NOT committed (nothing journaled): telling the
+  // client to retry later keeps replay determinism untouched.
+  transport.send(encode_retry(client_seq, config_.retry_delay_ms));
+  retries_sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void ServiceServer::session_loop(Transport& transport,
                                  const util::CancelToken& token) {
-  std::uint32_t tenant_id = 0;  // 0 until a hello registered us
+  std::uint32_t tenant_id = 0;  // 0 until a hello/resume attached us
+  std::uint32_t session_base_tid = 0;  // welcome echo for duplicated hellos
+  std::string session_name;
   std::string payload;
   while (true) {
     if (token.cancelled() || supervisor_.stop_requested()) {
@@ -58,7 +93,15 @@ void ServiceServer::session_loop(Transport& transport,
     switch (msg->type) {
       case MessageType::kHello: {
         if (tenant_id != 0) {
-          transport.send(encode_error("already registered"));
+          // A duplicated delivery of the handshake (chaos, retransmit
+          // into a half-open connection) is idempotent for the same
+          // identity: re-welcome instead of poisoning the stream with
+          // an error the client would read as fatal.
+          if (msg->name == session_name) {
+            transport.send(encode_welcome(tenant_id, session_base_tid));
+          } else {
+            transport.send(encode_error("already registered"));
+          }
           break;
         }
         const RegisterResult r =
@@ -68,6 +111,31 @@ void ServiceServer::session_loop(Transport& transport,
           break;
         }
         tenant_id = r.tenant_id;
+        session_base_tid = r.base_tid;
+        session_name = msg->name;
+        service_.touch(tenant_id, now_ms());
+        transport.send(encode_welcome(r.tenant_id, r.base_tid));
+        break;
+      }
+      case MessageType::kResume: {
+        if (tenant_id != 0) {
+          if (msg->tenant_id == tenant_id && msg->name == session_name) {
+            transport.send(encode_welcome(tenant_id, session_base_tid));
+          } else {
+            transport.send(encode_error("already registered"));
+          }
+          break;
+        }
+        const RegisterResult r =
+            service_.resume_tenant(msg->tenant_id, msg->name, now_ms());
+        if (!r.ok) {
+          transport.send(encode_error(r.error));
+          break;
+        }
+        tenant_id = r.tenant_id;
+        session_base_tid = r.base_tid;
+        session_name = msg->name;
+        sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
         transport.send(encode_welcome(r.tenant_id, r.base_tid));
         break;
       }
@@ -76,14 +144,69 @@ void ServiceServer::session_loop(Transport& transport,
           transport.send(encode_error("hello first"));
           break;
         }
+        std::string cached;
+        if (service_.dedup_lookup(tenant_id, msg->client_seq, &cached)) {
+          // A reconnecting client re-sent a frame we already committed:
+          // replay the cached reply instead of committing twice.
+          duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+          transport.send(cached);
+          break;
+        }
+        if (overloaded(transport, msg->client_seq)) break;
+        pending_commits_.fetch_add(1, std::memory_order_relaxed);
+        service_.touch(tenant_id, now_ms());
         const IngestResult r = service_.ingest(tenant_id, msg->events);
+        pending_commits_.fetch_sub(1, std::memory_order_relaxed);
         if (!r.ok) {
           transport.send(encode_error(r.error));
           break;
         }
         // The ack is sent only after the service journaled the batch:
         // an acked record survives SIGKILL.
-        transport.send(encode_batch_ack(r.seq, r.comm_events));
+        const std::string reply =
+            encode_batch_ack(msg->client_seq, r.seq, r.comm_events);
+        service_.dedup_store(tenant_id, msg->client_seq, reply);
+        transport.send(reply);
+        break;
+      }
+      case MessageType::kReRegister: {
+        if (tenant_id == 0) {
+          transport.send(encode_error("hello first"));
+          break;
+        }
+        std::string cached;
+        if (service_.dedup_lookup(tenant_id, msg->client_seq, &cached)) {
+          duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+          transport.send(cached);
+          break;
+        }
+        if (overloaded(transport, msg->client_seq)) break;
+        pending_commits_.fetch_add(1, std::memory_order_relaxed);
+        service_.touch(tenant_id, now_ms());
+        const RegisterResult r =
+            service_.re_register(tenant_id, msg->num_threads);
+        pending_commits_.fetch_sub(1, std::memory_order_relaxed);
+        if (!r.ok) {
+          transport.send(encode_error(r.error));
+          break;
+        }
+        const std::string reply = encode_welcome(r.tenant_id, r.base_tid);
+        service_.dedup_store(tenant_id, msg->client_seq, reply);
+        transport.send(reply);
+        break;
+      }
+      case MessageType::kHeartbeat: {
+        if (tenant_id == 0) {
+          transport.send(encode_error("hello first"));
+          break;
+        }
+        std::uint64_t commit_seq = 0;
+        if (!service_.heartbeat_seen(tenant_id, now_ms(), &commit_seq)) {
+          transport.send(encode_error("tenant departed"));
+          break;
+        }
+        heartbeats_.fetch_add(1, std::memory_order_relaxed);
+        transport.send(encode_heartbeat_ack(commit_seq));
         break;
       }
       case MessageType::kStats:

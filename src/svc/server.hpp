@@ -7,6 +7,15 @@
 // Session errors are contained: a malformed frame or dead peer closes
 // that session; it never throws into the supervisor's retry path (a
 // closed socket is not retryable).
+//
+// The server also runs the service's liveness sweep (accept_loop calls
+// check_liveness each poll) and enforces admission control: when more
+// than max_pending_commits batches are queued on the commit lock, new
+// batches get a kRetry reply instead of piling onto the journal — the
+// request is NOT committed, so replay determinism is untouched. The
+// health counters in ServerStats (heartbeats, retries, suppressed
+// duplicates, resumed sessions) are transport-side observations; they
+// are deliberately NOT part of the service's journaled state.
 #pragma once
 
 #include <atomic>
@@ -29,6 +38,19 @@ struct ServerConfig {
   util::SupervisorConfig supervisor = util::SupervisorConfig::from_env();
   /// Session recv poll period: the latency of noticing a stop request.
   int recv_timeout_ms = 50;
+  /// Backpressure: batches/re-registers queued on the commit lock beyond
+  /// this get a kRetry reply instead of committing (0 = unlimited).
+  std::uint32_t max_pending_commits = 64;
+  /// The delay a kRetry reply asks the client to back off for.
+  std::uint32_t retry_delay_ms = 5;
+};
+
+/// Transport-side health counters (never journaled, not deterministic).
+struct ServerStats {
+  std::uint64_t heartbeats = 0;             ///< kHeartbeat frames served
+  std::uint64_t retries_sent = 0;           ///< kRetry replies (overload)
+  std::uint64_t duplicates_suppressed = 0;  ///< cached replies re-sent
+  std::uint64_t sessions_resumed = 0;       ///< kResume reattachments
 };
 
 class ServiceServer {
@@ -39,7 +61,9 @@ class ServiceServer {
   void serve(std::unique_ptr<Transport> transport);
 
   /// Accept connections until request_stop() (or listener close); runs on
-  /// the calling thread. Each connection is handed to serve().
+  /// the calling thread. Each accept poll also sweeps tenant liveness
+  /// (service.check_liveness), so suspect/reap deadlines are enforced
+  /// even when every session is idle.
   void accept_loop(Listener& listener);
 
   /// Stop accepting and drain sessions: every session loop notices via
@@ -53,14 +77,25 @@ class ServiceServer {
   std::uint64_t sessions_started() const {
     return sessions_.load(std::memory_order_relaxed);
   }
+  ServerStats stats() const;
+
+  /// Steady-clock milliseconds (the liveness time base; monotonic).
+  static std::uint64_t now_ms();
 
  private:
   void session_loop(Transport& transport, const util::CancelToken& token);
+  /// True when the commit queue is full; sends the kRetry itself.
+  bool overloaded(Transport& transport, std::uint64_t client_seq);
 
   SpcdService& service_;
   ServerConfig config_;
   util::Supervisor supervisor_;
   std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint32_t> pending_commits_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> retries_sent_{0};
+  std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<std::uint64_t> sessions_resumed_{0};
 };
 
 }  // namespace spcd::svc

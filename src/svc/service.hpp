@@ -1,13 +1,22 @@
 // SpcdService: the daemon's state machine, shared by every transport
 // session. All state mutation — tenant registration, fault-batch
-// ingest, exits, arbitration — commits serially under one mutex, and
-// every commit appends its journal record (fsynced) *before* the result
-// is returned to the caller: a batch ack therefore promises the batch
-// survives SIGKILL, and journal order IS commit order, which is what
-// makes `spcdd --replay` byte-identical. The detection substrate
+// ingest, re-registers, lifecycle transitions, exits, arbitration,
+// journal rotation — commits serially under one mutex, and every commit
+// appends its journal record (fsynced) *before* the result is returned
+// to the caller: a batch ack therefore promises the batch survives
+// SIGKILL, and journal order IS commit order, which is what makes
+// `spcdd --replay` byte-identical. The detection substrate
 // (ShardedSharingTable) stays internally thread-safe so benchmarks and
 // the TSan test can drive it concurrently, but the service's own
 // replayable history is strictly serial by construction.
+//
+// Liveness (DESIGN.md §16): wall-clock observations (last frame seen per
+// tenant) are tracked but never journaled; only the *transitions* they
+// trigger (suspect/active/reap records) are committed, so replay walks
+// the identical state machine without a clock. Journal rotation
+// (generation files + head-of-file snapshot) is likewise an explicit
+// `rotate` commit: the detection table resets at that exact point in
+// both the live run and the replay.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,15 @@ struct IngestResult {
   std::uint32_t comm_events = 0;  ///< partner pairs this batch detected
 };
 
+/// Deterministic lifecycle counters, reproduced exactly by --replay
+/// (every increment corresponds to a journaled record or code path).
+struct LifecycleCounters {
+  std::uint64_t suspects = 0;       ///< active/registered -> suspect
+  std::uint64_t reactivations = 0;  ///< suspect -> active
+  std::uint64_t reaps = 0;          ///< suspect -> reaped
+  std::uint64_t reregisters = 0;    ///< thread-count changes committed
+};
+
 class SpcdService {
  public:
   explicit SpcdService(const ServiceConfig& config);
@@ -51,10 +69,25 @@ class SpcdService {
   RegisterResult register_tenant(const std::string& name,
                                  std::uint32_t num_threads);
 
+  /// Live thread-count change: the tenant keeps its identity and its
+  /// accumulated matrix (deterministically remapped) but moves onto a
+  /// fresh tid block. Fails on unknown/departed tenants or an
+  /// out-of-range thread count. Journaled.
+  RegisterResult re_register(std::uint32_t tenant_id,
+                             std::uint32_t num_threads);
+
+  /// Reattach a reconnecting client to its live tenant: id and name must
+  /// match and the tenant must still participate. Reactivates a suspect
+  /// (journaled) and touches liveness.
+  RegisterResult resume_tenant(std::uint32_t tenant_id,
+                               const std::string& name,
+                               std::uint64_t now_ms);
+
   /// Commit one fault batch: journal first, then feed the sharded table
   /// and the tenant's matrix, then arbitrate if an interval boundary was
-  /// crossed. Fails (without journaling) on an unknown/exited tenant, an
-  /// out-of-range local tid, or an oversized batch.
+  /// crossed. Fails (without journaling) on an unknown/departed tenant,
+  /// an out-of-range local tid, or an oversized batch. A registered or
+  /// suspect tenant becomes active (the batch record implies it).
   IngestResult ingest(std::uint32_t tenant_id,
                       const std::vector<FaultRecord>& events);
 
@@ -65,28 +98,68 @@ class SpcdService {
   /// session always ends with a placement for its survivors).
   ArbiterDecision arbitrate_now();
 
+  // --- liveness (wall clock in, journaled transitions out) ---
+
+  /// Record that a frame from this tenant was processed at `now_ms`
+  /// (steady-clock milliseconds). Cheap; never journals.
+  void touch(std::uint32_t tenant_id, std::uint64_t now_ms);
+
+  /// Heartbeat: touch + reactivate a suspect (journaled). On success
+  /// *commit_seq receives the current commit sequence for the ack.
+  bool heartbeat_seen(std::uint32_t tenant_id, std::uint64_t now_ms,
+                      std::uint64_t* commit_seq);
+
+  struct LivenessReport {
+    std::uint32_t suspected = 0;
+    std::uint32_t reaped = 0;
+  };
+  /// Sweep every participating tenant against the liveness deadlines
+  /// (config.heartbeat_ms; 0 disables): silence past the deadline marks
+  /// suspect, silence past heartbeat_ms * reap_factor reaps. Each
+  /// transition is journaled; any reap triggers an immediate arbitration
+  /// so the arbiter reclaims the reaped tenant's contexts. Tenants that
+  /// never produced a frame (last_seen == 0) are exempt.
+  LivenessReport check_liveness(std::uint64_t now_ms);
+
+  // --- idempotent re-send (transport-level, not journaled) ---
+
+  /// True iff `client_seq` matches the tenant's last committed request;
+  /// *reply receives the cached reply frame to re-send.
+  bool dedup_lookup(std::uint32_t tenant_id, std::uint64_t client_seq,
+                    std::string* reply);
+  /// Remember the reply frame committed for `client_seq`.
+  void dedup_store(std::uint32_t tenant_id, std::uint64_t client_seq,
+                   const std::string& reply);
+
   const ServiceConfig& config() const { return config_; }
   const arch::Topology& topology() const { return topology_; }
 
   /// Interference counters, with cross_tenant_evictions pulled live from
-  /// the sharded table.
+  /// the sharded table (plus the pre-rotation base).
   core::InterferenceCounters interference() const;
 
-  /// Machine-readable session snapshot ("spcd-service-v1"): tenants,
-  /// table statistics, and the interference counters rendered through
-  /// core::interference_metric_descriptors().
+  LifecycleCounters lifecycle() const;
+
+  /// Machine-readable session snapshot ("spcd-service-v2"): tenants with
+  /// lifecycle states, table statistics, interference and lifecycle
+  /// counters. Deterministic — byte-identical under --replay.
   std::string metrics_json() const;
 
   /// One line per arbiter decision, full content (the replay
   /// byte-compare target): seq, event time, digest, every tenant's
-  /// placement.
+  /// placement. After a snapshot restore this holds the decisions since
+  /// the snapshot (seq numbering continues the original stream).
   std::string decisions_text() const;
 
   std::vector<ArbiterDecision> decisions() const;
   std::uint64_t total_events() const;
   std::uint64_t journal_records() const;
   std::uint32_t registered_tenants() const;
+  /// Tenants that still participate in arbitration (registered, active,
+  /// or suspect).
   std::uint32_t active_tenants() const;
+  /// Journal generation of the live file (0 until the first rotation).
+  std::uint32_t generation() const;
 
   /// Bind an obs session: commits emit svc trace events stamped with the
   /// total-event count (the service's deterministic time axis).
@@ -101,18 +174,40 @@ class SpcdService {
     /// Journaled decisions compared against recomputed ones.
     std::uint64_t decisions_checked = 0;
     std::uint64_t digest_mismatches = 0;
+    std::uint32_t generations_replayed = 1;
+    bool restored_from_snapshot = false;
     bool torn_tail = false;
   };
 
-  /// Rebuild a session from its journal by re-committing every record
-  /// through the normal code paths, and byte-compare each journaled
-  /// arbiter digest against the recomputed decision stream.
+  /// Rebuild a session from its journal — following the generation chain
+  /// ("<path>.g0", "<path>.g1", ..., live file) when the journal was
+  /// rotated — by re-committing every record through the normal code
+  /// paths, and byte-compare each journaled arbiter digest against the
+  /// recomputed decision stream. When the oldest generations were
+  /// pruned, the oldest retained file's head snapshot seeds the state. A
+  /// torn tail is tolerated only on the live file.
   static ReplayResult replay(const std::string& journal_path);
 
  private:
   /// Arbitrate under commit_mu_ (already held) and journal the decision.
   ArbiterDecision arbitrate_locked();
   bool journal_append_locked(const std::string& record);
+  /// Append without bumping commit_seq_ (snapshot records are state
+  /// descriptions, not commits).
+  void journal_raw_append_locked(const std::string& record);
+  bool force_active_locked(std::uint32_t tenant_id);
+  /// Rotate the live journal when a size/record threshold tripped:
+  /// journal a `rotate` commit (the detection table resets at that exact
+  /// point), rename the file to "<path>.g<gen>", open generation gen+1,
+  /// write the head snapshot, prune generations past the keep budget.
+  void maybe_rotate_locked();
+  void append_snapshot_locked();
+
+  // --- replay appliers (no journal open; commit bumps only where the
+  // live path bumped) ---
+  struct GenerationFile;
+  bool apply_record(const SessionRecord& rec, bool restoring,
+                    ReplayResult* result);
 
   ServiceConfig config_;
   arch::Topology topology_;
@@ -124,9 +219,17 @@ class SpcdService {
   util::Journal journal_;
   std::vector<ArbiterDecision> decisions_;
   core::InterferenceCounters counters_;
+  LifecycleCounters lifecycle_;
   std::uint64_t total_events_ = 0;
   /// Commits so far (== journal records when journaling): the ack seq.
   std::uint64_t commit_seq_ = 0;
+  /// Journal generation of the live file; bumped by rotation.
+  std::uint32_t gen_ = 0;
+  /// Decisions committed before a snapshot restore (seq continuity).
+  std::uint64_t decisions_base_ = 0;
+  /// Cross-tenant evictions accumulated in generations before the last
+  /// rotation (the table resets at each rotate commit).
+  std::uint64_t evictions_base_ = 0;
   obs::Session* trace_ = nullptr;
 };
 

@@ -12,7 +12,7 @@ namespace spcd::svc {
 
 namespace {
 
-constexpr char kMetaVersion[] = "spcd-service-v1";
+constexpr char kMetaVersion[] = "spcd-service-v2";
 
 /// Split on single spaces; empty tokens (leading/double spaces) are
 /// preserved so malformed records fail parsing instead of aliasing.
@@ -47,43 +47,85 @@ bool parse_u32(const std::string& tok, int base, std::uint32_t* out) {
   return true;
 }
 
+bool parse_state(const std::string& tok, TenantState* out) {
+  for (const TenantState s :
+       {TenantState::kRegistered, TenantState::kActive, TenantState::kSuspect,
+        TenantState::kExited, TenantState::kReaped}) {
+    if (tok == tenant_state_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parse `n` comma-triples (or pairs, with w forced to 0) in `base` 16.
+bool parse_cells(const std::vector<std::string>& tok, std::size_t first,
+                 std::uint64_t count, bool triples,
+                 std::vector<SessionRecord::Cell>* out) {
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string& t = tok[first + i];
+    const std::size_t c1 = t.find(',');
+    if (c1 == std::string::npos) return false;
+    const std::size_t c2 = triples ? t.find(',', c1 + 1) : std::string::npos;
+    if (triples && c2 == std::string::npos) return false;
+    SessionRecord::Cell cell;
+    if (!parse_u64(t.substr(0, c1), 16, &cell.a)) return false;
+    if (triples) {
+      if (!parse_u64(t.substr(c1 + 1, c2 - c1 - 1), 16, &cell.b) ||
+          !parse_u64(t.substr(c2 + 1), 16, &cell.w)) {
+        return false;
+      }
+    } else {
+      if (!parse_u64(t.substr(c1 + 1), 16, &cell.b)) return false;
+    }
+    out->push_back(cell);
+  }
+  return true;
+}
+
 }  // namespace
 
-std::string service_meta(const ServiceConfig& config) {
+std::string service_meta(const ServiceConfig& config, std::uint32_t gen) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s topo=%ux%ux%u shards=%u entries=%" PRIu64
                 " gran=%u window=%" PRIu64 " interval=%" PRIu64
-                " mapper=%s",
+                " mapper=%s gen=%u",
                 kMetaVersion, config.topology.sockets,
                 config.topology.cores_per_socket,
                 config.topology.smt_per_core, config.shards,
                 config.table.num_entries, config.table.granularity_shift,
                 static_cast<std::uint64_t>(config.table.time_window),
-                config.arbitration_interval, config.mapping.strategy.c_str());
+                config.arbitration_interval, config.mapping.strategy.c_str(),
+                gen);
   return buf;
 }
 
-bool parse_service_meta(const std::string& meta, ServiceConfig* out) {
+bool parse_service_meta(const std::string& meta, ServiceConfig* out,
+                        std::uint32_t* gen) {
   ServiceConfig cfg;
   unsigned gran = 0;
   std::uint64_t window = 0;
+  std::uint32_t g = 0;
   // %255s would need a version buffer; match the literal instead.
   char head[sizeof(kMetaVersion) + 1] = {};
   char mapper[32] = {};
   const int n = std::sscanf(
       meta.c_str(),
       "%16s topo=%ux%ux%u shards=%u entries=%" SCNu64 " gran=%u window=%"
-      SCNu64 " interval=%" SCNu64 " mapper=%31s",
+      SCNu64 " interval=%" SCNu64 " mapper=%31s gen=%u",
       head, &cfg.topology.sockets, &cfg.topology.cores_per_socket,
       &cfg.topology.smt_per_core, &cfg.shards, &cfg.table.num_entries,
-      &gran, &window, &cfg.arbitration_interval, mapper);
-  if (n != 10 || std::strcmp(head, kMetaVersion) != 0) return false;
+      &gran, &window, &cfg.arbitration_interval, mapper, &g);
+  if (n != 11 || std::strcmp(head, kMetaVersion) != 0) return false;
   cfg.table.granularity_shift = gran;
   cfg.table.time_window = window;
   cfg.mapping.strategy = mapper;
   if (!cfg.mapping.validate().empty()) return false;
   *out = cfg;
+  if (gen != nullptr) *gen = g;
   return true;
 }
 
@@ -109,6 +151,33 @@ std::string encode_batch(std::uint32_t tenant_id, std::uint64_t seq,
   return os.str();
 }
 
+std::string encode_reregister_record(std::uint32_t tenant_id,
+                                     std::uint32_t num_threads,
+                                     std::uint32_t base_tid) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rereg %u %u %u", tenant_id, num_threads,
+                base_tid);
+  return buf;
+}
+
+std::string encode_suspect(std::uint32_t tenant_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "suspect %u", tenant_id);
+  return buf;
+}
+
+std::string encode_active(std::uint32_t tenant_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "active %u", tenant_id);
+  return buf;
+}
+
+std::string encode_reap(std::uint32_t tenant_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reap %u", tenant_id);
+  return buf;
+}
+
 std::string encode_exit(std::uint32_t tenant_id) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "exit %u", tenant_id);
@@ -122,6 +191,66 @@ std::string encode_decision(std::uint64_t seq, std::uint64_t event_time,
                 seq, event_time, digest);
   return buf;
 }
+
+std::string encode_rotate(std::uint32_t next_gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "rotate %u", next_gen);
+  return buf;
+}
+
+std::string encode_snap_svc(std::uint64_t total_events,
+                            std::uint64_t commit_seq, std::uint32_t next_tid,
+                            std::uint64_t decisions, std::uint32_t tenants) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "snap svc %" PRIu64 " %" PRIu64 " %u %" PRIu64 " %u",
+                total_events, commit_seq, next_tid, decisions, tenants);
+  return buf;
+}
+
+std::string encode_snap_counters(const std::vector<std::uint64_t>& values) {
+  std::ostringstream os;
+  os << "snap ctr";
+  for (const std::uint64_t v : values) os << ' ' << v;
+  return os.str();
+}
+
+std::string encode_snap_tenant(const Tenant& t) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "snap tenant %u %u %u %s %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %u %s",
+                t.id, t.num_threads, t.base_tid, tenant_state_name(t.state),
+                t.events, t.batches, t.comm_events, t.reregisters,
+                t.name.c_str());
+  return buf;
+}
+
+std::string encode_snap_matrix(
+    std::uint32_t tenant_id, const std::vector<SessionRecord::Cell>& cells) {
+  std::ostringstream os;
+  os << "snap mat " << tenant_id << ' ' << cells.size();
+  char buf[80];
+  for (const SessionRecord::Cell& c : cells) {
+    std::snprintf(buf, sizeof(buf), " %" PRIx64 ",%" PRIx64 ",%" PRIx64, c.a,
+                  c.b, c.w);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string encode_snap_prev(const std::vector<SessionRecord::Cell>& pairs) {
+  std::ostringstream os;
+  os << "snap prev " << pairs.size();
+  char buf[64];
+  for (const SessionRecord::Cell& c : pairs) {
+    std::snprintf(buf, sizeof(buf), " %" PRIx64 ",%" PRIx64, c.a, c.b);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string encode_snap_end() { return "snap end"; }
 
 std::optional<SessionRecord> parse_session_record(const std::string& line) {
   const std::vector<std::string> tok = split(line);
@@ -166,9 +295,23 @@ std::optional<SessionRecord> parse_session_record(const std::string& line) {
     }
     return rec;
   }
-  if (tok[0] == "exit") {
+  if (tok[0] == "rereg") {
+    if (tok.size() != 4) return std::nullopt;
+    rec.kind = SessionRecord::Kind::kReRegister;
+    if (!parse_u32(tok[1], 10, &rec.tenant_id) ||
+        !parse_u32(tok[2], 10, &rec.num_threads) ||
+        !parse_u32(tok[3], 10, &rec.base_tid)) {
+      return std::nullopt;
+    }
+    return rec;
+  }
+  if (tok[0] == "suspect" || tok[0] == "active" || tok[0] == "reap" ||
+      tok[0] == "exit") {
     if (tok.size() != 2) return std::nullopt;
-    rec.kind = SessionRecord::Kind::kExit;
+    rec.kind = tok[0] == "suspect" ? SessionRecord::Kind::kSuspect
+               : tok[0] == "active" ? SessionRecord::Kind::kActive
+               : tok[0] == "reap"   ? SessionRecord::Kind::kReap
+                                    : SessionRecord::Kind::kExit;
     if (!parse_u32(tok[1], 10, &rec.tenant_id)) return std::nullopt;
     return rec;
   }
@@ -181,6 +324,84 @@ std::optional<SessionRecord> parse_session_record(const std::string& line) {
       return std::nullopt;
     }
     return rec;
+  }
+  if (tok[0] == "rotate") {
+    if (tok.size() != 2) return std::nullopt;
+    rec.kind = SessionRecord::Kind::kRotate;
+    if (!parse_u32(tok[1], 10, &rec.next_gen)) return std::nullopt;
+    return rec;
+  }
+  if (tok[0] == "snap") {
+    if (tok.size() < 2) return std::nullopt;
+    if (tok[1] == "svc") {
+      if (tok.size() != 7) return std::nullopt;
+      rec.kind = SessionRecord::Kind::kSnapSvc;
+      rec.values.resize(5);
+      for (std::size_t i = 0; i < 5; ++i) {
+        if (!parse_u64(tok[2 + i], 10, &rec.values[i])) return std::nullopt;
+      }
+      return rec;
+    }
+    if (tok[1] == "ctr") {
+      if (tok.size() < 3) return std::nullopt;
+      rec.kind = SessionRecord::Kind::kSnapCounters;
+      rec.values.resize(tok.size() - 2);
+      for (std::size_t i = 0; i + 2 < tok.size(); ++i) {
+        if (!parse_u64(tok[2 + i], 10, &rec.values[i])) return std::nullopt;
+      }
+      return rec;
+    }
+    if (tok[1] == "tenant") {
+      if (tok.size() != 11) return std::nullopt;
+      rec.kind = SessionRecord::Kind::kSnapTenant;
+      rec.values.resize(4);
+      std::uint32_t rereg = 0;
+      if (!parse_u32(tok[2], 10, &rec.tenant_id) ||
+          !parse_u32(tok[3], 10, &rec.num_threads) ||
+          !parse_u32(tok[4], 10, &rec.base_tid) ||
+          !parse_state(tok[5], &rec.state) ||
+          !parse_u64(tok[6], 10, &rec.values[0]) ||   // events
+          !parse_u64(tok[7], 10, &rec.values[1]) ||   // batches
+          !parse_u64(tok[8], 10, &rec.values[2]) ||   // comm_events
+          !parse_u32(tok[9], 10, &rereg) ||
+          !valid_tenant_name(tok[10])) {
+        return std::nullopt;
+      }
+      rec.values[3] = rereg;
+      rec.name = tok[10];
+      return rec;
+    }
+    if (tok[1] == "mat") {
+      if (tok.size() < 4) return std::nullopt;
+      rec.kind = SessionRecord::Kind::kSnapMatrix;
+      std::uint64_t count = 0;
+      if (!parse_u32(tok[2], 10, &rec.tenant_id) ||
+          !parse_u64(tok[3], 10, &count) || tok.size() != 4 + count) {
+        return std::nullopt;
+      }
+      if (!parse_cells(tok, 4, count, /*triples=*/true, &rec.cells)) {
+        return std::nullopt;
+      }
+      return rec;
+    }
+    if (tok[1] == "prev") {
+      if (tok.size() < 3) return std::nullopt;
+      rec.kind = SessionRecord::Kind::kSnapPrev;
+      std::uint64_t count = 0;
+      if (!parse_u64(tok[2], 10, &count) || tok.size() != 3 + count) {
+        return std::nullopt;
+      }
+      if (!parse_cells(tok, 3, count, /*triples=*/false, &rec.cells)) {
+        return std::nullopt;
+      }
+      return rec;
+    }
+    if (tok[1] == "end") {
+      if (tok.size() != 2) return std::nullopt;
+      rec.kind = SessionRecord::Kind::kSnapEnd;
+      return rec;
+    }
+    return std::nullopt;
   }
   return std::nullopt;
 }

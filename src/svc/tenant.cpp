@@ -1,8 +1,21 @@
 #include "svc/tenant.hpp"
 
+#include <utility>
+
 #include "util/contracts.hpp"
 
 namespace spcd::svc {
+
+const char* tenant_state_name(TenantState s) {
+  switch (s) {
+    case TenantState::kRegistered: return "registered";
+    case TenantState::kActive: return "active";
+    case TenantState::kSuspect: return "suspect";
+    case TenantState::kExited: return "exited";
+    case TenantState::kReaped: return "reaped";
+  }
+  return "?";
+}
 
 std::uint32_t TenantRegistry::add(const std::string& name,
                                   std::uint32_t num_threads) {
@@ -11,8 +24,8 @@ std::uint32_t TenantRegistry::add(const std::string& name,
   tenants_.push_back(
       std::make_unique<Tenant>(id, name, num_threads, next_tid_));
   next_tid_ += num_threads;
-  ++active_count_;
-  active_threads_ += num_threads;
+  ++participating_count_;
+  participating_threads_ += num_threads;
   return id;
 }
 
@@ -26,22 +39,113 @@ const Tenant* TenantRegistry::find(std::uint32_t id) const {
   return tenants_[id - 1].get();
 }
 
-bool TenantRegistry::mark_exited(std::uint32_t id) {
+bool TenantRegistry::re_register(std::uint32_t id,
+                                 std::uint32_t new_threads) {
   Tenant* t = find(id);
-  if (t == nullptr || t->state == TenantState::kExited) return false;
-  t->state = TenantState::kExited;
-  --active_count_;
-  active_threads_ -= t->num_threads;
+  if (t == nullptr || !tenant_participates(t->state) || new_threads == 0) {
+    return false;
+  }
+  const std::uint32_t old_n = t->num_threads;
+  // Deterministic remap of the accumulated matrix onto the new shape:
+  // growth embeds the old matrix identically; shrink folds old tid i
+  // onto i % new_threads and merges the folded weights (cells whose
+  // endpoints collide fold onto the diagonal and are dropped — a thread
+  // does not communicate with itself).
+  core::CommMatrix remapped(new_threads);
+  for (std::uint32_t a = 0; a < old_n; ++a) {
+    for (std::uint32_t b = a + 1; b < old_n; ++b) {
+      const std::uint64_t w = t->matrix.at(a, b);
+      if (w == 0) continue;
+      const std::uint32_t na = a % new_threads;
+      const std::uint32_t nb = b % new_threads;
+      if (na != nb) remapped.add(na, nb, w);
+    }
+  }
+  t->matrix = std::move(remapped);
+  // Fresh tid block: the old block is never reused, so stale partner
+  // tids in the sharing table can never alias another tenant's threads.
+  t->base_tid = next_tid_;
+  next_tid_ += new_threads;
+  participating_threads_ += new_threads;
+  participating_threads_ -= old_n;
+  t->num_threads = new_threads;
+  ++t->reregisters;
   return true;
 }
 
-std::vector<const Tenant*> TenantRegistry::active() const {
+bool TenantRegistry::mark_active(std::uint32_t id) {
+  Tenant* t = find(id);
+  if (t == nullptr || (t->state != TenantState::kRegistered &&
+                       t->state != TenantState::kSuspect)) {
+    return false;
+  }
+  t->state = TenantState::kActive;
+  return true;
+}
+
+bool TenantRegistry::mark_suspect(std::uint32_t id) {
+  Tenant* t = find(id);
+  if (t == nullptr || (t->state != TenantState::kRegistered &&
+                       t->state != TenantState::kActive)) {
+    return false;
+  }
+  t->state = TenantState::kSuspect;
+  return true;
+}
+
+bool TenantRegistry::mark_reaped(std::uint32_t id) {
+  Tenant* t = find(id);
+  if (t == nullptr || t->state != TenantState::kSuspect) return false;
+  depart(t, TenantState::kReaped);
+  return true;
+}
+
+bool TenantRegistry::mark_exited(std::uint32_t id) {
+  Tenant* t = find(id);
+  if (t == nullptr || !tenant_participates(t->state)) return false;
+  depart(t, TenantState::kExited);
+  return true;
+}
+
+void TenantRegistry::depart(Tenant* t, TenantState to) {
+  t->state = to;
+  --participating_count_;
+  participating_threads_ -= t->num_threads;
+}
+
+std::vector<const Tenant*> TenantRegistry::participating() const {
   std::vector<const Tenant*> out;
-  out.reserve(active_count_);
+  out.reserve(participating_count_);
   for (const auto& t : tenants_) {
-    if (t->state == TenantState::kActive) out.push_back(t.get());
+    if (tenant_participates(t->state)) out.push_back(t.get());
   }
   return out;
+}
+
+Tenant* TenantRegistry::restore(std::uint32_t id, const std::string& name,
+                                std::uint32_t num_threads,
+                                std::uint32_t base_tid, TenantState state,
+                                std::uint64_t events, std::uint64_t batches,
+                                std::uint64_t comm_events,
+                                std::uint32_t reregisters) {
+  if (id != tenants_.size() + 1 || num_threads == 0) return nullptr;
+  tenants_.push_back(
+      std::make_unique<Tenant>(id, name, num_threads, base_tid));
+  Tenant* t = tenants_.back().get();
+  t->state = state;
+  t->events = events;
+  t->batches = batches;
+  t->comm_events = comm_events;
+  t->reregisters = reregisters;
+  if (tenant_participates(state)) {
+    ++participating_count_;
+    participating_threads_ += num_threads;
+  }
+  return t;
+}
+
+void TenantRegistry::restore_tid_space(std::uint32_t next_tid) {
+  next_tid_ = next_tid;
 }
 
 }  // namespace spcd::svc

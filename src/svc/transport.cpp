@@ -1,6 +1,9 @@
 #include "svc/transport.hpp"
 
+#include <arpa/inet.h>
 #include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -95,7 +98,7 @@ class InProcTransport final : public Transport {
   std::shared_ptr<FrameQueue> out_;
 };
 
-// --- unix-domain socket transport ------------------------------------------
+// --- stream-fd transport (Unix-domain and TCP) -----------------------------
 
 /// Wait for readability; false on timeout. Negative timeout = forever.
 bool wait_readable(int fd, int timeout_ms) {
@@ -111,20 +114,44 @@ bool wait_readable(int fd, int timeout_ms) {
   }
 }
 
-class UnixSocketTransport final : public Transport {
+/// Wait for writability; false on error (a blocked send must eventually
+/// either drain or fail — timeouts here would tear frames mid-stream).
+bool wait_writable(int fd) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  pfd.revents = 0;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, -1);
+    if (n > 0) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+class FdStreamTransport final : public Transport {
  public:
-  explicit UnixSocketTransport(int fd) : fd_(fd) {}
-  ~UnixSocketTransport() override { close(); }
+  explicit FdStreamTransport(int fd) : fd_(fd) {}
+  ~FdStreamTransport() override { close(); }
 
   bool send(std::string_view payload) override {
     if (fd_ < 0 || payload.size() > kMaxFrameBytes) return false;
     char prefix[4];
-    const auto len = static_cast<std::uint32_t>(payload.size());
-    for (int i = 0; i < 4; ++i) {
-      prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
-    }
+    encode_prefix(payload.size(), prefix);
     std::lock_guard<std::mutex> lock(send_mu_);
     return write_all(prefix, 4) && write_all(payload.data(), payload.size());
+  }
+
+  bool send_torn(std::string_view payload, std::size_t bytes) override {
+    if (fd_ >= 0 && payload.size() <= kMaxFrameBytes) {
+      char prefix[4];
+      encode_prefix(payload.size(), prefix);
+      const std::size_t partial = std::min(bytes, payload.size());
+      std::lock_guard<std::mutex> lock(send_mu_);
+      if (write_all(prefix, 4)) write_all(payload.data(), partial);
+    }
+    close();
+    return false;
   }
 
   RecvStatus recv(std::string* payload, int timeout_ms) override {
@@ -158,15 +185,31 @@ class UnixSocketTransport final : public Transport {
   }
 
  private:
+  static void encode_prefix(std::size_t size, char prefix[4]) {
+    const auto len = static_cast<std::uint32_t>(size);
+    for (int i = 0; i < 4; ++i) {
+      prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    }
+  }
+
+  /// Loop short writes, interrupted syscalls, and full socket buffers
+  /// until every byte is queued. MSG_NOSIGNAL: a vanished peer yields
+  /// EPIPE (-> false) rather than a process-killing SIGPIPE — without it
+  /// a SIGTERM-driven drain that races a dying client takes down the
+  /// whole daemon.
   bool write_all(const char* data, std::size_t len) {
     std::size_t off = 0;
     while (off < len) {
-      const ssize_t n = ::write(fd_, data + off, len - off);
+      const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
       if (n > 0) {
         off += static_cast<std::size_t>(n);
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!wait_writable(fd_)) return false;
+        continue;
+      }
       return false;
     }
     return true;
@@ -198,11 +241,12 @@ class UnixSocketTransport final : public Transport {
   std::vector<char> buffer_;
 };
 
-class UnixSocketListener final : public Listener {
+class FdStreamListener final : public Listener {
  public:
-  explicit UnixSocketListener(int fd, std::string path)
+  /// `path` non-empty = Unix-domain socket file to unlink on close.
+  explicit FdStreamListener(int fd, std::string path = {})
       : fd_(fd), path_(std::move(path)) {}
-  ~UnixSocketListener() override { close(); }
+  ~FdStreamListener() override { close(); }
 
   std::unique_ptr<Transport> accept(int timeout_ms) override {
     const int fd = fd_.load();
@@ -210,15 +254,21 @@ class UnixSocketListener final : public Listener {
     if (!wait_readable(fd, timeout_ms)) return nullptr;
     const int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) return nullptr;
-    return std::make_unique<UnixSocketTransport>(conn);
+    if (path_.empty()) set_nodelay(conn);  // TCP listener
+    return std::make_unique<FdStreamTransport>(conn);
   }
 
   void close() override {
     const int fd = fd_.exchange(-1);
     if (fd >= 0) {
       ::close(fd);
-      ::unlink(path_.c_str());
+      if (!path_.empty()) ::unlink(path_.c_str());
     }
+  }
+
+  static void set_nodelay(int fd) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   }
 
  private:
@@ -235,6 +285,19 @@ bool fill_sockaddr(const std::string& path, sockaddr_un* addr,
   std::memset(addr, 0, sizeof(*addr));
   addr->sun_family = AF_UNIX;
   std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool fill_inaddr(const std::string& host, std::uint16_t port,
+                 sockaddr_in* addr, std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string h = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, h.c_str(), &addr->sin_addr) != 1) {
+    if (error) *error = "invalid IPv4 address: " + h;
+    return false;
+  }
   return true;
 }
 
@@ -314,7 +377,7 @@ std::unique_ptr<Listener> listen_unix(const std::string& path,
     ::close(fd);
     return nullptr;
   }
-  return std::make_unique<UnixSocketListener>(fd, path);
+  return std::make_unique<FdStreamListener>(fd, path);
 }
 
 std::unique_ptr<Transport> connect_unix(const std::string& path,
@@ -331,12 +394,82 @@ std::unique_ptr<Transport> connect_unix(const std::string& path,
     }
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
-      return std::make_unique<UnixSocketTransport>(fd);
+      return std::make_unique<FdStreamTransport>(fd);
     }
     ::close(fd);
     if (std::chrono::steady_clock::now() >= deadline) {
       if (error) {
         *error = "connect " + path + ": " + std::strerror(errno);
+      }
+      return nullptr;
+    }
+    struct timespec ts = {0, 20 * 1000 * 1000};  // 20 ms between retries
+    ::nanosleep(&ts, nullptr);
+  }
+}
+
+std::unique_ptr<Listener> listen_tcp(const std::string& host,
+                                     std::uint16_t port,
+                                     std::uint16_t* bound_port,
+                                     std::string* error) {
+  sockaddr_in addr;
+  if (!fill_inaddr(host, port, &addr, error)) return nullptr;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 128) < 0) {
+    if (error) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "bind/listen %s:%u: %s", host.c_str(),
+                    static_cast<unsigned>(port), std::strerror(errno));
+      *error = buf;
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *bound_port = ntohs(bound.sin_port);
+    } else {
+      *bound_port = port;
+    }
+  }
+  return std::make_unique<FdStreamListener>(fd);
+}
+
+std::unique_ptr<Transport> connect_tcp(const std::string& host,
+                                       std::uint16_t port, int timeout_ms,
+                                       std::string* error) {
+  sockaddr_in addr;
+  if (!fill_inaddr(host, port, &addr, error)) return nullptr;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error) *error = std::string("socket: ") + std::strerror(errno);
+      return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      FdStreamListener::set_nodelay(fd);
+      return std::make_unique<FdStreamTransport>(fd);
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (error) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "connect %s:%u: %s", host.c_str(),
+                      static_cast<unsigned>(port), std::strerror(errno));
+        *error = buf;
       }
       return nullptr;
     }

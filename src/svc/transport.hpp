@@ -5,13 +5,17 @@
 //   * InProcTransport — a pair of in-memory frame queues (mutex + cv).
 //     Deterministic and dependency-free; the unit tests and the
 //     throughput benchmark run the whole service on it.
-//   * UnixSocketTransport — AF_UNIX SOCK_STREAM. recv() polls the fd so
-//     session threads can observe stop flags / cancel tokens between
-//     frames; send() loops over partial writes and EINTR.
+//   * FdStreamTransport — one implementation over any connected stream
+//     fd: AF_UNIX SOCK_STREAM and AF_INET TCP share the length-prefixed
+//     framing, the buffered reads, and the partial-write/EINTR/EAGAIN
+//     handling. send() uses MSG_NOSIGNAL so a peer that vanished
+//     mid-drain yields EPIPE (send returns false) instead of killing the
+//     daemon with SIGPIPE.
 //
-// Listeners mirror the split: UnixSocketListener binds a filesystem
-// socket; InProcListener hands out transport pairs to in-process clients
-// via connect().
+// Listeners mirror the split: listen_unix binds a filesystem socket,
+// listen_tcp binds a TCP port (0 = ephemeral; the resolved port is
+// reported back so callers can print/advertise it); InProcListener hands
+// out transport pairs to in-process clients via connect().
 #pragma once
 
 #include <cstdint>
@@ -45,6 +49,18 @@ class Transport {
   /// Close this endpoint; the peer's recv() returns kClosed once drained.
   /// Idempotent and callable concurrently with a blocked recv().
   virtual void close() = 0;
+
+  /// Chaos hook: emit a deliberately torn frame — the length prefix plus
+  /// only the first `bytes` payload bytes — then close the connection, so
+  /// the peer observes a mid-frame EOF exactly like a crash between
+  /// write() and write(). Default (non-stream transports): just close.
+  /// Always returns false (the frame was NOT delivered).
+  virtual bool send_torn(std::string_view payload, std::size_t bytes) {
+    (void)payload;
+    (void)bytes;
+    close();
+    return false;
+  }
 };
 
 class Listener {
@@ -91,5 +107,20 @@ std::unique_ptr<Listener> listen_unix(const std::string& path,
 /// `timeout_ms` elapses (daemon startup is asynchronous to its clients).
 std::unique_ptr<Transport> connect_unix(const std::string& path,
                                         int timeout_ms, std::string* error);
+
+/// Bind a TCP listener on `host:port` (port 0 = OS-assigned ephemeral
+/// port). On success *bound_port holds the resolved port. Null + a
+/// message in *error on failure. Accepted connections get TCP_NODELAY
+/// (frames are small and latency-sensitive).
+std::unique_ptr<Listener> listen_tcp(const std::string& host,
+                                     std::uint16_t port,
+                                     std::uint16_t* bound_port,
+                                     std::string* error);
+
+/// Connect to a TCP endpoint, retrying until the server binds or
+/// `timeout_ms` elapses.
+std::unique_ptr<Transport> connect_tcp(const std::string& host,
+                                       std::uint16_t port, int timeout_ms,
+                                       std::string* error);
 
 }  // namespace spcd::svc

@@ -147,7 +147,8 @@ Journal::Journal(Journal&& other) noexcept
     : file_(std::exchange(other.file_, nullptr)),
       path_(std::move(other.path_)),
       failed_(other.failed_),
-      records_written_(other.records_written_) {}
+      records_written_(other.records_written_),
+      bytes_written_(other.bytes_written_) {}
 
 Journal& Journal::operator=(Journal&& other) noexcept {
   if (this != &other) {
@@ -156,6 +157,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     path_ = std::move(other.path_);
     failed_ = other.failed_;
     records_written_ = other.records_written_;
+    bytes_written_ = other.bytes_written_;
   }
   return *this;
 }
@@ -172,6 +174,7 @@ bool Journal::append(const std::string& record) {
     return false;
   }
   ++records_written_;
+  bytes_written_ += framed.size();
   return true;
 }
 

@@ -73,6 +73,10 @@ class Journal {
   bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
   std::uint64_t records_written() const { return records_written_; }
+  /// Bytes appended through this handle (frames + payloads, excluding the
+  /// header and any pre-existing file contents). Drives size-triggered
+  /// rotation without a stat() per append.
+  std::uint64_t bytes_written() const { return bytes_written_; }
 
   /// Append one framed record and fsync it to disk before returning, so a
   /// record that append() accepted survives SIGKILL. Returns ok().
@@ -88,6 +92,7 @@ class Journal {
   std::string path_;
   bool failed_ = false;
   std::uint64_t records_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
 };
 
 }  // namespace spcd::util

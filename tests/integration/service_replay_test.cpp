@@ -95,7 +95,7 @@ TEST(ServiceReplayTest, SigkilledSessionReplaysByteIdentically) {
     ASSERT_EQ(welcome->type, svc::MessageType::kWelcome);
     for (std::uint32_t batch = 0; batch < 4; ++batch) {
       ASSERT_TRUE(client->send(
-          svc::encode_fault_batch(svc::scripted_batch(driver, t, batch))));
+          svc::encode_fault_batch(batch + 1, svc::scripted_batch(driver, t, batch))));
       ASSERT_EQ(client->recv(&payload, 5'000),
                 svc::Transport::RecvStatus::kFrame);
       const auto ack = svc::parse_message(payload);
@@ -167,7 +167,7 @@ TEST(ServiceReplayTest, ReplayCliRejectsCorruptedDecisionDigest) {
               svc::Transport::RecvStatus::kFrame);
     for (std::uint32_t batch = 0; batch < 4; ++batch) {
       ASSERT_TRUE(client->send(
-          svc::encode_fault_batch(svc::scripted_batch(driver, 0, batch))));
+          svc::encode_fault_batch(batch + 1, svc::scripted_batch(driver, 0, batch))));
       ASSERT_EQ(client->recv(&payload, 5'000),
                 svc::Transport::RecvStatus::kFrame);
     }

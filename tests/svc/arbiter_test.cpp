@@ -34,7 +34,7 @@ TEST(SvcArbiterTest, SingleFittingTenantHasNoInterference) {
   arch::Topology topo = small_topology();
   TenantRegistry reg = make_registry(1, 8);
   PlacementArbiter arbiter(topo);
-  const ArbiterDecision d = arbiter.decide(reg.active(), 100);
+  const ArbiterDecision d = arbiter.decide(reg.participating(), 100);
   EXPECT_EQ(d.seq, 1u);
   EXPECT_EQ(d.event_time, 100u);
   ASSERT_EQ(d.placements.size(), 1u);
@@ -47,7 +47,7 @@ TEST(SvcArbiterTest, PlacementsCoverEveryThreadOfEveryTenant) {
   arch::Topology topo = small_topology();
   TenantRegistry reg = make_registry(5, 5);
   PlacementArbiter arbiter(topo);
-  const ArbiterDecision d = arbiter.decide(reg.active(), 1);
+  const ArbiterDecision d = arbiter.decide(reg.participating(), 1);
   ASSERT_EQ(d.placements.size(), 5u);
   for (const TenantPlacement& p : d.placements) {
     EXPECT_EQ(p.contexts.size(), 5u);
@@ -61,7 +61,7 @@ TEST(SvcArbiterTest, OvercommitStealsContexts) {
   arch::Topology topo = small_topology();  // 32 contexts
   TenantRegistry reg = make_registry(8, 8);  // 64 threads
   PlacementArbiter arbiter(topo);
-  const ArbiterDecision d = arbiter.decide(reg.active(), 1);
+  const ArbiterDecision d = arbiter.decide(reg.participating(), 1);
   // Every context hosts two threads of different tenants in the steady
   // round-robin overflow, so each counts as stolen at least once.
   EXPECT_GT(d.contexts_stolen, 0u);
@@ -74,7 +74,7 @@ TEST(SvcArbiterTest, FittingTenantsDoNotShareCores) {
   // block, and no core need host two tenants.
   TenantRegistry reg = make_registry(2, 8);
   PlacementArbiter arbiter(topo);
-  const ArbiterDecision d = arbiter.decide(reg.active(), 1);
+  const ArbiterDecision d = arbiter.decide(reg.participating(), 1);
   EXPECT_EQ(d.contexts_stolen, 0u);
 }
 
@@ -96,9 +96,9 @@ TEST(SvcArbiterTest, DecisionsAreDeterministic) {
   PlacementArbiter arb_b(topo_b);
   for (std::uint32_t round = 0; round < 3; ++round) {
     const ArbiterDecision da =
-        arb_a.decide(reg_a.active(), 1000u * (round + 1));
+        arb_a.decide(reg_a.participating(), 1000u * (round + 1));
     const ArbiterDecision db =
-        arb_b.decide(reg_b.active(), 1000u * (round + 1));
+        arb_b.decide(reg_b.participating(), 1000u * (round + 1));
     EXPECT_EQ(da.digest, db.digest) << "round " << round;
     EXPECT_EQ(decision_digest(da), da.digest);
   }
@@ -108,7 +108,7 @@ TEST(SvcArbiterTest, DigestCoversPlacements) {
   arch::Topology topo = small_topology();
   TenantRegistry reg = make_registry(2, 4);
   PlacementArbiter arbiter(topo);
-  ArbiterDecision d = arbiter.decide(reg.active(), 1);
+  ArbiterDecision d = arbiter.decide(reg.participating(), 1);
   const std::uint64_t original = d.digest;
   d.placements[0].contexts[0] ^= 1;
   EXPECT_NE(decision_digest(d), original);
@@ -123,9 +123,9 @@ TEST(SvcArbiterTest, StablePlacementAcrossIdenticalRounds) {
     tenant->matrix.add(2, 3, 500);
   }
   PlacementArbiter arbiter(topo);
-  const ArbiterDecision first = arbiter.decide(reg.active(), 1);
+  const ArbiterDecision first = arbiter.decide(reg.participating(), 1);
   EXPECT_EQ(first.moved, 0u);  // no previous decision: nothing to move from
-  const ArbiterDecision second = arbiter.decide(reg.active(), 2);
+  const ArbiterDecision second = arbiter.decide(reg.participating(), 2);
   // Nothing changed between rounds: the previous placement seeds the
   // mapper, so the decision repeats and no thread migrates.
   EXPECT_EQ(second.moved, 0u);
@@ -139,10 +139,10 @@ TEST(SvcArbiterTest, ExitedTenantFreesItsSlots) {
   arch::Topology topo = small_topology();
   TenantRegistry reg = make_registry(8, 8);  // overcommitted
   PlacementArbiter arbiter(topo);
-  const ArbiterDecision crowded = arbiter.decide(reg.active(), 1);
+  const ArbiterDecision crowded = arbiter.decide(reg.participating(), 1);
   EXPECT_GT(crowded.contexts_stolen, 0u);
   for (std::uint32_t id = 5; id <= 8; ++id) reg.mark_exited(id);
-  const ArbiterDecision relaxed = arbiter.decide(reg.active(), 2);
+  const ArbiterDecision relaxed = arbiter.decide(reg.participating(), 2);
   ASSERT_EQ(relaxed.placements.size(), 4u);  // 32 threads on 32 contexts
   EXPECT_EQ(relaxed.contexts_stolen, 0u);
 }
@@ -152,7 +152,7 @@ TEST(SvcArbiterTest, SequenceNumbersAreMonotonic) {
   TenantRegistry reg = make_registry(1, 2);
   PlacementArbiter arbiter(topo);
   for (std::uint64_t i = 1; i <= 5; ++i) {
-    EXPECT_EQ(arbiter.decide(reg.active(), i).seq, i);
+    EXPECT_EQ(arbiter.decide(reg.participating(), i).seq, i);
   }
   EXPECT_EQ(arbiter.decisions(), 5u);
 }

@@ -1,0 +1,234 @@
+// Tenant lifecycle: re-register keeps the accumulated communication
+// signal while moving the tenant to a fresh tid block, liveness sweeps
+// walk registered/active -> suspect -> reaped off journaled transitions
+// only (wall clock never enters the journal), a reap hands the reaped
+// tenant's contexts back to the arbiter, and the whole story — including
+// an overcommitted fleet losing half its tenants — replays byte for
+// byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "svc/driver.hpp"
+#include "svc/service.hpp"
+
+namespace spcd::svc {
+namespace {
+
+std::string tmp_journal(const char* name) { return testing::TempDir() + name; }
+
+ServiceConfig lively_config() {
+  ServiceConfig config;
+  config.arbitration_interval = 1024;
+  config.heartbeat_ms = 100;
+  config.reap_factor = 3;
+  return config;
+}
+
+std::vector<FaultRecord> pair_batch(std::uint32_t events) {
+  std::vector<FaultRecord> batch;
+  batch.reserve(events);
+  for (std::uint32_t i = 0; i < events; ++i) {
+    batch.push_back({((i / 2) % 16) << 12, i % 2, i + 1});
+  }
+  return batch;
+}
+
+TEST(SvcLifecycleTest, ReRegisterMovesToFreshTidBlockKeepingIdentity) {
+  SpcdService service(lively_config());
+  const RegisterResult first = service.register_tenant("resize", 4);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(service.ingest(first.tenant_id, pair_batch(512)).ok);
+
+  const RegisterResult wider = service.re_register(first.tenant_id, 8);
+  ASSERT_TRUE(wider.ok);
+  EXPECT_EQ(wider.tenant_id, first.tenant_id);
+  EXPECT_NE(wider.base_tid, first.base_tid);  // fresh block
+  EXPECT_EQ(service.registered_tenants(), 1u);
+  EXPECT_EQ(service.lifecycle().reregisters, 1u);
+
+  // The tenant keeps ingesting on the new width; old local tids beyond
+  // the previous width now resolve.
+  ASSERT_TRUE(service.ingest(first.tenant_id, {{0x5000, 7, 1}}).ok);
+  EXPECT_EQ(service.total_events(), 513u);
+
+  const ArbiterDecision decision = service.arbitrate_now();
+  ASSERT_EQ(decision.placements.size(), 1u);
+  EXPECT_EQ(decision.placements[0].contexts.size(), 8u);
+}
+
+TEST(SvcLifecycleTest, ReRegisterRejectsUnknownAndOutOfRange) {
+  SpcdService service(lively_config());
+  const std::uint32_t id = service.register_tenant("strict", 2).tenant_id;
+  EXPECT_FALSE(service.re_register(id + 5, 4).ok);
+  EXPECT_FALSE(service.re_register(id, 0).ok);
+  EXPECT_FALSE(service.re_register(id, kMaxTenantThreads + 1).ok);
+  ASSERT_TRUE(service.tenant_exit(id));
+  EXPECT_FALSE(service.re_register(id, 4).ok);  // departed
+  EXPECT_EQ(service.lifecycle().reregisters, 0u);
+}
+
+TEST(SvcLifecycleTest, SilentTenantIsSuspectedThenReapedOnDeadlines) {
+  SpcdService service(lively_config());  // suspect > 100ms, reap > 300ms
+  const std::uint32_t quiet = service.register_tenant("quiet", 2).tenant_id;
+  const std::uint32_t chatty = service.register_tenant("chatty", 2).tenant_id;
+  ASSERT_TRUE(service.ingest(quiet, pair_batch(64)).ok);
+  ASSERT_TRUE(service.ingest(chatty, pair_batch(64)).ok);
+  service.touch(quiet, 1000);
+  service.touch(chatty, 1000);
+
+  // Inside the deadline: nothing happens.
+  SpcdService::LivenessReport report = service.check_liveness(1100);
+  EXPECT_EQ(report.suspected, 0u);
+  EXPECT_EQ(report.reaped, 0u);
+
+  // Past heartbeat_ms: quiet is suspected (chatty keeps talking).
+  service.touch(chatty, 1150);
+  report = service.check_liveness(1150);
+  EXPECT_EQ(report.suspected, 1u);
+  EXPECT_EQ(report.reaped, 0u);
+  EXPECT_EQ(service.lifecycle().suspects, 1u);
+  // A suspect still participates: its contexts are not reclaimed yet.
+  EXPECT_EQ(service.active_tenants(), 2u);
+
+  // Past heartbeat_ms * reap_factor: quiet is reaped, its contexts go
+  // back to the arbiter (the sweep arbitrates immediately).
+  service.touch(chatty, 1350);
+  const std::size_t decisions_before = service.decisions().size();
+  report = service.check_liveness(1350);
+  EXPECT_EQ(report.suspected, 0u);
+  EXPECT_EQ(report.reaped, 1u);
+  EXPECT_EQ(service.lifecycle().reaps, 1u);
+  EXPECT_EQ(service.active_tenants(), 1u);
+  const std::vector<ArbiterDecision> decisions = service.decisions();
+  ASSERT_EQ(decisions.size(), decisions_before + 1);
+  const ArbiterDecision& reclaim = decisions.back();
+  ASSERT_EQ(reclaim.placements.size(), 1u);  // only chatty is placed
+  EXPECT_EQ(reclaim.placements[0].tenant_id, chatty);
+
+  // A reaped tenant is gone for good: no ingest, no resurrection.
+  EXPECT_FALSE(service.ingest(quiet, pair_batch(1)).ok);
+  EXPECT_FALSE(service.re_register(quiet, 2).ok);
+}
+
+TEST(SvcLifecycleTest, HeartbeatAndBatchesReactivateASuspect) {
+  SpcdService service(lively_config());
+  const std::uint32_t a = service.register_tenant("hb", 2).tenant_id;
+  const std::uint32_t b = service.register_tenant("batcher", 2).tenant_id;
+  ASSERT_TRUE(service.ingest(a, pair_batch(8)).ok);
+  ASSERT_TRUE(service.ingest(b, pair_batch(8)).ok);
+  service.touch(a, 1000);
+  service.touch(b, 1000);
+  ASSERT_EQ(service.check_liveness(1200).suspected, 2u);
+
+  // A heartbeat reactivates (journaled transition, counted).
+  std::uint64_t commit_seq = 0;
+  EXPECT_TRUE(service.heartbeat_seen(a, 1200, &commit_seq));
+  EXPECT_GT(commit_seq, 0u);
+  // A fault batch reactivates implicitly (the batch record implies it).
+  service.touch(b, 1200);
+  ASSERT_TRUE(service.ingest(b, pair_batch(8)).ok);
+  EXPECT_EQ(service.lifecycle().reactivations, 2u);
+
+  // Both survived: the next sweep inside the deadline reaps nobody.
+  EXPECT_EQ(service.check_liveness(1250).reaped, 0u);
+  EXPECT_EQ(service.active_tenants(), 2u);
+
+  // Heartbeats from unknown or reaped tenants are refused.
+  EXPECT_FALSE(service.heartbeat_seen(a + 99, 1250, &commit_seq));
+}
+
+TEST(SvcLifecycleTest, ResumeReattachesOnlyWithMatchingIdentity) {
+  SpcdService service(lively_config());
+  const std::uint32_t id = service.register_tenant("comeback", 2).tenant_id;
+  ASSERT_TRUE(service.ingest(id, pair_batch(8)).ok);
+  service.touch(id, 1000);
+  ASSERT_EQ(service.check_liveness(1200).suspected, 1u);
+
+  EXPECT_FALSE(service.resume_tenant(id, "impostor", 1200).ok);
+  EXPECT_FALSE(service.resume_tenant(id + 3, "comeback", 1200).ok);
+  const RegisterResult resumed = service.resume_tenant(id, "comeback", 1200);
+  ASSERT_TRUE(resumed.ok);
+  EXPECT_EQ(resumed.tenant_id, id);
+  EXPECT_EQ(service.lifecycle().reactivations, 1u);
+
+  ASSERT_TRUE(service.tenant_exit(id));
+  EXPECT_FALSE(service.resume_tenant(id, "comeback", 1300).ok);
+}
+
+// Satellite: an overcommitted daemon loses half its fleet to the reaper;
+// the arbiter reclaims the contexts for the survivors, and the journaled
+// lifecycle replays byte-identically with zero digest divergence.
+TEST(SvcLifecycleTest, ReapedFleetReplaysByteIdentically) {
+  const std::string path = tmp_journal("svc_lifecycle_replay.journal");
+  std::remove(path.c_str());
+
+  ServiceConfig config = lively_config();
+  config.journal_path = path;
+  config.arbitration_interval = 512;
+  config.topology = {/*sockets=*/1, /*cores_per_socket=*/4,
+                     /*smt_per_core=*/2};  // 8 contexts
+
+  std::string live_metrics;
+  std::string live_decisions;
+  {
+    SpcdService service(config);
+    DriverConfig driver;
+    driver.tenants = 6;
+    driver.threads_per_tenant = 4;
+    // 6 tenants x 4 threads overcommits the default topology (16
+    // contexts): the arbiter is forced to double tenants up until the
+    // reaper frees room.
+    ASSERT_GT(6u * 4u, service.topology().num_contexts());
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t t = 0; t < 6; ++t) {
+      const RegisterResult r =
+          service.register_tenant("fleet-" + std::to_string(t), 4);
+      ASSERT_TRUE(r.ok) << r.error;
+      ids.push_back(r.tenant_id);
+    }
+    for (std::uint32_t batch = 0; batch < 4; ++batch) {
+      for (std::uint32_t t = 0; t < 6; ++t) {
+        ASSERT_TRUE(
+            service.ingest(ids[t], scripted_batch(driver, t, batch)).ok);
+        service.touch(ids[t], 1000);
+      }
+    }
+    // Half the fleet goes silent (SIGKILLed clients); the sweeps first
+    // suspect them, then reap them and rearbitrate.
+    for (std::uint32_t t = 0; t < 3; ++t) service.touch(ids[t], 1400);
+    EXPECT_EQ(service.check_liveness(1400).suspected, 3u);
+    for (std::uint32_t t = 0; t < 3; ++t) service.touch(ids[t], 1700);
+    EXPECT_EQ(service.check_liveness(1700).reaped, 3u);
+    EXPECT_EQ(service.active_tenants(), 3u);
+
+    // Survivors keep working in the reclaimed space.
+    for (std::uint32_t batch = 4; batch < 8; ++batch) {
+      for (std::uint32_t t = 0; t < 3; ++t) {
+        ASSERT_TRUE(
+            service.ingest(ids[t], scripted_batch(driver, t, batch)).ok);
+      }
+    }
+    const ArbiterDecision after = service.arbitrate_now();
+    EXPECT_EQ(after.placements.size(), 3u);
+    live_metrics = service.metrics_json();
+    live_decisions = service.decisions_text();
+  }
+
+  const SpcdService::ReplayResult replayed = SpcdService::replay(path);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(replayed.digest_mismatches, 0u);
+  EXPECT_GT(replayed.decisions_checked, 0u);
+  EXPECT_EQ(replayed.service->metrics_json(), live_metrics);
+  EXPECT_EQ(replayed.service->decisions_text(), live_decisions);
+  EXPECT_EQ(replayed.service->lifecycle().suspects, 3u);
+  EXPECT_EQ(replayed.service->lifecycle().reaps, 3u);
+  EXPECT_EQ(replayed.service->active_tenants(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spcd::svc

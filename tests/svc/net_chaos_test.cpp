@@ -1,0 +1,233 @@
+// Network fault injection: the chaos engine is a pure function of
+// (config, seed, connection, attempt), the chaos-wrapped transport
+// degrades sends exactly as the drawn fate dictates, and — the ablation
+// the crash-safety story rests on — a full fleet driven over a chaotic
+// wire still commits every acked batch exactly once and leaves a
+// journal that replays byte for byte, under every chaos profile.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/net_chaos.hpp"
+#include "svc/chaos_transport.hpp"
+#include "svc/driver.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/transport.hpp"
+
+namespace spcd::svc {
+namespace {
+
+using chaos::NetChaosConfig;
+using chaos::NetChaosEngine;
+using chaos::SendFate;
+
+std::string tmp_journal(const char* name) { return testing::TempDir() + name; }
+
+TEST(NetChaosTest, DisabledConfigDeliversEverythingWithoutDrawing) {
+  NetChaosEngine engine(NetChaosConfig{}, /*connection_id=*/7, /*attempt=*/0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(engine.next_fate(), SendFate::kDeliver);
+  }
+  EXPECT_EQ(engine.counters().delivered, 100u);
+  EXPECT_EQ(engine.counters().injected(), 0u);
+}
+
+TEST(NetChaosTest, FateStreamIsDeterministicPerConnectionAndAttempt) {
+  NetChaosConfig config;
+  config.tear = 0.1;
+  config.drop_conn = 0.1;
+  config.duplicate = 0.1;
+  config.stall = 0.1;
+  config.seed = 42;
+
+  NetChaosEngine a(config, 3, 0);
+  NetChaosEngine b(config, 3, 0);
+  std::vector<SendFate> stream_a;
+  std::vector<SendFate> stream_b;
+  for (int i = 0; i < 1000; ++i) {
+    stream_a.push_back(a.next_fate());
+    stream_b.push_back(b.next_fate());
+  }
+  EXPECT_EQ(stream_a, stream_b);
+
+  // A reconnect (attempt + 1) redraws the stream, and a different
+  // connection draws its own — chaos does not kill the same client the
+  // same way forever.
+  NetChaosEngine retry(config, 3, 1);
+  NetChaosEngine other(config, 4, 0);
+  std::vector<SendFate> stream_retry;
+  std::vector<SendFate> stream_other;
+  for (int i = 0; i < 1000; ++i) {
+    stream_retry.push_back(retry.next_fate());
+    stream_other.push_back(other.next_fate());
+  }
+  EXPECT_NE(stream_a, stream_retry);
+  EXPECT_NE(stream_a, stream_other);
+
+  // With those intensities every fate shows up across 1000 draws.
+  EXPECT_GT(a.counters().delivered, 0u);
+  EXPECT_GT(a.counters().torn, 0u);
+  EXPECT_GT(a.counters().dropped, 0u);
+  EXPECT_GT(a.counters().duplicated, 0u);
+  EXPECT_GT(a.counters().stalled, 0u);
+}
+
+TEST(NetChaosTest, TornBytesAlwaysShortensTheFrame) {
+  NetChaosConfig config;
+  config.tear = 1.0;
+  NetChaosEngine engine(config, 1, 0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(engine.torn_bytes(13), 13u);
+  }
+  EXPECT_EQ(engine.torn_bytes(1), 0u);
+}
+
+TEST(NetChaosTest, ValidateCatchesNonsense) {
+  NetChaosConfig ok;
+  ok.tear = 0.2;
+  ok.duplicate = 0.3;
+  EXPECT_TRUE(ok.validate().empty());
+  EXPECT_TRUE(ok.enabled());
+  EXPECT_FALSE(NetChaosConfig{}.enabled());
+
+  NetChaosConfig negative;
+  negative.drop_conn = -0.1;
+  EXPECT_FALSE(negative.validate().empty());
+
+  NetChaosConfig oversum;
+  oversum.tear = 0.6;
+  oversum.drop_conn = 0.6;
+  EXPECT_FALSE(oversum.validate().empty());
+
+  NetChaosConfig dead_stall;
+  dead_stall.stall = 0.1;
+  dead_stall.stall_ms = 0;
+  EXPECT_FALSE(dead_stall.validate().empty());
+}
+
+TEST(NetChaosTest, EnvKnobsParse) {
+  setenv("SPCD_CHAOS_NET_TEAR", "0.25", 1);
+  setenv("SPCD_CHAOS_NET_DROP", "0.125", 1);
+  setenv("SPCD_CHAOS_NET_DUP", "0.0625", 1);
+  setenv("SPCD_CHAOS_NET_STALL", "0.03125", 1);
+  setenv("SPCD_CHAOS_NET_STALL_MS", "7", 1);
+  setenv("SPCD_CHAOS_NET_SEED", "99", 1);
+  const NetChaosConfig config = chaos::net_chaos_from_env();
+  EXPECT_EQ(config.tear, 0.25);
+  EXPECT_EQ(config.drop_conn, 0.125);
+  EXPECT_EQ(config.duplicate, 0.0625);
+  EXPECT_EQ(config.stall, 0.03125);
+  EXPECT_EQ(config.stall_ms, 7u);
+  EXPECT_EQ(config.seed, 99u);
+  unsetenv("SPCD_CHAOS_NET_TEAR");
+  unsetenv("SPCD_CHAOS_NET_DROP");
+  unsetenv("SPCD_CHAOS_NET_DUP");
+  unsetenv("SPCD_CHAOS_NET_STALL");
+  unsetenv("SPCD_CHAOS_NET_STALL_MS");
+  unsetenv("SPCD_CHAOS_NET_SEED");
+  EXPECT_FALSE(chaos::net_chaos_from_env().enabled());
+}
+
+TEST(NetChaosTest, InertWrapperIsTheInnerTransport) {
+  auto [client, server] = make_inproc_pair();
+  Transport* raw = client.get();
+  auto wrapped = maybe_wrap_chaos(std::move(client), NetChaosConfig{}, 1, 0);
+  EXPECT_EQ(wrapped.get(), raw);  // chaos off: zero indirection
+  EXPECT_EQ(maybe_wrap_chaos(nullptr, NetChaosConfig{}, 1, 0), nullptr);
+}
+
+// The ablation: one chaos profile per fault family plus a mixed storm.
+// For each, a fleet drives over the chaotic wire; every tenant must
+// finish (the client heals everything), every acked batch commits
+// exactly once, and the journal replays to the live state byte for byte.
+TEST(NetChaosTest, ReplayIsByteIdenticalUnderEveryChaosProfile) {
+  struct Profile {
+    const char* name;
+    NetChaosConfig config;
+  };
+  std::vector<Profile> profiles(4);
+  profiles[0].name = "tear";
+  profiles[0].config.tear = 0.05;
+  profiles[1].name = "drop";
+  profiles[1].config.drop_conn = 0.05;
+  profiles[2].name = "duplicate";
+  profiles[2].config.duplicate = 0.10;
+  profiles[3].name = "storm";
+  profiles[3].config.tear = 0.03;
+  profiles[3].config.drop_conn = 0.03;
+  profiles[3].config.duplicate = 0.05;
+  profiles[3].config.stall = 0.02;
+  profiles[3].config.stall_ms = 2;
+
+  for (const Profile& profile : profiles) {
+    SCOPED_TRACE(profile.name);
+    const std::string path =
+        tmp_journal(("svc_net_chaos_" + std::string(profile.name) +
+                     ".journal")
+                        .c_str());
+    std::remove(path.c_str());
+
+    ServiceConfig config;
+    config.arbitration_interval = 1024;
+    config.journal_path = path;
+    std::string live_metrics;
+    std::string live_decisions;
+    DriverConfig driver;
+    driver.tenants = 4;
+    driver.threads_per_tenant = 2;
+    driver.batches_per_tenant = 6;
+    driver.events_per_batch = 128;
+    driver.reregister_every = 3;
+    driver.heartbeat_every = 2;
+    driver.backoff_base_ms = 1;
+    driver.backoff_max_ms = 8;
+    {
+      SpcdService service(config);
+      ServerConfig server_config;
+      server_config.recv_timeout_ms = 10;
+      ServiceServer server(service, server_config);
+      InProcListener listener;
+      std::thread acceptor([&] { server.accept_loop(listener); });
+
+      NetChaosConfig chaos_config = profile.config;
+      chaos_config.seed = 7;
+      const DriverStats stats =
+          drive(driver, [&](std::uint32_t tenant, std::uint32_t attempt) {
+            return maybe_wrap_chaos(listener.connect(), chaos_config,
+                                    tenant, attempt);
+          });
+      listener.close();
+      server.request_stop();
+      acceptor.join();
+      server.drain();
+
+      EXPECT_EQ(stats.errors, 0u);
+      EXPECT_EQ(stats.tenants_completed, driver.tenants);
+      EXPECT_EQ(stats.batches_acked,
+                std::uint64_t{driver.tenants} * driver.batches_per_tenant);
+      // At-most-once: every acked batch committed exactly once even
+      // though the wire tore, dropped, and duplicated frames.
+      EXPECT_EQ(service.total_events(),
+                std::uint64_t{driver.tenants} * driver.batches_per_tenant *
+                    driver.events_per_batch);
+      live_metrics = service.metrics_json();
+      live_decisions = service.decisions_text();
+    }
+
+    const SpcdService::ReplayResult replayed = SpcdService::replay(path);
+    ASSERT_TRUE(replayed.ok) << replayed.error;
+    EXPECT_EQ(replayed.digest_mismatches, 0u);
+    EXPECT_EQ(replayed.service->metrics_json(), live_metrics);
+    EXPECT_EQ(replayed.service->decisions_text(), live_decisions);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace spcd::svc

@@ -1,0 +1,148 @@
+// Property/fuzz harness for svc::parse_message: the daemon feeds it
+// attacker-controlled bytes, so for ANY input it must either reject
+// (nullopt) or produce a message whose every field satisfies the
+// protocol's documented invariants — and never read out of bounds (the
+// ASan job runs this binary). Three generators:
+//
+//   * pure noise: seeded random bytes at adversarial lengths,
+//   * mutated frames: valid encodings with random byte flips,
+//   * spliced frames: valid encodings truncated / extended / crossbred.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace spcd::svc {
+namespace {
+
+// A parse that succeeds must hand the server a message it can act on
+// blindly: every invariant the session loop relies on holds.
+void expect_invariants(const std::string& payload) {
+  const auto msg = parse_message(payload);
+  if (!msg.has_value()) return;
+  switch (msg->type) {
+    case MessageType::kHello:
+    case MessageType::kResume:
+      EXPECT_TRUE(valid_tenant_name(msg->name)) << "name: " << msg->name;
+      break;
+    case MessageType::kFaultBatch:
+      EXPECT_LE(msg->events.size(), kMaxBatchEvents);
+      break;
+    case MessageType::kWelcome:
+    case MessageType::kBatchAck:
+    case MessageType::kReRegister:
+    case MessageType::kHeartbeat:
+    case MessageType::kHeartbeatAck:
+    case MessageType::kRetry:
+    case MessageType::kStats:
+    case MessageType::kStatsReply:
+    case MessageType::kError:
+    case MessageType::kBye:
+    case MessageType::kShutdown:
+      break;
+    default:
+      FAIL() << "parse produced an unknown message type: "
+             << static_cast<int>(msg->type);
+  }
+}
+
+std::vector<std::string> valid_frames() {
+  std::vector<FaultRecord> events;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    events.push_back({0x1000u * i, i % 8, 10u + i});
+  }
+  return {
+      encode_hello("fuzz-tenant", 8),
+      encode_welcome(3, 40),
+      encode_fault_batch(17, events),
+      encode_fault_batch(0, {}),
+      encode_batch_ack(17, 0x123456789abcdef0ULL, 9),
+      encode_reregister(21, 16),
+      encode_heartbeat(17),
+      encode_heartbeat_ack(0xfeedface12345678ULL),
+      encode_resume(5, "fuzz-tenant"),
+      encode_retry(9, 25),
+      encode_stats(),
+      encode_stats_reply("{\"schema\":\"spcd-service-v2\"}"),
+      encode_error("tenant departed"),
+      encode_bye(),
+      encode_shutdown(),
+  };
+}
+
+TEST(SvcProtocolFuzzTest, RandomBytesNeverCrashAndNeverLeakInvariants) {
+  util::Xoshiro256 rng(util::derive_seed(0xF022, 1));
+  // Adversarial lengths: tiny frames, header-boundary sizes, and a few
+  // big ones (count fields claiming more than the payload carries).
+  const std::size_t lengths[] = {1, 2, 3, 4, 5, 8, 9, 12, 13, 16,
+                                 17, 21, 32, 64, 255, 1024, 65536};
+  for (const std::size_t len : lengths) {
+    for (int round = 0; round < 200; ++round) {
+      std::string payload(len, '\0');
+      for (char& c : payload) {
+        c = static_cast<char>(rng.below(256));
+      }
+      expect_invariants(payload);
+    }
+  }
+}
+
+TEST(SvcProtocolFuzzTest, MutatedValidFramesNeverCrash) {
+  util::Xoshiro256 rng(util::derive_seed(0xF022, 2));
+  for (const std::string& frame : valid_frames()) {
+    for (int round = 0; round < 400; ++round) {
+      std::string mutated = frame;
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutated[pos]) ^
+            static_cast<unsigned char>(1u << rng.below(8)));
+      }
+      expect_invariants(mutated);
+    }
+  }
+}
+
+TEST(SvcProtocolFuzzTest, SplicedFramesNeverCrash) {
+  util::Xoshiro256 rng(util::derive_seed(0xF022, 3));
+  const std::vector<std::string> frames = valid_frames();
+  for (int round = 0; round < 2000; ++round) {
+    const std::string& a = frames[rng.below(frames.size())];
+    const std::string& b = frames[rng.below(frames.size())];
+    // Concatenate a random prefix of one frame with a random suffix of
+    // another: models half-read streams and retransmit garbage.
+    const std::size_t cut_a = rng.below(a.size() + 1);
+    const std::size_t cut_b = rng.below(b.size() + 1);
+    expect_invariants(a.substr(0, cut_a) + b.substr(cut_b));
+  }
+}
+
+TEST(SvcProtocolFuzzTest, EveryTruncationOfEveryFrameIsRejectedOrSane) {
+  for (const std::string& frame : valid_frames()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      expect_invariants(frame.substr(0, len));
+    }
+  }
+}
+
+TEST(SvcProtocolFuzzTest, TotalRejectionOfNoiseWithInvalidTypeByte) {
+  // Payloads whose type byte is outside the protocol must ALWAYS be
+  // rejected, regardless of what follows.
+  util::Xoshiro256 rng(util::derive_seed(0xF022, 4));
+  for (int round = 0; round < 500; ++round) {
+    std::string payload(1 + rng.below(128), '\0');
+    for (char& c : payload) {
+      c = static_cast<char>(rng.below(256));
+    }
+    payload[0] = static_cast<char>(15 + rng.below(241));  // > kRetry
+    EXPECT_FALSE(parse_message(payload).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace spcd::svc

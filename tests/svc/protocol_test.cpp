@@ -45,24 +45,61 @@ TEST(SvcProtocolTest, FaultBatchRoundTrip) {
   for (std::uint32_t i = 0; i < 100; ++i) {
     events.push_back({0x1000u * i + 0xabcdef0123ULL, i % 8, 77u + i});
   }
-  const auto msg = parse_message(encode_fault_batch(events));
+  const auto msg = parse_message(encode_fault_batch(7, events));
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->type, MessageType::kFaultBatch);
+  EXPECT_EQ(msg->client_seq, 7u);
   EXPECT_EQ(msg->events, events);
 }
 
 TEST(SvcProtocolTest, EmptyFaultBatchRoundTrip) {
-  const auto msg = parse_message(encode_fault_batch({}));
+  const auto msg = parse_message(encode_fault_batch(0, {}));
   ASSERT_TRUE(msg.has_value());
   EXPECT_TRUE(msg->events.empty());
 }
 
 TEST(SvcProtocolTest, BatchAckRoundTrip) {
-  const auto msg = parse_message(encode_batch_ack(0x1122334455667788ULL, 9));
+  const auto msg =
+      parse_message(encode_batch_ack(3, 0x1122334455667788ULL, 9));
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->type, MessageType::kBatchAck);
+  EXPECT_EQ(msg->client_seq, 3u);
   EXPECT_EQ(msg->seq, 0x1122334455667788ULL);
   EXPECT_EQ(msg->comm_events, 9u);
+}
+
+TEST(SvcProtocolTest, LifecycleMessagesRoundTrip) {
+  const auto rereg = parse_message(encode_reregister(21, 8));
+  ASSERT_TRUE(rereg.has_value());
+  EXPECT_EQ(rereg->type, MessageType::kReRegister);
+  EXPECT_EQ(rereg->client_seq, 21u);
+  EXPECT_EQ(rereg->num_threads, 8u);
+
+  const auto hb = parse_message(encode_heartbeat(17));
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->type, MessageType::kHeartbeat);
+  EXPECT_EQ(hb->seq, 17u);
+
+  const auto ack = parse_message(encode_heartbeat_ack(0xdeadbeefULL));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, MessageType::kHeartbeatAck);
+  EXPECT_EQ(ack->seq, 0xdeadbeefULL);
+
+  const auto resume = parse_message(encode_resume(5, "tenant-5"));
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->type, MessageType::kResume);
+  EXPECT_EQ(resume->tenant_id, 5u);
+  EXPECT_EQ(resume->name, "tenant-5");
+
+  const auto retry = parse_message(encode_retry(9, 25));
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->type, MessageType::kRetry);
+  EXPECT_EQ(retry->client_seq, 9u);
+  EXPECT_EQ(retry->delay_ms, 25u);
+}
+
+TEST(SvcProtocolTest, ResumeRejectsInvalidName) {
+  EXPECT_FALSE(parse_message(encode_resume(1, "bad name")).has_value());
 }
 
 TEST(SvcProtocolTest, SmallMessagesRoundTrip) {
@@ -90,8 +127,11 @@ TEST(SvcProtocolTest, RejectsTruncation) {
   // degenerate empty prefix, covered above).
   for (const std::string& payload :
        {encode_hello("t", 4), encode_welcome(1, 0),
-        encode_fault_batch({{0x1000, 0, 1}}), encode_batch_ack(5, 1),
-        encode_stats_reply("{}"), encode_error("x")}) {
+        encode_fault_batch(1, {{0x1000, 0, 1}}), encode_batch_ack(1, 5, 1),
+        encode_stats_reply("{}"), encode_error("x"),
+        encode_reregister(2, 8), encode_heartbeat(3),
+        encode_heartbeat_ack(4), encode_resume(5, "t"),
+        encode_retry(6, 10)}) {
     for (std::size_t len = 1; len < payload.size(); ++len) {
       EXPECT_FALSE(parse_message(payload.substr(0, len)).has_value())
           << "prefix of length " << len << " parsed";
@@ -101,8 +141,10 @@ TEST(SvcProtocolTest, RejectsTruncation) {
 
 TEST(SvcProtocolTest, RejectsTrailingBytes) {
   for (std::string payload :
-       {encode_hello("t", 4), encode_fault_batch({{0x1000, 0, 1}}),
-        encode_bye(), encode_batch_ack(5, 1)}) {
+       {encode_hello("t", 4), encode_fault_batch(1, {{0x1000, 0, 1}}),
+        encode_bye(), encode_batch_ack(1, 5, 1), encode_reregister(2, 8),
+        encode_heartbeat(3), encode_heartbeat_ack(4),
+        encode_resume(5, "t"), encode_retry(6, 10)}) {
     payload.push_back('\x00');
     EXPECT_FALSE(parse_message(payload).has_value());
   }
@@ -110,9 +152,10 @@ TEST(SvcProtocolTest, RejectsTrailingBytes) {
 
 TEST(SvcProtocolTest, RejectsOversizedDeclaredCounts) {
   // A fault batch declaring more events than the payload carries (or than
-  // the cap allows) must not be trusted.
-  std::string payload = encode_fault_batch({{0x1000, 0, 1}});
-  payload[1] = '\xff';  // count LSB: declares 255+ events, carries one
+  // the cap allows) must not be trusted. The v2 layout puts the u32 count
+  // after the type byte and the u64 client_seq.
+  std::string payload = encode_fault_batch(1, {{0x1000, 0, 1}});
+  payload[9] = '\xff';  // count LSB: declares 255+ events, carries one
   EXPECT_FALSE(parse_message(payload).has_value());
 
   std::string hello = encode_hello("ab", 1);
@@ -125,7 +168,7 @@ TEST(SvcProtocolTest, RejectsOversizedDeclaredCounts) {
 TEST(SvcProtocolTest, BatchEventCapIsEnforced) {
   const std::vector<FaultRecord> max_events(kMaxBatchEvents,
                                             FaultRecord{0x1000, 0, 1});
-  const std::string ok = encode_fault_batch(max_events);
+  const std::string ok = encode_fault_batch(1, max_events);
   EXPECT_LE(ok.size() + 4, kMaxFrameBytes);
   ASSERT_TRUE(parse_message(ok).has_value());
 }

@@ -38,7 +38,9 @@ TEST(SvcServerDrainTest, ManyTenantsCompleteAndDrainCleanly) {
   driver.batches_per_tenant = 4;
   driver.events_per_batch = 128;
   const DriverStats stats =
-      drive(driver, [&] { return listener.connect(); });
+      drive(driver, [&](std::uint32_t, std::uint32_t) {
+        return listener.connect();
+      });
   EXPECT_EQ(stats.tenants_completed, 32u);
   EXPECT_EQ(stats.errors, 0u);
   EXPECT_EQ(stats.batches_acked, 32u * 4u);
@@ -86,7 +88,7 @@ TEST(SvcServerDrainTest, StopMidSessionDrainsWithinWindowAndLosesNoRecord) {
     ASSERT_TRUE(welcome.has_value());
     ASSERT_EQ(welcome->type, MessageType::kWelcome);
     ASSERT_TRUE(
-        client->send(encode_fault_batch(scripted_batch(driver, t, 0))));
+        client->send(encode_fault_batch(1, scripted_batch(driver, t, 0))));
     ASSERT_EQ(client->recv(&payload, 2000), Transport::RecvStatus::kFrame);
     const auto ack = parse_message(payload);
     ASSERT_TRUE(ack.has_value());

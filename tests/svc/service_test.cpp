@@ -116,8 +116,11 @@ TEST(SvcServiceTest, MetricsJsonCarriesTenantsAndInterference) {
   const std::uint32_t id = service.register_tenant("metrics", 2).tenant_id;
   ASSERT_TRUE(service.ingest(id, pair_batch(100)).ok);
   const std::string json = service.metrics_json();
-  EXPECT_NE(json.find("\"schema\":\"spcd-service-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"spcd-service-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"active\""), std::string::npos);
+  EXPECT_NE(json.find("\"generation\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"lifecycle\""), std::string::npos);
   EXPECT_NE(json.find("\"total_events\":100"), std::string::npos);
   // Every descriptor-exported interference counter appears by name.
   for (const core::InterferenceDescriptor& d :

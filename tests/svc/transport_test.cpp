@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
@@ -125,6 +126,76 @@ TEST(SvcTransportTest, ConnectTimesOutWithoutServer) {
   EXPECT_EQ(connect_unix(tmp_socket("svc_transport_none.sock"), 100, &error),
             nullptr);
   EXPECT_FALSE(error.empty());
+}
+
+TEST(SvcTransportTest, TcpRoundTripOnEphemeralPort) {
+  std::string error;
+  std::uint16_t port = 0;
+  auto listener = listen_tcp("127.0.0.1", 0, &port, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  ASSERT_NE(port, 0) << "ephemeral port was not resolved";
+
+  auto client = connect_tcp("127.0.0.1", port, 2000, &error);
+  ASSERT_NE(client, nullptr) << error;
+  auto server = listener->accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  const std::string big(100'000, 'y');
+  ASSERT_TRUE(client->send(big));
+  ASSERT_TRUE(server->send("ack"));
+  std::string payload;
+  ASSERT_EQ(server->recv(&payload, 2000), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, big);
+  ASSERT_EQ(client->recv(&payload, 2000), Transport::RecvStatus::kFrame);
+  EXPECT_EQ(payload, "ack");
+
+  client->close();
+  EXPECT_EQ(server->recv(&payload, 2000), Transport::RecvStatus::kClosed);
+  listener->close();
+}
+
+TEST(SvcTransportTest, TcpConnectTimesOutWithoutServer) {
+  // Grab an ephemeral port, then close the listener so nothing is bound.
+  std::string error;
+  std::uint16_t port = 0;
+  {
+    auto listener = listen_tcp("127.0.0.1", 0, &port, &error);
+    ASSERT_NE(listener, nullptr) << error;
+    listener->close();
+  }
+  EXPECT_EQ(connect_tcp("127.0.0.1", port, 100, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SvcTransportTest, TornSendYieldsMidFrameEofOnBothWires) {
+  // Unix socket: a send_torn delivers the length prefix plus a short
+  // payload prefix then closes — the peer must report kError (a torn
+  // frame is a protocol violation, not a clean close).
+  const std::string path = tmp_socket("svc_transport_torn.sock");
+  std::string error;
+  auto listener = listen_unix(path, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  auto client = connect_unix(path, 2000, &error);
+  ASSERT_NE(client, nullptr) << error;
+  auto server = listener->accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  EXPECT_FALSE(client->send_torn("twelve bytes", 5));
+  std::string payload;
+  EXPECT_EQ(server->recv(&payload, 2000), Transport::RecvStatus::kError);
+  listener->close();
+
+  // TCP: identical contract.
+  std::uint16_t port = 0;
+  auto tcp_listener = listen_tcp("127.0.0.1", 0, &port, &error);
+  ASSERT_NE(tcp_listener, nullptr) << error;
+  auto tcp_client = connect_tcp("127.0.0.1", port, 2000, &error);
+  ASSERT_NE(tcp_client, nullptr) << error;
+  auto tcp_server = tcp_listener->accept(2000);
+  ASSERT_NE(tcp_server, nullptr);
+  EXPECT_FALSE(tcp_client->send_torn("twelve bytes", 5));
+  EXPECT_EQ(tcp_server->recv(&payload, 2000), Transport::RecvStatus::kError);
+  tcp_listener->close();
 }
 
 TEST(SvcTransportTest, RebindReplacesStaleSocketFile) {
